@@ -1,0 +1,112 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (run with no arguments, or name specific artefacts), plus
+   Bechamel micro-benchmarks of the core operations and the ablation
+   benches called out in DESIGN.md.
+
+   Environment knobs:
+     HB_SCALE   repository scale factor        (default 1.0)
+     HB_BUDGET  per-run timeout in seconds     (default 0.5)
+     HB_SEED    repository seed                (default 2019)
+
+   Usage: main.exe [table1|table2|table3|table4|table5|table6|
+                    figure3|figure4|figure5|ablation|micro]... *)
+
+let env_float name default =
+  match Sys.getenv_opt name with
+  | Some v -> ( match float_of_string_opt v with Some f -> f | None -> default)
+  | None -> default
+
+let env_int name default =
+  match Sys.getenv_opt name with
+  | Some v -> ( match int_of_string_opt v with Some i -> i | None -> default)
+  | None -> default
+
+(* --- Bechamel micro-benchmarks ------------------------------------------------ *)
+
+let micro () =
+  let open Bechamel in
+  let open Toolkit in
+  let rng = Kit.Rng.create 7 in
+  let medium = Gen.Random_csp.random rng ~n_variables:30 ~n_constraints:45 ~max_arity:4 in
+  let grid = Gen.Structured.grid ~rows:4 ~cols:4 in
+  let fano =
+    Hg.Hypergraph.of_int_edges
+      [ [ 0; 1; 2 ]; [ 0; 3; 4 ]; [ 0; 5; 6 ]; [ 1; 3; 5 ]; [ 1; 4; 6 ];
+        [ 2; 3; 6 ]; [ 2; 4; 5 ] ]
+  in
+  let sep = Kit.Bitset.of_list medium.Hg.Hypergraph.n_vertices [ 0; 1; 2 ] in
+  let tests =
+    [
+      Test.make ~name:"components(medium)"
+        (Staged.stage (fun () ->
+             Hg.Components.components medium
+               ~within:(Hg.Hypergraph.all_edges medium) sep));
+      Test.make ~name:"profile(fano)"
+        (Staged.stage (fun () -> Hg.Properties.profile fano));
+      Test.make ~name:"subedges f(fano,2)"
+        (Staged.stage (fun () -> Ghd.Subedges.f_global fano ~k:2));
+      Test.make ~name:"detk hd(fano,3)"
+        (Staged.stage (fun () -> Detk.solve fano ~k:3));
+      Test.make ~name:"detk hd(grid4x4,3)"
+        (Staged.stage (fun () -> Detk.solve grid ~k:3));
+      Test.make ~name:"balsep(fano,3)"
+        (Staged.stage (fun () -> Ghd.Bal_sep.solve fano ~k:3));
+      Test.make ~name:"rho*(fano)"
+        (Staged.stage (fun () ->
+             Fhd.Frac_cover.rho_star fano (Hg.Hypergraph.vertices fano)));
+    ]
+  in
+  let grouped = Test.make_grouped ~name:"hyperbench" ~fmt:"%s %s" tests in
+  let cfg =
+    Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~kde:(Some 100) ()
+  in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] grouped in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  print_endline "Micro-benchmarks (monotonic clock, ns/run):";
+  let rows = Hashtbl.fold (fun k v acc -> (k, v) :: acc) results [] in
+  List.iter
+    (fun (name, est) ->
+      match Analyze.OLS.estimates est with
+      | Some [ ns ] -> Printf.printf "  %-28s %12.0f ns\n" name ns
+      | _ -> Printf.printf "  %-28s %12s\n" name "n/a")
+    (List.sort compare rows)
+
+(* --- main ------------------------------------------------------------------- *)
+
+let () =
+  let scale = env_float "HB_SCALE" 1.0 in
+  let budget_seconds = env_float "HB_BUDGET" 0.5 in
+  let seed = env_int "HB_SEED" 2019 in
+  let args = List.tl (Array.to_list Sys.argv) in
+  let wants name = args = [] || List.mem name args in
+  let needs_ctx =
+    List.exists wants
+      [ "table1"; "table2"; "table3"; "table4"; "table5"; "table6";
+        "figure3"; "figure4"; "figure5"; "ablation" ]
+  in
+  Printf.printf
+    "HyperBench reproduction harness (seed=%d scale=%.2f budget=%.2fs)\n\n"
+    seed scale budget_seconds;
+  if needs_ctx then begin
+    let t0 = Unix.gettimeofday () in
+    let ctx = Experiments.prepare ~seed ~scale ~budget_seconds () in
+    Printf.printf "Prepared %d instances; analysis took %.1fs\n\n"
+      (List.length ctx.Experiments.instances)
+      (Unix.gettimeofday () -. t0);
+    let emit name render = if wants name then print_endline (render ctx) in
+    emit "table1" Experiments.table1;
+    emit "table2" Experiments.table2;
+    emit "figure3" Experiments.figure3;
+    emit "figure4" Experiments.figure4;
+    emit "figure5" Experiments.figure5;
+    emit "table3" Experiments.table3;
+    emit "table4" Experiments.table4;
+    emit "table5" Experiments.table5;
+    emit "table6" Experiments.table6;
+    if wants "ablation" then
+      print_endline (Experiments.ablation ~budget_seconds ctx)
+  end;
+  if wants "micro" then micro ()

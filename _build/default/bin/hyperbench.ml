@@ -1,0 +1,390 @@
+(* The HyperBench command-line tool: our stand-in for the paper's
+   web interface (http://hyperbench.dbai.tuwien.ac.at). It manages a
+   repository of hypergraphs on disk, reports their structural properties,
+   runs the decomposition algorithms, and converts SQL / XCSP inputs to
+   hypergraphs. *)
+
+open Cmdliner
+
+let ( let* ) r f = match r with Error m -> `Error (false, m) | Ok v -> f v
+
+(* --- shared arguments ----------------------------------------------------- *)
+
+let dir_arg =
+  Arg.(
+    value
+    & opt string "hyperbench-data"
+    & info [ "d"; "dir" ] ~docv:"DIR" ~doc:"Repository directory.")
+
+let k_arg =
+  Arg.(value & opt int 3 & info [ "k" ] ~docv:"K" ~doc:"Width bound k.")
+
+let timeout_arg =
+  Arg.(
+    value
+    & opt float 60.0
+    & info [ "timeout" ] ~docv:"SECONDS" ~doc:"Per-run timeout in seconds.")
+
+let load_hypergraph path =
+  if Filename.check_suffix path ".xml" then Xcsp3.Xcsp.read_file path
+  else Hg.Hypergraph.parse_file path
+
+(* --- build ----------------------------------------------------------------- *)
+
+let build_cmd =
+  let run dir seed scale =
+    let instances = Benchlib.Repository.build ~seed ~scale () in
+    Benchlib.Repository.save ~dir instances;
+    Printf.printf "wrote %d instances to %s\n" (List.length instances) dir;
+    `Ok ()
+  in
+  let seed =
+    Arg.(value & opt int 2019 & info [ "seed" ] ~docv:"SEED" ~doc:"Generator seed.")
+  in
+  let scale =
+    Arg.(
+      value & opt float 1.0 & info [ "scale" ] ~docv:"S" ~doc:"Repository scale factor.")
+  in
+  Cmd.v
+    (Cmd.info "build" ~doc:"Generate the benchmark repository on disk.")
+    Term.(ret (const run $ dir_arg $ seed $ scale))
+
+(* --- list ------------------------------------------------------------------ *)
+
+let list_cmd =
+  let run dir group source =
+    let* instances = Benchlib.Repository.load ~dir in
+    let instances =
+      match group with
+      | None -> instances
+      | Some g ->
+          List.filter
+            (fun i ->
+              Benchlib.Group.of_id g = Some i.Benchlib.Instance.group)
+            instances
+    in
+    let instances =
+      match source with
+      | None -> instances
+      | Some s -> List.filter (fun i -> i.Benchlib.Instance.source = s) instances
+    in
+    Printf.printf "%-24s %-16s %-12s %9s %7s %6s\n" "name" "group" "source"
+      "vertices" "edges" "arity";
+    List.iter
+      (fun i ->
+        let h = i.Benchlib.Instance.hg in
+        Printf.printf "%-24s %-16s %-12s %9d %7d %6d\n" i.Benchlib.Instance.name
+          (Benchlib.Group.id i.Benchlib.Instance.group)
+          i.Benchlib.Instance.source h.Hg.Hypergraph.n_vertices
+          h.Hg.Hypergraph.n_edges (Hg.Hypergraph.arity h))
+      instances;
+    `Ok ()
+  in
+  let group =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "group" ] ~docv:"GROUP"
+          ~doc:"Filter by group id (e.g. cq-application).")
+  in
+  let source =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "source" ] ~docv:"SOURCE" ~doc:"Filter by source collection.")
+  in
+  Cmd.v
+    (Cmd.info "list" ~doc:"List repository instances.")
+    Term.(ret (const run $ dir_arg $ group $ source))
+
+(* --- analyze ----------------------------------------------------------------- *)
+
+let analyze_cmd =
+  let run path timeout max_k =
+    let* h = load_hypergraph path in
+    let deadline () = Kit.Deadline.of_seconds timeout in
+    let p = Hg.Properties.profile ~deadline:(deadline ()) h in
+    Format.printf "%a@." Hg.Properties.pp_profile p;
+    Printf.printf "acyclic (GYO): %b\n" (Hg.Gyo.is_acyclic h);
+    let tw_ub, _ = Hg.Primal.upper_bound h in
+    Printf.printf "primal treewidth: %d <= tw <= %d\n" (Hg.Primal.lower_bound h)
+      tw_ub;
+    let rec levels k =
+      if k > max_k then Printf.printf "hw > %d (gave up at cap)\n" max_k
+      else
+        match Detk.solve ~deadline:(deadline ()) h ~k with
+        | Detk.Decomposition _ -> Printf.printf "hw = %d\n" k
+        | Detk.No_decomposition -> levels (k + 1)
+        | Detk.Timeout ->
+            Printf.printf "hw >= %d (timeout at k = %d)\n" k k
+    in
+    levels 1;
+    `Ok ()
+  in
+  let path =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"Hypergraph file (.hg) or XCSP file (.xml).")
+  in
+  let max_k =
+    Arg.(value & opt int 10 & info [ "max-k" ] ~docv:"K" ~doc:"Largest k to try.")
+  in
+  Cmd.v
+    (Cmd.info "analyze" ~doc:"Structural properties and hypertree width.")
+    Term.(ret (const run $ path $ timeout_arg $ max_k))
+
+(* --- decompose --------------------------------------------------------------- *)
+
+let method_conv =
+  Arg.enum
+    [ ("hd", `Hd); ("globalbip", `Global); ("localbip", `Local);
+      ("balsep", `Balsep); ("portfolio", `Portfolio) ]
+
+let decompose_cmd =
+  let run path k meth timeout dot save =
+    let* h = load_hypergraph path in
+    let deadline () = Kit.Deadline.of_seconds timeout in
+    let outcome =
+      match meth with
+      | `Hd -> Detk.solve ~deadline:(deadline ()) h ~k
+      | `Global -> (Ghd.Global_bip.solve ~deadline:(deadline ()) h ~k).Ghd.Global_bip.outcome
+      | `Local -> (Ghd.Local_bip.solve ~deadline:(deadline ()) h ~k).Ghd.Local_bip.outcome
+      | `Balsep -> (Ghd.Bal_sep.solve ~deadline:(deadline ()) h ~k).Ghd.Bal_sep.outcome
+      | `Portfolio -> (
+          match Ghd.Portfolio.check ~budget:deadline h ~k with
+          | Ghd.Portfolio.Yes (d, alg) ->
+              Printf.printf "decided by %s\n" (Ghd.Portfolio.algorithm_name alg);
+              Detk.Decomposition d
+          | Ghd.Portfolio.No alg ->
+              Printf.printf "decided by %s\n" (Ghd.Portfolio.algorithm_name alg);
+              Detk.No_decomposition
+          | Ghd.Portfolio.All_timeout -> Detk.Timeout)
+    in
+    (match outcome with
+    | Detk.Decomposition d ->
+        Printf.printf "width <= %d: YES (width %d)\n" k (Decomp.width d);
+        (match save with
+        | Some path ->
+            let oc = open_out path in
+            output_string oc (Decomp_io.to_text h d);
+            close_out oc;
+            Printf.printf "saved to %s\n" path
+        | None -> ());
+        if dot then print_string (Decomp.to_dot h d)
+        else Format.printf "%a" (fun fmt -> Decomp.pp h fmt) d
+    | Detk.No_decomposition -> Printf.printf "width <= %d: NO\n" k
+    | Detk.Timeout -> Printf.printf "width <= %d: TIMEOUT\n" k);
+    `Ok ()
+  in
+  let path =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Hypergraph file.")
+  in
+  let meth =
+    Arg.(
+      value
+      & opt method_conv `Hd
+      & info [ "m"; "method" ] ~docv:"METHOD"
+          ~doc:"hd | globalbip | localbip | balsep | portfolio.")
+  in
+  let dot =
+    Arg.(value & flag & info [ "dot" ] ~doc:"Emit GraphViz instead of text.")
+  in
+  let save =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save" ] ~docv:"FILE" ~doc:"Write the decomposition to a file.")
+  in
+  Cmd.v
+    (Cmd.info "decompose" ~doc:"Compute an HD or GHD of width at most k.")
+    Term.(ret (const run $ path $ k_arg $ meth $ timeout_arg $ dot $ save))
+
+(* --- validate ------------------------------------------------------------------ *)
+
+let validate_cmd =
+  let run hg_path decomp_path strict =
+    let* h = load_hypergraph hg_path in
+    let* text =
+      try
+        let ic = open_in decomp_path in
+        let s = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        Ok s
+      with Sys_error m -> Error m
+    in
+    let* d = Decomp_io.of_text h text in
+    let violations = if strict then Decomp.check_hd h d else Decomp.check_ghd h d in
+    (match violations with
+    | [] ->
+        Printf.printf "VALID %s of width %d (%d nodes)\n"
+          (if strict then "HD" else "GHD")
+          (Decomp.width d) (Decomp.size d)
+    | vs ->
+        Printf.printf "INVALID: %d violation(s)\n" (List.length vs);
+        List.iter (fun v -> Format.printf "  %a@." (Decomp.pp_violation h) v) vs);
+    `Ok ()
+  in
+  let hg_path =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"HYPERGRAPH" ~doc:"Hypergraph file.")
+  in
+  let decomp_path =
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"DECOMPOSITION" ~doc:"Decomposition file.")
+  in
+  let strict =
+    Arg.(value & flag & info [ "hd" ] ~doc:"Check the HD special condition too.")
+  in
+  Cmd.v
+    (Cmd.info "validate"
+       ~doc:"Check a stored decomposition against a hypergraph (the upper bounds are more reliable than lower bounds, section 2).")
+    Term.(ret (const run $ hg_path $ decomp_path $ strict))
+
+(* --- improve ------------------------------------------------------------------ *)
+
+let improve_cmd =
+  let run path k timeout frac =
+    let* h = load_hypergraph path in
+    let deadline () = Kit.Deadline.of_seconds timeout in
+    (match Detk.solve ~deadline:(deadline ()) h ~k with
+    | Detk.Decomposition d ->
+        let base = Fhd.Improve_hd.improve h d in
+        Printf.printf "integral width: %d\nImproveHD width: %.3f\n"
+          (Decomp.width d)
+          (Decomp.Fractional.width base);
+        if frac then begin
+          match Fhd.Frac_improve_hd.best ~deadline:(deadline ()) h ~k with
+          | Some (fhd, w) ->
+              Printf.printf "FracImproveHD width: %.3f\n" w;
+              Format.printf "%a" (fun fmt -> Decomp.Fractional.pp h fmt) fhd
+          | None -> Printf.printf "FracImproveHD: no result\n"
+        end
+    | Detk.No_decomposition -> Printf.printf "no HD of width <= %d\n" k
+    | Detk.Timeout -> Printf.printf "timeout\n");
+    `Ok ()
+  in
+  let path =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Hypergraph file.")
+  in
+  let frac =
+    Arg.(value & flag & info [ "frac" ] ~doc:"Also run FracImproveHD.")
+  in
+  Cmd.v
+    (Cmd.info "improve" ~doc:"Fractionally improve an HD (paper §6.5).")
+    Term.(ret (const run $ path $ k_arg $ timeout_arg $ frac))
+
+(* --- convert ------------------------------------------------------------------- *)
+
+let read_schema_file path =
+  (* Format: one "table: col1, col2" line per relation; # comments. *)
+  let ic = open_in path in
+  let rec go acc =
+    match input_line ic with
+    | exception End_of_file ->
+        close_in ic;
+        Ok (Sql.Schema.of_list (List.rev acc))
+    | line ->
+        let line = String.trim line in
+        if line = "" || line.[0] = '#' then go acc
+        else (
+          match String.index_opt line ':' with
+          | None -> Error (Printf.sprintf "bad schema line: %s" line)
+          | Some i ->
+              let name = String.trim (String.sub line 0 i) in
+              let cols =
+                String.sub line (i + 1) (String.length line - i - 1)
+                |> String.split_on_char ','
+                |> List.map String.trim
+                |> List.filter (( <> ) "")
+              in
+              go ((name, cols) :: acc))
+  in
+  go []
+
+let convert_sql_cmd =
+  let run path schema_path =
+    let* sql =
+      try
+        let ic = open_in path in
+        let s = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        Ok s
+      with Sys_error m -> Error m
+    in
+    let* schema =
+      match schema_path with
+      | None -> Ok Sql.Schema.empty
+      | Some p -> read_schema_file p
+    in
+    let* results = Sql.Convert.sql_to_hypergraphs ~schema sql in
+    List.iter
+      (fun (id, conv) ->
+        Printf.printf "%% query %s\n" id;
+        List.iter (Printf.printf "%% warning: %s\n") conv.Sql.Convert.warnings;
+        match conv.Sql.Convert.hypergraph with
+        | Some h -> print_string (Hg.Hypergraph.to_string h)
+        | None -> print_endline "% (no hypergraph)")
+      results;
+    `Ok ()
+  in
+  let path =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"SQL file.")
+  in
+  let schema =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "schema" ] ~docv:"FILE" ~doc:"Schema file (table: col1, col2).")
+  in
+  Cmd.v
+    (Cmd.info "convert-sql" ~doc:"SQL query to hypergraph(s) (paper §5.2-5.4).")
+    Term.(ret (const run $ path $ schema))
+
+let convert_xcsp_cmd =
+  let run path =
+    let* h = Xcsp3.Xcsp.read_file path in
+    print_string (Hg.Hypergraph.to_string h);
+    `Ok ()
+  in
+  let path =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"XCSP XML file.")
+  in
+  Cmd.v
+    (Cmd.info "convert-xcsp" ~doc:"XCSP instance to hypergraph (paper §5.5).")
+    Term.(ret (const run $ path))
+
+(* --- stats ---------------------------------------------------------------------- *)
+
+let stats_cmd =
+  let run dir =
+    let* instances = Benchlib.Repository.load ~dir in
+    Printf.printf "%-16s %10s %12s %10s %8s\n" "group" "instances" "max edges"
+      "max vert" "arity";
+    List.iter
+      (fun (g, insts) ->
+        if insts <> [] then begin
+          let stat f = List.fold_left (fun m i -> Stdlib.max m (f i.Benchlib.Instance.hg)) 0 insts in
+          Printf.printf "%-16s %10d %12d %10d %8d\n" (Benchlib.Group.id g)
+            (List.length insts)
+            (stat (fun h -> h.Hg.Hypergraph.n_edges))
+            (stat (fun h -> h.Hg.Hypergraph.n_vertices))
+            (stat Hg.Hypergraph.arity)
+        end)
+      (Benchlib.Repository.by_group instances);
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Summary statistics of a repository.")
+    Term.(ret (const run $ dir_arg))
+
+let () =
+  let info =
+    Cmd.info "hyperbench" ~version:"1.0"
+      ~doc:"HyperBench: hypergraph benchmark and decomposition tool"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            build_cmd; list_cmd; analyze_cmd; decompose_cmd; validate_cmd;
+            improve_cmd; convert_sql_cmd; convert_xcsp_cmd; stats_cmd;
+          ]))

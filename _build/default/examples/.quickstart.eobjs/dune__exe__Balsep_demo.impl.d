@@ -1,0 +1,1 @@
+examples/balsep_demo.ml: Detk Gen Ghd Hg Kit Printf Unix

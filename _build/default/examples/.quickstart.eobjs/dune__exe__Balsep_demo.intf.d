@@ -1,0 +1,1 @@
+examples/balsep_demo.mli:

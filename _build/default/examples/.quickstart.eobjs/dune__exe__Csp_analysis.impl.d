@@ -1,0 +1,1 @@
+examples/csp_analysis.ml: Detk Gen Hg Kit Printf Xcsp3

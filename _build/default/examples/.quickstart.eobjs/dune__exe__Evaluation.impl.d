@@ -1,0 +1,1 @@
+examples/evaluation.ml: Detk Eval Gen Hg Kit List Printf Unix

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Decomp Detk Fhd Format Ghd Hg Printf

@@ -1,0 +1,1 @@
+examples/sql_pipeline.ml: Decomp Detk Format Gen Hg List Printf Sql

@@ -1,0 +1,1 @@
+lib/benchlib/analysis.ml: Decomp Detk Fhd Ghd Hg Instance Kit List Unix

@@ -1,0 +1,1 @@
+lib/benchlib/analysis.mli: Decomp Ghd Hg Instance Kit

@@ -1,0 +1,1 @@
+lib/benchlib/group.ml: Stdlib String

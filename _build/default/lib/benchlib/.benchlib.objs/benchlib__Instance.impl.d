@@ -1,0 +1,1 @@
+lib/benchlib/instance.ml: Group Hg

@@ -1,0 +1,1 @@
+lib/benchlib/repository.ml: Filename Gen Group Hashtbl Hg Instance Kit List Printf Stdlib String Sys

@@ -1,0 +1,1 @@
+lib/benchlib/repository.mli: Group Instance

@@ -1,0 +1,1 @@
+lib/benchlib/stats.ml: Analysis Array Hg List Option Stdlib

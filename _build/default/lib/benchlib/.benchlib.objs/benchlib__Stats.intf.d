@@ -1,0 +1,1 @@
+lib/benchlib/stats.mli: Analysis

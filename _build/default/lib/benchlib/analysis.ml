@@ -1,0 +1,151 @@
+type verdict = [ `Yes | `No | `Timeout ]
+
+type hw_run = { k : int; outcome : verdict; seconds : float }
+
+type hw_status = Exact of int | Upper of int | Open_above of int
+
+type record = {
+  instance : Instance.t;
+  profile : Hg.Properties.profile;
+  hw_runs : hw_run list;
+  hw : hw_status;
+  hd : Decomp.t option;
+}
+
+let default_budget () = Kit.Deadline.of_seconds 1.0
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let analyze ?(budget = default_budget) ?(max_k = 8) instances =
+  List.map
+    (fun (inst : Instance.t) ->
+      let h = inst.Instance.hg in
+      let profile =
+        Hg.Properties.profile ~deadline:(budget ()) h
+      in
+      let rec levels k acc had_timeout =
+        if k > max_k then (List.rev acc, Open_above max_k, None)
+        else begin
+          let outcome, seconds =
+            timed (fun () -> Detk.solve ~deadline:(budget ()) h ~k)
+          in
+          match outcome with
+          | Detk.Decomposition d ->
+              let run = { k; outcome = `Yes; seconds } in
+              let status = if had_timeout then Upper k else Exact k in
+              (List.rev (run :: acc), status, Some d)
+          | Detk.No_decomposition ->
+              levels (k + 1) ({ k; outcome = `No; seconds } :: acc) had_timeout
+          | Detk.Timeout ->
+              levels (k + 1) ({ k; outcome = `Timeout; seconds } :: acc) true
+        end
+      in
+      let hw_runs, hw, hd = levels 1 [] false in
+      { instance = inst; profile; hw_runs; hw; hd })
+    instances
+
+let hw_bound r =
+  match r.hw with Exact k | Upper k -> Some k | Open_above _ -> None
+
+type ghd_run = {
+  algorithm : Ghd.Portfolio.algorithm;
+  outcome : verdict;
+  seconds : float;
+}
+
+type ghd_record = {
+  name : string;
+  from_k : int;
+  target_k : int;
+  runs : ghd_run list;
+  combined : verdict;
+  combined_seconds : float;
+}
+
+let ghd_comparison ?(budget = default_budget) ?(ks = [ 3; 4; 5; 6 ]) records =
+  List.filter_map
+    (fun r ->
+      match hw_bound r with
+      | Some k when List.mem k ks ->
+          let h = r.instance.Instance.hg in
+          let target_k = k - 1 in
+          let run alg =
+            let (outcome : Detk.outcome), exact, seconds =
+              match alg with
+              | Ghd.Portfolio.Bal_sep_alg ->
+                  let a, s =
+                    timed (fun () -> Ghd.Bal_sep.solve ~deadline:(budget ()) h ~k:target_k)
+                  in
+                  (a.Ghd.Bal_sep.outcome, a.Ghd.Bal_sep.exact, s)
+              | Ghd.Portfolio.Local_bip_alg ->
+                  let a, s =
+                    timed (fun () -> Ghd.Local_bip.solve ~deadline:(budget ()) h ~k:target_k)
+                  in
+                  (a.Ghd.Local_bip.outcome, a.Ghd.Local_bip.exact, s)
+              | Ghd.Portfolio.Global_bip_alg ->
+                  let a, s =
+                    timed (fun () -> Ghd.Global_bip.solve ~deadline:(budget ()) h ~k:target_k)
+                  in
+                  (a.Ghd.Global_bip.outcome, a.Ghd.Global_bip.exact, s)
+            in
+            let v : verdict =
+              match outcome with
+              | Detk.Decomposition _ -> `Yes
+              | Detk.No_decomposition -> if exact then `No else `Timeout
+              | Detk.Timeout -> `Timeout
+            in
+            { algorithm = alg; outcome = v; seconds }
+          in
+          let runs =
+            List.map run
+              [ Ghd.Portfolio.Bal_sep_alg; Ghd.Portfolio.Local_bip_alg;
+                Ghd.Portfolio.Global_bip_alg ]
+          in
+          let decided =
+            List.filter (fun x -> x.outcome <> `Timeout) runs
+            |> List.sort (fun a b -> compare a.seconds b.seconds)
+          in
+          let combined, combined_seconds =
+            match decided with
+            | [] -> (`Timeout, 0.0)
+            | best :: _ -> (best.outcome, best.seconds)
+          in
+          Some
+            {
+              name = r.instance.Instance.name;
+              from_k = k;
+              target_k;
+              runs;
+              combined;
+              combined_seconds;
+            }
+      | _ -> None)
+    records
+
+type frac_record = {
+  name : string;
+  hw : int;
+  improve_width : float;
+  frac_improve_width : float option;
+}
+
+let fractional ?(budget = default_budget) ?(step = 0.1) records =
+  List.filter_map
+    (fun r ->
+      match (hw_bound r, r.hd) with
+      | Some hw, Some hd ->
+          let h = r.instance.Instance.hg in
+          let improve_width = Fhd.Improve_hd.improved_width h hd in
+          let frac_improve_width =
+            match Fhd.Frac_improve_hd.best ~deadline:(budget ()) ~step h ~k:hw with
+            | Some (_, w) -> Some w
+            | None -> None
+            | exception Kit.Deadline.Timed_out -> None
+          in
+          Some
+            { name = r.instance.Instance.name; hw; improve_width; frac_improve_width }
+      | _ -> None)
+    records

@@ -1,0 +1,73 @@
+(** Experiment runners: the measured side of every table and figure.
+
+    [analyze] performs the paper's Figure-4 protocol on each instance:
+    solve Check(HD,k) for k = 1, 2, ... with a fresh budget per run,
+    continuing past "no" and "timeout" answers until the first "yes" (or
+    the cap). It also computes the structural profile of Table 2. The
+    other runners consume those records. *)
+
+type verdict = [ `Yes | `No | `Timeout ]
+
+type hw_run = { k : int; outcome : verdict; seconds : float }
+
+type hw_status =
+  | Exact of int  (** hw known exactly: yes at k, no at every k' < k *)
+  | Upper of int  (** yes at k, but some smaller k timed out *)
+  | Open_above of int  (** no yes up to this k (cap or timeouts) *)
+
+type record = {
+  instance : Instance.t;
+  profile : Hg.Properties.profile;
+  hw_runs : hw_run list;
+  hw : hw_status;
+  hd : Decomp.t option;  (** witness for Exact/Upper *)
+}
+
+val analyze :
+  ?budget:(unit -> Kit.Deadline.t) ->
+  ?max_k:int ->
+  Instance.t list ->
+  record list
+(** [budget] supplies the per-run deadline (default: 1 s wall clock, the
+    scaled-down counterpart of the paper's 3600 s). [max_k] defaults
+    to 8. *)
+
+val hw_bound : record -> int option
+(** The k with a yes answer (Exact or Upper), if any. *)
+
+type ghd_run = {
+  algorithm : Ghd.Portfolio.algorithm;
+  outcome : verdict;
+  seconds : float;
+}
+
+type ghd_record = {
+  name : string;
+  from_k : int;  (** the instance's hw (yes-level) *)
+  target_k : int;  (** from_k - 1 *)
+  runs : ghd_run list;  (** one per algorithm *)
+  combined : verdict;  (** first definitive answer across algorithms *)
+  combined_seconds : float;  (** time of the fastest deciding algorithm *)
+}
+
+val ghd_comparison :
+  ?budget:(unit -> Kit.Deadline.t) ->
+  ?ks:int list ->
+  record list ->
+  ghd_record list
+(** Table 3/4 protocol: for every instance whose hw (yes-level) k is in
+    [ks] (default [3;4;5;6]), run all three GHD algorithms on
+    Check(GHD, k-1). *)
+
+type frac_record = {
+  name : string;
+  hw : int;
+  improve_width : float;  (** ImproveHD width (from the stored HD) *)
+  frac_improve_width : float option;
+      (** FracImproveHD best width; [None] = timed out before any result *)
+}
+
+val fractional :
+  ?budget:(unit -> Kit.Deadline.t) -> ?step:float -> record list -> frac_record list
+(** Tables 5 and 6: for every record with an HD witness, the ImproveHD
+    width and the best FracImproveHD width. *)

@@ -1,0 +1,35 @@
+(* The five instance groups of the HyperBench benchmark (§5.6). *)
+
+type t =
+  | CQ_application
+  | CQ_random
+  | CSP_application
+  | CSP_random
+  | CSP_other
+
+let all = [ CQ_application; CQ_random; CSP_application; CSP_random; CSP_other ]
+
+let name = function
+  | CQ_application -> "CQ Application"
+  | CQ_random -> "CQ Random"
+  | CSP_application -> "CSP Application"
+  | CSP_random -> "CSP Random"
+  | CSP_other -> "CSP Other"
+
+let id = function
+  | CQ_application -> "cq-application"
+  | CQ_random -> "cq-random"
+  | CSP_application -> "csp-application"
+  | CSP_random -> "csp-random"
+  | CSP_other -> "csp-other"
+
+let of_id s =
+  match String.lowercase_ascii s with
+  | "cq-application" -> Some CQ_application
+  | "cq-random" -> Some CQ_random
+  | "csp-application" -> Some CSP_application
+  | "csp-random" -> Some CSP_random
+  | "csp-other" -> Some CSP_other
+  | _ -> None
+
+let compare = Stdlib.compare

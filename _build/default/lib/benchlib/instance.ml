@@ -1,0 +1,11 @@
+(* One benchmark instance: a named hypergraph with its group and source
+   collection (the "Benchmark" column of Table 1). *)
+
+type t = {
+  name : string;
+  group : Group.t;
+  source : string;  (* e.g. "TPC-H", "SPARQL", "Grids" *)
+  hg : Hg.Hypergraph.t;
+}
+
+let make ~name ~group ~source hg = { name; group; source; hg }

@@ -1,0 +1,147 @@
+module Rng = Kit.Rng
+
+let scaled scale n = Stdlib.max 1 (int_of_float (ceil (scale *. float_of_int n)))
+
+let build ?(seed = 2019) ?(scale = 1.0) () =
+  let rng = Rng.create seed in
+  let out = ref [] in
+  let add group source name hg =
+    if hg.Hg.Hypergraph.n_edges > 0 then
+      out := Instance.make ~name ~group ~source hg :: !out
+  in
+  let series group source n f =
+    for i = 1 to n do
+      add group source (Printf.sprintf "%s-%03d" source i) (f i)
+    done
+  in
+  (* --- CQ Application ---------------------------------------------------- *)
+  series Group.CQ_application "sparql" (scaled scale 10) (fun _ ->
+      Gen.Sparql_gen.random_shape rng);
+  series Group.CQ_application "wikidata" (scaled scale 30) (fun _ ->
+      Gen.Sparql_gen.random_shape rng);
+  series Group.CQ_application "lubm" (scaled scale 5) (fun _ -> Gen.Workloads.lubm rng);
+  series Group.CQ_application "ibench" (scaled scale 6) (fun _ -> Gen.Workloads.ibench rng);
+  series Group.CQ_application "doctors" (scaled scale 5) (fun _ ->
+      Gen.Workloads.doctors rng);
+  series Group.CQ_application "deep" (scaled scale 6) (fun _ -> Gen.Workloads.deep rng);
+  series Group.CQ_application "sqlshare" (scaled scale 12) (fun _ ->
+      Gen.Workloads.sqlshare rng);
+  (* SQL workloads: fixed query sets, scale-independent. *)
+  List.iter
+    (fun (source, schema, queries) ->
+      List.iter
+        (fun (name, hg) -> add Group.CQ_application source (source ^ "-" ^ name) hg)
+        (Gen.Workloads.convert_workload schema queries))
+    [
+      ("tpch", Gen.Workloads.tpch_schema, Gen.Workloads.tpch_queries);
+      ("tpcds", Gen.Workloads.tpcds_schema, Gen.Workloads.tpcds_queries);
+      ("job", Gen.Workloads.job_schema, Gen.Workloads.job_queries);
+    ];
+  (* --- CQ Random ---------------------------------------------------------- *)
+  series Group.CQ_random "cq-rand" (scaled scale 40) (fun _ ->
+      let n_vertices = Rng.int_in rng 5 50 in
+      let n_edges = Rng.int_in rng 3 25 in
+      let max_arity = Rng.int_in rng 3 12 in
+      Gen.Random_cq.random rng ~n_vertices ~n_edges ~max_arity);
+  (* --- CSP Application ----------------------------------------------------- *)
+  series Group.CSP_application "scheduling" (scaled scale 10) (fun _ ->
+      Gen.Structured.scheduling rng ~jobs:(Rng.int_in rng 3 7)
+        ~machines:(Rng.int_in rng 3 6));
+  series Group.CSP_application "coloring" (scaled scale 10) (fun _ ->
+      Gen.Structured.coloring rng ~n_vertices:(Rng.int_in rng 8 25)
+        ~avg_degree:(2.0 +. Rng.float rng *. 2.0));
+  series Group.CSP_application "config" (scaled scale 10) (fun _ ->
+      Gen.Structured.configuration rng ~n_clusters:(Rng.int_in rng 3 8)
+        ~cluster_size:(Rng.int_in rng 3 8) ~backbone:(Rng.int_in rng 2 5));
+  series Group.CSP_application "circuit" (scaled scale 10) (fun _ ->
+      Gen.Structured.circuit rng ~n_gates:(Rng.int_in rng 10 40)
+        ~n_inputs:(Rng.int_in rng 3 8));
+  (* --- CSP Random ---------------------------------------------------------- *)
+  series Group.CSP_random "csp-rand" (scaled scale 25) (fun _ ->
+      Gen.Random_csp.random rng
+        ~n_variables:(Rng.int_in rng 12 35)
+        ~n_constraints:(Rng.int_in rng 18 55)
+        ~max_arity:(Rng.int_in rng 2 4));
+  (* --- CSP Other ----------------------------------------------------------- *)
+  series Group.CSP_other "grid" (scaled scale 5) (fun i ->
+      let side = 2 + (i mod 4) in
+      Gen.Structured.grid ~rows:side ~cols:(side + (i mod 2)));
+  series Group.CSP_other "iscas" (scaled scale 4) (fun _ ->
+      Gen.Structured.circuit rng ~n_gates:(Rng.int_in rng 40 80)
+        ~n_inputs:(Rng.int_in rng 5 12));
+  series Group.CSP_other "daimler" (scaled scale 3) (fun _ ->
+      Gen.Structured.configuration rng ~n_clusters:(Rng.int_in rng 8 14)
+        ~cluster_size:(Rng.int_in rng 5 12) ~backbone:(Rng.int_in rng 3 7));
+  List.rev !out
+
+let by_group instances =
+  List.map
+    (fun g -> (g, List.filter (fun i -> i.Instance.group = g) instances))
+    Group.all
+
+let sources instances =
+  let order = ref [] in
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun i ->
+      let s = i.Instance.source in
+      if not (Hashtbl.mem tbl s) then begin
+        Hashtbl.replace tbl s ();
+        order := s :: !order
+      end)
+    instances;
+  List.rev_map
+    (fun s -> (s, List.filter (fun i -> i.Instance.source = s) instances))
+    !order
+
+let find instances name =
+  List.find_opt (fun i -> i.Instance.name = name) instances
+
+let safe_filename name =
+  String.map (fun c -> if c = '/' || c = '\\' then '_' else c) name
+
+let save ~dir instances =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let oc = open_out (Filename.concat dir "index.tsv") in
+  List.iter
+    (fun i ->
+      Printf.fprintf oc "%s\t%s\t%s\n" i.Instance.name
+        (Group.id i.Instance.group) i.Instance.source;
+      let f = open_out (Filename.concat dir (safe_filename i.Instance.name ^ ".hg")) in
+      output_string f (Hg.Hypergraph.to_string i.Instance.hg);
+      close_out f)
+    instances;
+  close_out oc
+
+let load ~dir =
+  let index = Filename.concat dir "index.tsv" in
+  if not (Sys.file_exists index) then
+    Error (Printf.sprintf "no index.tsv in %s" dir)
+  else begin
+    let ic = open_in index in
+    let rec lines acc =
+      match input_line ic with
+      | line -> lines (line :: acc)
+      | exception End_of_file ->
+          close_in ic;
+          List.rev acc
+    in
+    let rows = lines [] in
+    let rec build acc = function
+      | [] -> Ok (List.rev acc)
+      | line :: rest -> (
+          match String.split_on_char '\t' line with
+          | [ name; group_id; source ] -> (
+              match Group.of_id group_id with
+              | None -> Error (Printf.sprintf "unknown group %s" group_id)
+              | Some group -> (
+                  match
+                    Hg.Hypergraph.parse_file (Filename.concat dir (safe_filename name ^ ".hg"))
+                  with
+                  | Error m -> Error (Printf.sprintf "%s: %s" name m)
+                  | Ok hg ->
+                      build (Instance.make ~name ~group ~source hg :: acc) rest))
+          | _ -> Error (Printf.sprintf "bad index line: %s" line))
+    in
+    build [] rows
+  end

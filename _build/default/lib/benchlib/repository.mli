@@ -1,0 +1,35 @@
+(** The HyperBench-style benchmark repository.
+
+    {!build} assembles a deterministic, seeded collection mirroring the
+    paper's group and source structure (Table 1) at a configurable scale:
+    SPARQL/Wikidata-like cyclic CQs, chase-benchmark CQs (LUBM, iBench,
+    Doctors, Deep), TPC-H / TPC-DS / JOB SQL workloads run through the
+    full SQL pipeline, SQLShare-like ad-hoc queries, random CQs with the
+    paper's generator parameters, structured and random CSPs, and the
+    hard "CSP Other" instances (grids, circuits, Daimler-like
+    configurations).
+
+    The repository can be persisted as a directory of HyperBench-format
+    [.hg] files plus an index, which is what the [hyperbench] CLI serves —
+    our stand-in for the paper's web tool. *)
+
+val build : ?seed:int -> ?scale:float -> unit -> Instance.t list
+(** Deterministic in [seed] (default 2019). [scale] (default 1.0)
+    multiplies the per-source instance counts; 1.0 yields roughly 200
+    instances, large enough to reproduce every shape in the paper's
+    tables in minutes of CPU time. *)
+
+val by_group : Instance.t list -> (Group.t * Instance.t list) list
+(** Grouped in the canonical order; groups without instances included. *)
+
+val sources : Instance.t list -> (string * Instance.t list) list
+(** Grouped by source collection, in first-appearance order. *)
+
+val find : Instance.t list -> string -> Instance.t option
+
+val save : dir:string -> Instance.t list -> unit
+(** Write one [<name>.hg] file per instance plus an [index.tsv] with
+    name, group, source. Creates [dir] if needed.
+    @raise Sys_error on I/O failure. *)
+
+val load : dir:string -> (Instance.t list, string) result

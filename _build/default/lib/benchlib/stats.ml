@@ -1,0 +1,90 @@
+let property_histogram metric records =
+  let buckets = Array.make 7 0 in
+  List.iter
+    (fun r ->
+      match metric r with
+      | None -> ()
+      | Some v ->
+          let idx = if v > 5 then 6 else Stdlib.max 0 v in
+          buckets.(idx) <- buckets.(idx) + 1)
+    records;
+  buckets
+
+let size_buckets metric records =
+  let buckets = Array.make 6 0 in
+  List.iter
+    (fun r ->
+      let v = metric r in
+      let idx = if v > 50 then 5 else Stdlib.max 0 ((v - 1) / 10) in
+      buckets.(idx) <- buckets.(idx) + 1)
+    records;
+  buckets
+
+let arity_buckets records =
+  let buckets = Array.make 5 0 in
+  List.iter
+    (fun (r : Analysis.record) ->
+      let v = r.Analysis.profile.Hg.Properties.arity in
+      let idx = if v > 20 then 4 else Stdlib.max 0 ((v - 1) / 5) in
+      buckets.(idx) <- buckets.(idx) + 1)
+    records;
+  buckets
+
+let pearson xs ys =
+  let n = Array.length xs in
+  assert (n = Array.length ys);
+  if n < 2 then 0.0
+  else begin
+    let mean a = Array.fold_left ( +. ) 0.0 a /. float_of_int n in
+    let mx = mean xs and my = mean ys in
+    let num = ref 0.0 and dx = ref 0.0 and dy = ref 0.0 in
+    for i = 0 to n - 1 do
+      let a = xs.(i) -. mx and b = ys.(i) -. my in
+      num := !num +. (a *. b);
+      dx := !dx +. (a *. a);
+      dy := !dy +. (b *. b)
+    done;
+    if !dx <= 0.0 || !dy <= 0.0 then 0.0 else !num /. sqrt (!dx *. !dy)
+  end
+
+let metrics : (string * (Analysis.record -> float option)) list =
+  let p f (r : Analysis.record) = Some (float_of_int (f r.Analysis.profile)) in
+  [
+    ("vertices", p (fun pr -> pr.Hg.Properties.vertices));
+    ("edges", p (fun pr -> pr.Hg.Properties.edges));
+    ("arity", p (fun pr -> pr.Hg.Properties.arity));
+    ("degree", p (fun pr -> pr.Hg.Properties.degree));
+    ("bip", p (fun pr -> pr.Hg.Properties.bip));
+    ("3-BMIP", p (fun pr -> pr.Hg.Properties.bmip3));
+    ("4-BMIP", p (fun pr -> pr.Hg.Properties.bmip4));
+    ( "VC-dim",
+      fun r ->
+        Option.map float_of_int r.Analysis.profile.Hg.Properties.vc_dim );
+    ( "HW",
+      fun r -> Option.map float_of_int (Analysis.hw_bound r) );
+  ]
+
+let correlation_matrix records =
+  let names = Array.of_list (List.map fst metrics) in
+  let fs = Array.of_list (List.map snd metrics) in
+  let n = Array.length names in
+  let matrix = Array.make_matrix n n 1.0 in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      (* Use only records where both metrics are defined. *)
+      let pairs =
+        List.filter_map
+          (fun r ->
+            match (fs.(i) r, fs.(j) r) with
+            | Some a, Some b -> Some (a, b)
+            | _ -> None)
+          records
+      in
+      let xs = Array.of_list (List.map fst pairs) in
+      let ys = Array.of_list (List.map snd pairs) in
+      let c = pearson xs ys in
+      matrix.(i).(j) <- c;
+      matrix.(j).(i) <- c
+    done
+  done;
+  (names, matrix)

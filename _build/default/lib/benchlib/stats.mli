@@ -1,0 +1,23 @@
+(** Descriptive statistics over analysis records: the bucket histograms of
+    Table 2 and Figure 3 and the correlation matrix of Figure 5. *)
+
+val property_histogram :
+  (Analysis.record -> int option) -> Analysis.record list -> int array
+(** 7 buckets: value 0, 1, 2, 3, 4, 5, and > 5 (Table 2 rows). Records
+    where the metric is unavailable (timeout) are skipped. *)
+
+val size_buckets : (Analysis.record -> int) -> Analysis.record list -> int array
+(** 6 buckets: 1-10, 11-20, 21-30, 31-40, 41-50, > 50 (Figure 3,
+    vertices/edges panels). *)
+
+val arity_buckets : Analysis.record list -> int array
+(** 5 buckets: 1-5, 6-10, 11-15, 16-20, > 20 (Figure 3, arity panel). *)
+
+val pearson : float array -> float array -> float
+(** Pearson correlation coefficient; 0 when either side is constant. *)
+
+val correlation_matrix :
+  Analysis.record list -> string array * float array array
+(** Figure 5: pairwise correlations of vertices, edges, arity, degree,
+    bip, 3-bmip, 4-bmip, vc-dim and hw over the records where both
+    metrics are known. *)

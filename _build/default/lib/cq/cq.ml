@@ -1,0 +1,120 @@
+type atom = {
+  predicate : string;
+  terms : term list;
+}
+
+and term = Var of string | Const of string
+
+type rule = {
+  head : atom option;
+  body : atom list;
+}
+
+(* --- parsing ---------------------------------------------------------------- *)
+
+exception Fail of string
+
+let parse src =
+  let pos = ref 0 in
+  let len = String.length src in
+  let fail msg = raise (Fail (Printf.sprintf "CQ parse error at offset %d: %s" !pos msg)) in
+  let skip_ws () =
+    let again = ref true in
+    while !again do
+      again := false;
+      while
+        !pos < len
+        && (match src.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+      do
+        incr pos
+      done;
+      if !pos < len && src.[!pos] = '%' then begin
+        while !pos < len && src.[!pos] <> '\n' do incr pos done;
+        again := true
+      end
+    done
+  in
+  let is_ident c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+    || c = '_' || c = '\''
+  in
+  let token () =
+    skip_ws ();
+    let start = !pos in
+    while !pos < len && is_ident src.[!pos] do incr pos done;
+    if !pos = start then fail "expected identifier";
+    String.sub src start (!pos - start)
+  in
+  let expect c =
+    skip_ws ();
+    if !pos < len && src.[!pos] = c then incr pos
+    else fail (Printf.sprintf "expected '%c'" c)
+  in
+  let peek_char () =
+    skip_ws ();
+    if !pos < len then Some src.[!pos] else None
+  in
+  let term_of_token t =
+    let c = t.[0] in
+    if (c >= 'A' && c <= 'Z') || c = '_' then Var t else Const t
+  in
+  let atom () =
+    let predicate = token () in
+    expect '(';
+    let rec terms acc =
+      let t = term_of_token (token ()) in
+      match peek_char () with
+      | Some ',' ->
+          incr pos;
+          terms (t :: acc)
+      | Some ')' ->
+          incr pos;
+          List.rev (t :: acc)
+      | _ -> fail "expected ',' or ')'"
+    in
+    { predicate; terms = terms [] }
+  in
+  try
+    let first = atom () in
+    skip_ws ();
+    let head, first_body =
+      if !pos + 1 < len && src.[!pos] = ':' && src.[!pos + 1] = '-' then begin
+        pos := !pos + 2;
+        (Some first, [ atom () ])
+      end
+      else (None, [ first ])
+    in
+    let rec body acc =
+      match peek_char () with
+      | Some ',' ->
+          incr pos;
+          body (atom () :: acc)
+      | Some '.' ->
+          incr pos;
+          skip_ws ();
+          if !pos < len then fail "trailing input after '.'" else List.rev acc
+      | None -> List.rev acc
+      | Some c -> fail (Printf.sprintf "unexpected '%c'" c)
+    in
+    Ok { head; body = body (List.rev first_body) }
+  with Fail m -> Error m
+
+(* --- conversion -------------------------------------------------------------- *)
+
+let variables atom =
+  List.filter_map (function Var v -> Some v | Const _ -> None) atom.terms
+  |> List.sort_uniq compare
+
+let to_hypergraph rule =
+  let named =
+    List.mapi
+      (fun i a ->
+        (Printf.sprintf "%s.%d" a.predicate i, variables a))
+      rule.body
+    |> List.filter (fun (_, vs) -> vs <> [])
+  in
+  if named = [] then Error "CQ has no variables"
+  else Ok (Hg.Hypergraph.of_named_edges named)
+
+let read src =
+  match parse src with Error _ as e -> e | Ok rule -> to_hypergraph rule

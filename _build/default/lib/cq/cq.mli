@@ -1,0 +1,35 @@
+(** Conjunctive queries in rule (Datalog) notation.
+
+    The paper treats CQs and CSPs as {∃,∧} first-order formulae; this
+    front-end accepts the usual written form
+
+    {[ answer(X, Z) :- r(X, Y), s(Y, Z), t(Z, 'a', 3). ]}
+
+    and produces the query hypergraph H_ϕ of §3.1: one vertex per
+    variable, one edge per atom over the variables occurring in it.
+    Variables start with an uppercase letter or [_]; anything else
+    (lowercase identifiers, numbers, quoted strings) is a constant and —
+    like the constants of the SQL translation — does not appear in the
+    hypergraph. A headless form "r(X), s(X)." is also accepted. *)
+
+type atom = {
+  predicate : string;
+  terms : term list;
+}
+
+and term = Var of string | Const of string
+
+type rule = {
+  head : atom option;
+  body : atom list;
+}
+
+val parse : string -> (rule, string) result
+
+val to_hypergraph : rule -> (Hg.Hypergraph.t, string) result
+(** Fails when every atom is constant-only (no vertices). Atoms with no
+    variables are dropped; duplicate atom bodies are kept (they collapse
+    only under {!Hg.Hypergraph.dedup_edges}). *)
+
+val read : string -> (Hg.Hypergraph.t, string) result
+(** [parse] composed with [to_hypergraph]. *)

@@ -1,0 +1,166 @@
+module Bitset = Kit.Bitset
+module Hypergraph = Hg.Hypergraph
+
+let to_text h (d : Decomp.t) =
+  let buf = Buffer.create 256 in
+  let rec go depth (u : Decomp.node) =
+    Buffer.add_string buf (String.make (2 * depth) ' ');
+    let bag =
+      Bitset.to_list u.Decomp.bag
+      |> List.map (Hypergraph.vertex_name h)
+      |> String.concat ", "
+    in
+    let cover_elt (c : Decomp.cover_elt) =
+      match c.Decomp.source with
+      | Decomp.Original e -> Hypergraph.edge_name h e
+      | Decomp.Subedge e ->
+          Printf.sprintf "%s~{%s}" (Hypergraph.edge_name h e)
+            (Bitset.to_list c.Decomp.vertices
+            |> List.map (Hypergraph.vertex_name h)
+            |> String.concat ",")
+      | Decomp.Special -> "__special"
+    in
+    Buffer.add_string buf
+      (Printf.sprintf "{%s} [%s]\n" bag
+         (String.concat ", " (List.map cover_elt u.Decomp.cover)));
+    List.iter (go (depth + 1)) u.Decomp.children
+  in
+  go 0 d;
+  Buffer.contents buf
+
+(* --- parsing ------------------------------------------------------------- *)
+
+let split_names s =
+  String.split_on_char ',' s |> List.map String.trim |> List.filter (( <> ) "")
+
+let parse_line h line =
+  let line_body = String.trim line in
+  (* "{bag} [cover]" *)
+  match (String.index_opt line_body '}', String.index_opt line_body '[') with
+  | Some close_bag, Some open_cover when line_body.[0] = '{' ->
+      let bag_names = split_names (String.sub line_body 1 (close_bag - 1)) in
+      let close_cover = String.rindex line_body ']' in
+      let cover_str =
+        String.sub line_body (open_cover + 1) (close_cover - open_cover - 1)
+      in
+      let vertex name =
+        match
+          Array.to_seq h.Hypergraph.vertex_names
+          |> Seq.mapi (fun i n -> (i, n))
+          |> Seq.find (fun (_, n) -> n = name)
+        with
+        | Some (i, _) -> Ok i
+        | None -> Error (Printf.sprintf "unknown vertex %s" name)
+      in
+      let edge name =
+        match
+          Array.to_seq h.Hypergraph.edge_names
+          |> Seq.mapi (fun i n -> (i, n))
+          |> Seq.find (fun (_, n) -> n = name)
+        with
+        | Some (i, _) -> Ok i
+        | None -> Error (Printf.sprintf "unknown edge %s" name)
+      in
+      let ( let* ) r f = match r with Error _ as e -> e | Ok v -> f v in
+      let rec map_all f = function
+        | [] -> Ok []
+        | x :: rest ->
+            let* y = f x in
+            let* ys = map_all f rest in
+            Ok (y :: ys)
+      in
+      let* bag_ids = map_all vertex bag_names in
+      (* Cover elements are separated by ", " but subedge braces may
+         contain commas: split on top level only. *)
+      let cover_items =
+        let items = ref [] and buf = Buffer.create 16 and depth = ref 0 in
+        String.iter
+          (fun c ->
+            match c with
+            | '{' ->
+                incr depth;
+                Buffer.add_char buf c
+            | '}' ->
+                decr depth;
+                Buffer.add_char buf c
+            | ',' when !depth = 0 ->
+                items := Buffer.contents buf :: !items;
+                Buffer.clear buf
+            | c -> Buffer.add_char buf c)
+          cover_str;
+        if String.trim (Buffer.contents buf) <> "" then
+          items := Buffer.contents buf :: !items;
+        (* !items is in reverse insertion order; rev_map restores it. *)
+        List.rev_map String.trim !items |> List.filter (( <> ) "")
+      in
+      let parse_cover item =
+        match String.index_opt item '~' with
+        | None ->
+            let* e = edge item in
+            Ok
+              {
+                Decomp.label = item;
+                vertices = Hypergraph.edge h e;
+                source = Decomp.Original e;
+              }
+        | Some tilde ->
+            let parent = String.sub item 0 tilde in
+            let rest = String.sub item (tilde + 1) (String.length item - tilde - 1) in
+            let inner = String.sub rest 1 (String.length rest - 2) in
+            let* e = edge parent in
+            let* vs = map_all vertex (split_names inner) in
+            Ok
+              {
+                Decomp.label = item;
+                vertices = Bitset.of_list h.Hypergraph.n_vertices vs;
+                source = Decomp.Subedge e;
+              }
+      in
+      let* cover = map_all parse_cover cover_items in
+      Ok (Bitset.of_list h.Hypergraph.n_vertices bag_ids, cover)
+  | _ -> Error (Printf.sprintf "malformed node line: %s" line)
+
+let indent_of line =
+  let i = ref 0 in
+  while !i < String.length line && line.[!i] = ' ' do incr i done;
+  !i / 2
+
+let of_text h text =
+  let lines =
+    String.split_on_char '\n' text |> List.filter (fun l -> String.trim l <> "")
+  in
+  match lines with
+  | [] -> Error "empty decomposition"
+  | _ -> (
+      (* Parse into (depth, bag, cover) triples, then fold into a tree via
+         a stack of (depth, pending children) frames. *)
+      let rec parse_all acc = function
+        | [] -> Ok (List.rev acc)
+        | line :: rest -> (
+            match parse_line h line with
+            | Error _ as e -> e
+            | Ok (bag, cover) -> parse_all ((indent_of line, bag, cover) :: acc) rest)
+      in
+      match parse_all [] lines with
+      | Error m -> Error m
+      | Ok [] -> Error "empty decomposition"
+      | Ok ((d0, _, _) :: _) when d0 <> 0 -> Error "first node must be unindented"
+      | Ok triples ->
+          (* Build recursively: node at depth d owns following nodes of
+             depth > d until one of depth <= d appears. *)
+          let rec build depth = function
+            | (d, bag, cover) :: rest when d = depth ->
+                let children, rest' = build_children (depth + 1) rest in
+                (Some ({ Decomp.bag; cover; children } : Decomp.node), rest')
+            | rest -> (None, rest)
+          and build_children depth rest =
+            match build depth rest with
+            | Some node, rest' ->
+                let siblings, rest'' = build_children depth rest' in
+                (node :: siblings, rest'')
+            | None, rest' -> ([], rest')
+          in
+          (match build 0 triples with
+          | Some root, [] -> Ok root
+          | Some _, _ :: _ -> Error "multiple roots or bad indentation"
+          | None, _ -> Error "no root node"))

@@ -1,0 +1,21 @@
+(** Text serialisation of decompositions, for the CLI pipeline
+    (decompose on one machine, validate or evaluate elsewhere — the
+    workbench role the paper's web tool plays).
+
+    Format: one node per line, depth given by leading indentation (two
+    spaces per level), bag then cover:
+
+    {v
+    {x, y, z} [r, s]
+      {y, w} [t]
+    v}
+
+    Cover labels must name edges of the hypergraph the file is later
+    validated against; subedges are written as [name~{a,b}]. *)
+
+val to_text : Hg.Hypergraph.t -> Decomp.t -> string
+
+val of_text : Hg.Hypergraph.t -> string -> (Decomp.t, string) result
+(** Re-attaches vertex and edge names to ids of the given hypergraph;
+    unknown names are errors. The result is not implicitly validated —
+    run {!Decomp.check_ghd} / {!Decomp.check_hd} as needed. *)

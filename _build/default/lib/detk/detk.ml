@@ -1,0 +1,216 @@
+module Bitset = Kit.Bitset
+module Deadline = Kit.Deadline
+module Hypergraph = Hg.Hypergraph
+
+type candidate = {
+  label : string;
+  vertices : Bitset.t;
+  source : Decomp.source;
+}
+
+type outcome =
+  | Decomposition of Decomp.t
+  | No_decomposition
+  | Timeout
+
+let candidates_of_edges h =
+  List.init h.Hypergraph.n_edges (fun e ->
+      {
+        label = Hypergraph.edge_name h e;
+        vertices = Hypergraph.edge h e;
+        source = Decomp.Original e;
+      })
+
+let to_cover_elt c : Decomp.cover_elt =
+  { label = c.label; vertices = c.vertices; source = c.source }
+
+module Key = struct
+  type t = Bitset.t * Bitset.t
+
+  let equal (a1, b1) (a2, b2) = Bitset.equal a1 a2 && Bitset.equal b1 b2
+  let hash (a, b) = (Bitset.hash a * 31) + Bitset.hash b
+end
+
+module Cache = Hashtbl.Make (Key)
+
+(* The search for one subproblem (comp, conn):
+   - candidates are the cover sets intersecting V(comp) ∪ conn;
+   - a cover λ (1..k sets) must satisfy conn ⊆ B(λ);
+   - the bag is B(λ) ∩ (V(comp) ∪ conn), which enforces the special
+     condition of HDs;
+   - the bag must reach into the component and every child component must
+     be strictly smaller (guaranteed for normal-form HDs, cf. GLS02
+     Theorem 5.4), which bounds the recursion depth. *)
+let solve_gen ?(deadline = Deadline.none) ?(memoize = true) ?extra
+    ?(bag_filter = fun _ -> true) ~candidates h ~k =
+  if k < 1 then invalid_arg "Detk.solve_gen: k must be >= 1";
+  let nv = h.Hypergraph.n_vertices in
+  let failed : unit Cache.t = Cache.create 256 in
+  let base = Array.of_list candidates in
+  let rec decompose comp conn =
+    Deadline.check deadline;
+    let key = (comp, conn) in
+    if memoize && Cache.mem failed key then None
+    else begin
+      let result = attempt comp conn in
+      if result = None && memoize then Cache.replace failed key ();
+      result
+    end
+  and attempt comp conn =
+    let comp_vertices = Hypergraph.vertices_of_edges h comp in
+    let scope = Bitset.union comp_vertices conn in
+    let try_with cands =
+      let relevant =
+        Array.of_list
+          (List.filter (fun c -> Bitset.intersects c.vertices scope) cands)
+      in
+      (* Heuristic order: cover more of the connector first, then more of
+         the component. *)
+      let rank c =
+        (Bitset.inter_cardinal c.vertices conn * 10000)
+        + Bitset.inter_cardinal c.vertices comp_vertices
+      in
+      Array.sort (fun a b -> compare (rank b) (rank a)) relevant;
+      let n = Array.length relevant in
+      (* suffix.(i): union of candidate vertex sets from i on; used to prune
+         branches that can no longer cover the connector. *)
+      let suffix = Array.make (n + 1) (Bitset.empty nv) in
+      for i = n - 1 downto 0 do
+        suffix.(i) <- Bitset.union suffix.(i + 1) relevant.(i).vertices
+      done;
+      let evaluate lambda covered =
+        let bag = Bitset.inter covered scope in
+        if not (Bitset.intersects bag comp_vertices) then None
+        else if not (bag_filter bag) then None
+        else begin
+          let comps = Hg.Components.components h ~within:comp bag in
+          let total = Bitset.cardinal comp in
+          if List.exists (fun c -> Bitset.cardinal c >= total) comps then None
+          else
+            let rec build = function
+              | [] -> Some []
+              | c :: rest -> (
+                  let child_conn =
+                    Bitset.inter (Hypergraph.vertices_of_edges h c) bag
+                  in
+                  match decompose c child_conn with
+                  | None -> None
+                  | Some node -> (
+                      match build rest with
+                      | None -> None
+                      | Some nodes -> Some (node :: nodes)))
+            in
+            match build comps with
+            | None -> None
+            | Some children ->
+                Some
+                  {
+                    Decomp.bag;
+                    cover = List.map to_cover_elt (List.rev lambda);
+                    children;
+                  }
+        end
+      in
+      let rec search idx depth lambda covered =
+        Deadline.check deadline;
+        let uncovered = Bitset.diff conn covered in
+        (* Prune: remaining candidates can never finish covering conn. *)
+        if not (Bitset.subset uncovered suffix.(idx)) then None
+        else begin
+          let here =
+            if depth > 0 && Bitset.is_empty uncovered then
+              evaluate lambda covered
+            else None
+          in
+          match here with
+          | Some _ as r -> r
+          | None ->
+              if depth = k || idx >= n then None
+              else begin
+                let rec try_from i =
+                  if i >= n then None
+                  else begin
+                    let c = relevant.(i) in
+                    match
+                      search (i + 1) (depth + 1) (c :: lambda)
+                        (Bitset.union covered c.vertices)
+                    with
+                    | Some _ as r -> r
+                    | None -> try_from (i + 1)
+                  end
+                in
+                try_from idx
+              end
+        end
+      in
+      search 0 0 [] (Bitset.empty nv)
+    in
+    match try_with (Array.to_list base) with
+    | Some _ as r -> r
+    | None -> (
+        match extra with
+        | None -> None
+        | Some f -> (
+            match f ~comp ~conn with
+            | [] -> None
+            | extras -> try_with (Array.to_list base @ extras)))
+  in
+  let all = Hypergraph.all_edges h in
+  if Bitset.is_empty all then
+    Decomposition
+      { Decomp.bag = Bitset.empty nv; cover = []; children = [] }
+  else
+    match decompose all (Bitset.empty nv) with
+    | Some d -> Decomposition d
+    | None -> No_decomposition
+    | exception Deadline.Timed_out -> Timeout
+
+(* Width-1 HD from a GYO join tree: one node per edge, ears hang under
+   their witnesses, component roots chain under the first root. *)
+let decomposition_of_join_tree h (jt : Hg.Gyo.join_tree) =
+  let m = h.Hypergraph.n_edges in
+  let children = Array.make m [] in
+  Array.iteri
+    (fun e p -> if p >= 0 then children.(p) <- e :: children.(p))
+    jt.Hg.Gyo.parent;
+  let rec build e =
+    {
+      Decomp.bag = Hypergraph.edge h e;
+      cover =
+        [
+          {
+            Decomp.label = Hypergraph.edge_name h e;
+            vertices = Hypergraph.edge h e;
+            source = Decomp.Original e;
+          };
+        ];
+      children = List.map build children.(e);
+    }
+  in
+  match jt.Hg.Gyo.roots with
+  | [] -> { Decomp.bag = Bitset.empty h.Hypergraph.n_vertices; cover = []; children = [] }
+  | r :: rest ->
+      let root = build r in
+      { root with children = root.Decomp.children @ List.map build rest }
+
+let solve ?deadline ?memoize ?(gyo_fast_path = true) h ~k =
+  if k = 1 && gyo_fast_path then
+    (* Check(HD,1) is acyclicity: answer via GYO instead of search. *)
+    match Hg.Gyo.reduce h with
+    | Some jt -> Decomposition (decomposition_of_join_tree h jt)
+    | None -> No_decomposition
+  else solve_gen ?deadline ?memoize ~candidates:(candidates_of_edges h) h ~k
+
+let hypertree_width ?(deadline = Deadline.none) ?max_k h =
+  let max_k =
+    match max_k with Some m -> m | None -> Stdlib.max 1 h.Hypergraph.n_edges
+  in
+  let rec go k =
+    if k > max_k then (None, k)
+    else
+      match solve ~deadline h ~k with
+      | Decomposition d -> (Some (k, d), k)
+      | No_decomposition -> go (k + 1)
+      | Timeout -> (None, k)
+  in
+  go 1

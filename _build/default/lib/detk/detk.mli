@@ -1,0 +1,67 @@
+(** NewDetKDecomp: hypertree decompositions by backtracking search.
+
+    This is a re-implementation of the DetKDecomp algorithm of Gottlob and
+    Samer (paper §3.4): a top-down construction that, for the current
+    component [C] with connector vertices [conn], guesses an edge cover
+    [λ] of at most [k] cover sets, fixes the bag as
+    [B(λ) ∩ (V(C) ∪ conn)] — which enforces the special condition — and
+    recurses on the [bag]-components of [C]. Failed subproblems
+    [(C, conn)] are memoised.
+
+    The search is generalised over the available cover sets so that the
+    GHD algorithms of §4 can reuse it: plain HD search uses the original
+    edges as candidates; GlobalBIP adds the subedge set f(H,k) up front;
+    LocalBIP supplies extra candidates per subproblem via a callback. *)
+
+type candidate = {
+  label : string;
+  vertices : Kit.Bitset.t;
+  source : Decomp.source;
+}
+
+type outcome =
+  | Decomposition of Decomp.t
+  | No_decomposition
+  | Timeout
+
+val candidates_of_edges : Hg.Hypergraph.t -> candidate list
+(** One candidate per original edge. *)
+
+val solve_gen :
+  ?deadline:Kit.Deadline.t ->
+  ?memoize:bool ->
+  ?extra:(comp:Kit.Bitset.t -> conn:Kit.Bitset.t -> candidate list) ->
+  ?bag_filter:(Kit.Bitset.t -> bool) ->
+  candidates:candidate list ->
+  Hg.Hypergraph.t ->
+  k:int ->
+  outcome
+(** Generalised search. [extra] is consulted for a subproblem only after
+    every combination of base candidates has failed there (the LocalBIP
+    strategy, §4.3). [bag_filter] rejects candidate bags — the
+    FracImproveHD check of §6.5 passes [fun bag -> ρ*(bag) <= k'].
+    [memoize] (default true) caches failed subproblems. *)
+
+val solve :
+  ?deadline:Kit.Deadline.t ->
+  ?memoize:bool ->
+  ?gyo_fast_path:bool ->
+  Hg.Hypergraph.t ->
+  k:int ->
+  outcome
+(** Check(HD,k): a width-[<= k] HD, [No_decomposition], or [Timeout]. The
+    returned tree always passes {!Decomp.check_hd}. For [k = 1] the GYO
+    reduction decides acyclicity directly and materialises the join tree
+    as a width-1 HD; pass [~gyo_fast_path:false] to force the search
+    (ablation). *)
+
+val hypertree_width :
+  ?deadline:Kit.Deadline.t ->
+  ?max_k:int ->
+  Hg.Hypergraph.t ->
+  (int * Decomp.t) option * int
+(** [hypertree_width h] iterates [k = 1, 2, ...] until the first yes.
+    Returns [(Some (hw, hd), hw)] on success; on timeout at some [k],
+    returns [(None, k)] meaning [hw >= k] is still open but [hw > k - 1]
+    was established for all earlier levels. [max_k] defaults to the number
+    of edges. *)

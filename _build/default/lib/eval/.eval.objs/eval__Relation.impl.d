@@ -1,0 +1,1 @@
+lib/eval/relation.ml: Array Format Hashtbl List Option Set Stdlib String

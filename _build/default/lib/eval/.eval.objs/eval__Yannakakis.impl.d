@@ -1,0 +1,1 @@
+lib/eval/yannakakis.ml: Array Decomp Fun Hg Kit List Printf Relation

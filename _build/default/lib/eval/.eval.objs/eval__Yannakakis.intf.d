@@ -1,0 +1,1 @@
+lib/eval/yannakakis.mli: Decomp Hg Kit Relation

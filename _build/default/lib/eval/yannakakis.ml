@@ -1,0 +1,137 @@
+module Bitset = Kit.Bitset
+module Hypergraph = Hg.Hypergraph
+
+type db = (int * Relation.t) list
+
+let check_db h db =
+  let m = h.Hypergraph.n_edges in
+  let rec go e =
+    if e >= m then Ok ()
+    else
+      match List.assoc_opt e db with
+      | None ->
+          Error (Printf.sprintf "no relation for edge %s" (Hypergraph.edge_name h e))
+      | Some r ->
+          if Relation.columns r <> Bitset.to_list (Hypergraph.edge h e) then
+            Error
+              (Printf.sprintf "relation columns mismatch edge %s"
+                 (Hypergraph.edge_name h e))
+          else go (e + 1)
+  in
+  go 0
+
+let naive_join h db =
+  let m = h.Hypergraph.n_edges in
+  let acc = ref Relation.unit_relation in
+  for e = 0 to m - 1 do
+    acc := Relation.join !acc (List.assoc e db)
+  done;
+  !acc
+
+(* Materialise the bag relation of one decomposition node: join the cover
+   relations and project to the bag. A cover element that is a subedge
+   uses its parent's relation projected to the subedge first. *)
+let bag_relation db (u : Decomp.node) =
+  let cover_rel (elt : Decomp.cover_elt) =
+    match elt.Decomp.source with
+    | Decomp.Original e -> List.assoc e db
+    | Decomp.Subedge e ->
+        Relation.project (List.assoc e db) (Bitset.to_list elt.Decomp.vertices)
+    | Decomp.Special -> invalid_arg "Yannakakis: special edge in decomposition"
+  in
+  let joined =
+    List.fold_left
+      (fun acc elt -> Relation.join acc (cover_rel elt))
+      Relation.unit_relation u.Decomp.cover
+  in
+  Relation.project joined (Bitset.to_list u.Decomp.bag)
+
+(* A mutable mirror of the decomposition tree holding bag relations. *)
+type node = { mutable rel : Relation.t; children : node list }
+
+(* Upward pass: every parent is semijoin-reduced by its children. *)
+let rec reduce_up t =
+  List.iter reduce_up t.children;
+  List.iter (fun c -> t.rel <- Relation.semijoin t.rel c.rel) t.children
+
+(* Downward pass: every child is reduced by its (already reduced) parent. *)
+let rec reduce_down t =
+  List.iter
+    (fun c ->
+      c.rel <- Relation.semijoin c.rel t.rel;
+      reduce_down c)
+    t.children
+
+(* Which edges does the decomposition cover at which node? Every edge must
+   be joined in somewhere to enforce its own tuples, not just the bag
+   projections: an edge e is "charged" to the first node whose bag
+   contains it. *)
+type charged_tree =
+  | Charged of Decomp.node * int list * charged_tree list
+
+let charge_edges h (root : Decomp.node) =
+  let m = h.Hypergraph.n_edges in
+  let charged = Array.make m false in
+  let rec go (u : Decomp.node) =
+    let here =
+      List.filter_map
+        (fun e ->
+          if (not charged.(e)) && Bitset.subset (Hypergraph.edge h e) u.Decomp.bag
+          then begin
+            charged.(e) <- true;
+            Some e
+          end
+          else None)
+        (List.init m Fun.id)
+    in
+    Charged (u, here, List.map go u.Decomp.children)
+  in
+  let tree = go root in
+  if Array.for_all Fun.id charged then Some tree else None
+
+let evaluate h db (root : Decomp.node) =
+  (* Bag relations joined with the relations of the edges charged to each
+     node (so that every atom's tuples constrain the result). *)
+  let rec build (Charged (u, charged, children)) =
+    let base = bag_relation db u in
+    let rel =
+      List.fold_left (fun acc e -> Relation.join acc (List.assoc e db)) base charged
+    in
+    { rel; children = List.map build children }
+  in
+  match charge_edges h root with
+  | None -> invalid_arg "Yannakakis.evaluate: decomposition does not cover all edges"
+  | Some tree ->
+      let t = build tree in
+      reduce_up t;
+      reduce_down t;
+      (* Final upward join. *)
+      let rec join_up t =
+        List.fold_left (fun acc c -> Relation.join acc (join_up c)) t.rel t.children
+      in
+      join_up t
+
+let boolean h db root =
+  match charge_edges h root with
+  | None -> invalid_arg "Yannakakis.boolean: decomposition does not cover all edges"
+  | Some tree ->
+      let rec build (Charged (u, charged, children)) =
+        let base = bag_relation db u in
+        let rel =
+          List.fold_left (fun acc e -> Relation.join acc (List.assoc e db)) base charged
+        in
+        { rel; children = List.map build children }
+      in
+      let t = build tree in
+      reduce_up t;
+      not (Relation.is_empty t.rel)
+
+let random_db rng ?(rows = 30) ?(domain = 8) h =
+  List.init h.Hypergraph.n_edges (fun e ->
+      let cols = Bitset.to_list (Hypergraph.edge h e) in
+      let width = List.length cols in
+      let tuples =
+        List.init rows (fun _ ->
+            Array.init width (fun _ -> Kit.Rng.int rng domain))
+      in
+      (e, Relation.create ~columns:cols tuples))

@@ -1,0 +1,39 @@
+(** Decomposition-guided conjunctive query evaluation.
+
+    This implements the paper's final future-work item — "test the
+    practical feasibility of using decompositions to evaluate CQs" — with
+    the textbook machinery hypertree decompositions were designed for:
+
+    - a database assigns a relation to every edge of the query hypergraph
+      (columns = the edge's vertices);
+    - for an HD/GHD, every node's bag relation is the join of its cover
+      relations projected to the bag (at most [width] joins per node);
+    - Yannakakis' algorithm on the join tree — an upward and a downward
+      semijoin pass (full reduction) followed by an upward join — yields
+      the full answer with intermediate results bounded by the output (for
+      the reduction passes).
+
+    [naive_join] is the baseline the speed-ups are measured against. *)
+
+type db = (int * Relation.t) list
+(** One relation per edge id; columns must equal the edge's vertices. *)
+
+val check_db : Hg.Hypergraph.t -> db -> (unit, string) result
+(** Every edge has exactly one relation with the right columns. *)
+
+val naive_join : Hg.Hypergraph.t -> db -> Relation.t
+(** Left-deep join of all edge relations in id order. *)
+
+val evaluate : Hg.Hypergraph.t -> db -> Decomp.t -> Relation.t
+(** Full join result via the decomposition: bag materialisation, full
+    semijoin reduction, upward join. Agrees with {!naive_join} on every
+    valid decomposition of the query. *)
+
+val boolean : Hg.Hypergraph.t -> db -> Decomp.t -> bool
+(** Satisfiability only: stops after the upward semijoin pass (the
+    O(|db| log |db|) part), never materialising the answer. *)
+
+val random_db :
+  Kit.Rng.t -> ?rows:int -> ?domain:int -> Hg.Hypergraph.t -> db
+(** A random database: [rows] tuples per edge (default 30) over a [domain]
+    (default 8). With a small domain most joins are satisfiable. *)

@@ -1,0 +1,463 @@
+module Analysis = Benchlib.Analysis
+module Instance = Benchlib.Instance
+module Repository = Benchlib.Repository
+module Group = Benchlib.Group
+module Stats = Benchlib.Stats
+
+type context = {
+  instances : Instance.t list;
+  records : Analysis.record list;
+  ghd : Analysis.ghd_record list;
+  frac : Analysis.frac_record list;
+}
+
+let prepare ?(seed = 2019) ?(scale = 1.0) ?(budget_seconds = 1.0) ?(max_k = 8) () =
+  let budget () = Kit.Deadline.of_seconds budget_seconds in
+  let instances = Repository.build ~seed ~scale () in
+  let records = Analysis.analyze ~budget ~max_k instances in
+  let ghd = Analysis.ghd_comparison ~budget records in
+  let frac = Analysis.fractional ~budget records in
+  { instances; records; ghd; frac }
+
+let group_records ctx g =
+  List.filter (fun r -> r.Analysis.instance.Instance.group = g) ctx.records
+
+(* --- Table 1 ---------------------------------------------------------------- *)
+
+let is_cyclic (r : Analysis.record) =
+  (* hw >= 2: the k = 1 check answered "no" (or a higher exact hw is
+     known). *)
+  match r.Analysis.hw with
+  | Analysis.Exact k | Analysis.Upper k -> k >= 2
+  | Analysis.Open_above _ -> (
+      match r.Analysis.hw_runs with
+      | { k = 1; outcome = `No; _ } :: _ -> true
+      | _ -> false)
+
+let table1 ctx =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "Table 1: Overview of benchmark instances\n";
+  Buffer.add_string buf
+    (Printf.sprintf "%-18s %-16s %14s %10s\n" "Benchmark" "Group" "No. instances"
+       "hw >= 2");
+  let total = ref 0 and total_cyclic = ref 0 in
+  List.iter
+    (fun (source, insts) ->
+      let recs =
+        List.filter
+          (fun r -> r.Analysis.instance.Instance.source = source)
+          ctx.records
+      in
+      let cyclic = List.length (List.filter is_cyclic recs) in
+      total := !total + List.length insts;
+      total_cyclic := !total_cyclic + cyclic;
+      Buffer.add_string buf
+        (Printf.sprintf "%-18s %-16s %14d %10d\n" source
+           (Group.name (List.hd insts).Instance.group)
+           (List.length insts) cyclic))
+    (Repository.sources ctx.instances);
+  Buffer.add_string buf
+    (Printf.sprintf "%-18s %-16s %14d %10d\n" "Total" "" !total !total_cyclic);
+  Buffer.contents buf
+
+(* --- Table 2 ---------------------------------------------------------------- *)
+
+let table2 ctx =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "Table 2: Properties of all benchmark instances\n";
+  let metrics : (string * (Analysis.record -> int option)) list =
+    [
+      ("Deg", fun r -> Some r.Analysis.profile.Hg.Properties.degree);
+      ("BIP", fun r -> Some r.Analysis.profile.Hg.Properties.bip);
+      ("3-BMIP", fun r -> Some r.Analysis.profile.Hg.Properties.bmip3);
+      ("4-BMIP", fun r -> Some r.Analysis.profile.Hg.Properties.bmip4);
+      ("VC-dim", fun r -> r.Analysis.profile.Hg.Properties.vc_dim);
+    ]
+  in
+  List.iter
+    (fun g ->
+      let recs = group_records ctx g in
+      if recs <> [] then begin
+        Buffer.add_string buf (Printf.sprintf "\n%s (%d instances)\n" (Group.name g) (List.length recs));
+        Buffer.add_string buf
+          (Printf.sprintf "%-4s %8s %8s %8s %8s %8s\n" "i" "Deg" "BIP" "3-BMIP"
+             "4-BMIP" "VC-dim");
+        let hists =
+          List.map (fun (_, m) -> Stats.property_histogram m recs) metrics
+        in
+        let label = [| "0"; "1"; "2"; "3"; "4"; "5"; ">5" |] in
+        for i = 0 to 6 do
+          Buffer.add_string buf
+            (Printf.sprintf "%-4s %8d %8d %8d %8d %8d\n" label.(i)
+               (List.nth hists 0).(i) (List.nth hists 1).(i)
+               (List.nth hists 2).(i) (List.nth hists 3).(i)
+               (List.nth hists 4).(i))
+        done;
+        (* The edge-clique-cover condition discussed in section 2: how many
+           instances have more variables than constraints. *)
+        let n_gt_m =
+          List.length
+            (List.filter
+               (fun (r : Analysis.record) ->
+                 Hg.Properties.has_more_vertices_than_edges
+                   r.Analysis.instance.Instance.hg)
+               recs)
+        in
+        Buffer.add_string buf
+          (Printf.sprintf "n > m (edge-clique-cover applicable): %d of %d\n"
+             n_gt_m (List.length recs))
+      end)
+    Group.all;
+  Buffer.contents buf
+
+(* --- Figure 3 ---------------------------------------------------------------- *)
+
+let pct part total =
+  if total = 0 then 0.0 else 100.0 *. float_of_int part /. float_of_int total
+
+let figure3 ctx =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "Figure 3: Hypergraph sizes (% of group)\n";
+  let render title buckets_of labels =
+    Buffer.add_string buf (Printf.sprintf "\n%s\n%-16s" title "");
+    Array.iter (fun l -> Buffer.add_string buf (Printf.sprintf "%8s" l)) labels;
+    Buffer.add_char buf '\n';
+    List.iter
+      (fun g ->
+        let recs = group_records ctx g in
+        if recs <> [] then begin
+          let b = buckets_of recs in
+          let total = Array.fold_left ( + ) 0 b in
+          Buffer.add_string buf (Printf.sprintf "%-16s" (Group.name g));
+          Array.iter
+            (fun v -> Buffer.add_string buf (Printf.sprintf "%7.1f%%" (pct v total)))
+            b;
+          Buffer.add_char buf '\n'
+        end)
+      Group.all
+  in
+  let size_labels = [| "1-10"; "11-20"; "21-30"; "31-40"; "41-50"; ">50" |] in
+  render "Vertices"
+    (Stats.size_buckets (fun r -> r.Analysis.profile.Hg.Properties.vertices))
+    size_labels;
+  render "Edges"
+    (Stats.size_buckets (fun r -> r.Analysis.profile.Hg.Properties.edges))
+    size_labels;
+  render "Arity" Stats.arity_buckets [| "1-5"; "6-10"; "11-15"; "16-20"; ">20" |];
+  Buffer.contents buf
+
+(* --- Figure 4 ---------------------------------------------------------------- *)
+
+let figure4 ctx =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf
+    "Figure 4: HW analysis per group and k (avg runtimes in s)\n";
+  List.iter
+    (fun g ->
+      let recs = group_records ctx g in
+      if recs <> [] then begin
+        Buffer.add_string buf (Printf.sprintf "\n%s\n" (Group.name g));
+        Buffer.add_string buf
+          (Printf.sprintf "%-4s %12s %12s %9s\n" "k" "yes (avg s)" "no (avg s)"
+             "timeout");
+        let max_k =
+          List.fold_left
+            (fun m r ->
+              List.fold_left (fun m (run : Analysis.hw_run) -> Stdlib.max m run.k) m
+                r.Analysis.hw_runs)
+            1 recs
+        in
+        for k = 1 to max_k do
+          let outcomes =
+            List.filter_map
+              (fun r ->
+                List.find_opt (fun (run : Analysis.hw_run) -> run.k = k) r.Analysis.hw_runs)
+              recs
+          in
+          if outcomes <> [] then begin
+            let of_kind kind =
+              List.filter (fun (run : Analysis.hw_run) -> run.outcome = kind) outcomes
+            in
+            let avg runs =
+              match runs with
+              | [] -> 0.0
+              | _ ->
+                  List.fold_left (fun a (r : Analysis.hw_run) -> a +. r.seconds) 0.0 runs
+                  /. float_of_int (List.length runs)
+            in
+            let yes = of_kind `Yes and no = of_kind `No and to_ = of_kind `Timeout in
+            Buffer.add_string buf
+              (Printf.sprintf "%-4d %5d (%.2f) %5d (%.2f) %9d\n" k (List.length yes)
+                 (avg yes) (List.length no) (avg no) (List.length to_))
+          end
+        done
+      end)
+    Group.all;
+  Buffer.contents buf
+
+(* --- Figure 5 ---------------------------------------------------------------- *)
+
+let figure5 ctx =
+  let names, matrix = Stats.correlation_matrix ctx.records in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "Figure 5: Correlation analysis (Pearson)\n";
+  Buffer.add_string buf (Printf.sprintf "%-10s" "");
+  Array.iter (fun n -> Buffer.add_string buf (Printf.sprintf "%9s" n)) names;
+  Buffer.add_char buf '\n';
+  Array.iteri
+    (fun i n ->
+      Buffer.add_string buf (Printf.sprintf "%-10s" n);
+      Array.iter
+        (fun v -> Buffer.add_string buf (Printf.sprintf "%9.2f" v))
+        matrix.(i);
+      Buffer.add_char buf '\n')
+    names;
+  Buffer.contents buf
+
+(* --- Tables 3 and 4 ----------------------------------------------------------- *)
+
+let algorithms =
+  [ Ghd.Portfolio.Global_bip_alg; Ghd.Portfolio.Local_bip_alg;
+    Ghd.Portfolio.Bal_sep_alg ]
+
+let table3 ctx =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    "Table 3: GHW algorithms on Check(GHD, hw-1), avg runtimes in s\n";
+  Buffer.add_string buf (Printf.sprintf "%-9s %6s" "hw->ghw" "Total");
+  List.iter
+    (fun alg ->
+      Buffer.add_string buf
+        (Printf.sprintf " | %-22s" (Ghd.Portfolio.algorithm_name alg ^ " yes/no")))
+    algorithms;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun k ->
+      let rows = List.filter (fun g -> g.Analysis.from_k = k) ctx.ghd in
+      if rows <> [] then begin
+        Buffer.add_string buf
+          (Printf.sprintf "%d -> %-4d %6d" k (k - 1) (List.length rows));
+        List.iter
+          (fun alg ->
+            let runs =
+              List.filter_map
+                (fun g ->
+                  List.find_opt (fun (r : Analysis.ghd_run) -> r.algorithm = alg)
+                    g.Analysis.runs)
+                rows
+            in
+            let of_kind kind =
+              List.filter (fun (r : Analysis.ghd_run) -> r.outcome = kind) runs
+            in
+            let avg rs =
+              match rs with
+              | [] -> 0.0
+              | _ ->
+                  List.fold_left (fun a (r : Analysis.ghd_run) -> a +. r.seconds) 0.0 rs
+                  /. float_of_int (List.length rs)
+            in
+            let yes = of_kind `Yes and no = of_kind `No in
+            Buffer.add_string buf
+              (Printf.sprintf " | %4d (%5.2f) %4d (%5.2f)" (List.length yes)
+                 (avg yes) (List.length no) (avg no)))
+          algorithms;
+        Buffer.add_char buf '\n'
+      end)
+    [ 3; 4; 5; 6 ];
+  Buffer.contents buf
+
+let table4 ctx =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    "Table 4: GHW of instances, combined algorithms (avg runtime in s)\n";
+  Buffer.add_string buf
+    (Printf.sprintf "%-9s %12s %12s %9s\n" "hw->ghw" "yes (avg s)" "no (avg s)"
+       "timeout");
+  let improved = ref 0 and identical = ref 0 and open_ = ref 0 in
+  List.iter
+    (fun k ->
+      let rows = List.filter (fun g -> g.Analysis.from_k = k) ctx.ghd in
+      if rows <> [] then begin
+        let of_kind kind =
+          List.filter (fun g -> g.Analysis.combined = kind) rows
+        in
+        let avg rs =
+          match rs with
+          | [] -> 0.0
+          | _ ->
+              List.fold_left (fun a g -> a +. g.Analysis.combined_seconds) 0.0 rs
+              /. float_of_int (List.length rs)
+        in
+        let yes = of_kind `Yes and no = of_kind `No and to_ = of_kind `Timeout in
+        improved := !improved + List.length yes;
+        identical := !identical + List.length no;
+        open_ := !open_ + List.length to_;
+        Buffer.add_string buf
+          (Printf.sprintf "%d -> %-4d %5d (%.2f) %5d (%.2f) %9d\n" k (k - 1)
+             (List.length yes) (avg yes) (List.length no) (avg no)
+             (List.length to_))
+      end)
+    [ 3; 4; 5; 6 ];
+  let solved = !improved + !identical in
+  if solved > 0 then
+    Buffer.add_string buf
+      (Printf.sprintf
+         "Solved cases where hw = ghw: %d of %d (%.1f%%); width improved: %d\n"
+         !identical solved
+         (100.0 *. float_of_int !identical /. float_of_int solved)
+         !improved);
+  Buffer.contents buf
+
+(* --- Tables 5 and 6 ------------------------------------------------------------ *)
+
+let improvement_bucket hw width =
+  let c = float_of_int hw -. width in
+  if c >= 1.0 -. 1e-9 then `Ge1
+  else if c >= 0.5 -. 1e-9 then `Half
+  else if c >= 0.1 -. 1e-9 then `Tenth
+  else `No
+
+let frac_table title width_of ctx =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (title ^ "\n");
+  Buffer.add_string buf
+    (Printf.sprintf "%-4s %6s %9s %10s %6s %9s\n" "hw" ">=1" "[0.5,1)" "[0.1,0.5)"
+       "no" "timeout");
+  List.iter
+    (fun hw ->
+      let rows = List.filter (fun f -> f.Analysis.hw = hw) ctx.frac in
+      if rows <> [] then begin
+        let counts = Hashtbl.create 4 in
+        let bump key =
+          Hashtbl.replace counts key (1 + Option.value (Hashtbl.find_opt counts key) ~default:0)
+        in
+        List.iter
+          (fun f ->
+            match width_of f with
+            | None -> bump `Timeout
+            | Some w -> bump (improvement_bucket hw w))
+          rows;
+        let c key = Option.value (Hashtbl.find_opt counts key) ~default:0 in
+        Buffer.add_string buf
+          (Printf.sprintf "%-4d %6d %9d %10d %6d %9d\n" hw (c `Ge1) (c `Half)
+             (c `Tenth) (c `No) (c `Timeout))
+      end)
+    [ 2; 3; 4; 5; 6 ];
+  Buffer.contents buf
+
+let table5 ctx =
+  frac_table "Table 5: Instances solved with ImproveHD"
+    (fun f -> Some f.Analysis.improve_width)
+    ctx
+
+let table6 ctx =
+  frac_table "Table 6: Instances solved with FracImproveHD"
+    (fun f -> f.Analysis.frac_improve_width)
+    ctx
+
+(* --- ablations ------------------------------------------------------------------ *)
+
+let ablation ?(budget_seconds = 1.0) ctx =
+  let budget () = Kit.Deadline.of_seconds budget_seconds in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "Ablation: design choices\n";
+  (* DetKDecomp failure memoisation. *)
+  let cyclic =
+    List.filter_map
+      (fun r ->
+        match Analysis.hw_bound r with
+        | Some k when k >= 2 -> Some (r.Analysis.instance, k)
+        | _ -> None)
+      ctx.records
+  in
+  let sample = List.filteri (fun i _ -> i mod 5 = 0) cyclic in
+  let time_solve ~memoize (inst, k) =
+    let t0 = Unix.gettimeofday () in
+    ignore (Detk.solve ~deadline:(budget ()) ~memoize inst.Instance.hg ~k);
+    Unix.gettimeofday () -. t0
+  in
+  let total memoize =
+    List.fold_left (fun acc x -> acc +. time_solve ~memoize x) 0.0 sample
+  in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "DetKDecomp on %d cyclic instances: memoization on %.3fs / off %.3fs\n"
+       (List.length sample) (total true) (total false));
+  (* GYO fast path for Check(HD,1) vs plain search. *)
+  let acyclic_sample =
+    List.filteri (fun i _ -> i mod 3 = 0)
+      (List.filter
+         (fun r -> Analysis.hw_bound r = Some 1)
+         ctx.records)
+  in
+  let time_k1 gyo =
+    let t0 = Unix.gettimeofday () in
+    List.iter
+      (fun (r : Analysis.record) ->
+        ignore
+          (Detk.solve ~deadline:(budget ()) ~gyo_fast_path:gyo
+             r.Analysis.instance.Instance.hg ~k:1))
+      acyclic_sample;
+    Unix.gettimeofday () -. t0
+  in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "Check(HD,1) on %d acyclic instances: GYO %.4fs / search %.4fs\n"
+       (List.length acyclic_sample) (time_k1 true) (time_k1 false));
+  (* BalSep subedge fallback. *)
+  let verdict_counts use_subedges =
+    let yes = ref 0 and no = ref 0 and timeout = ref 0 in
+    List.iter
+      (fun (inst, k) ->
+        match
+          (Ghd.Bal_sep.solve ~deadline:(budget ()) ~use_subedges inst.Instance.hg
+             ~k:(Stdlib.max 1 (k - 1)))
+            .Ghd.Bal_sep.outcome
+        with
+        | Detk.Decomposition _ -> incr yes
+        | Detk.No_decomposition -> incr no
+        | Detk.Timeout -> incr timeout)
+      sample;
+    (!yes, !no, !timeout)
+  in
+  let y1, n1, t1 = verdict_counts true in
+  let y2, n2, t2 = verdict_counts false in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "BalSep at hw-1 with subedges: yes=%d no=%d timeout=%d; without: yes=%d no=%d timeout=%d\n"
+       y1 n1 t1 y2 n2 t2);
+  (* Width-preserving preprocessing (subsumed edges + twin vertices). *)
+  let reducible, shrink_e, shrink_v =
+    List.fold_left
+      (fun (n, de, dv) (r : Analysis.record) ->
+        let h = r.Analysis.instance.Instance.hg in
+        let red = Hg.Reduce.reduce h in
+        if Hg.Reduce.is_noop red then (n, de, dv)
+        else
+          ( n + 1,
+            de + h.Hg.Hypergraph.n_edges - red.Hg.Reduce.reduced.Hg.Hypergraph.n_edges,
+            dv + h.Hg.Hypergraph.n_vertices
+            - red.Hg.Reduce.reduced.Hg.Hypergraph.n_vertices ))
+      (0, 0, 0) ctx.records
+  in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "Reduction preprocessing: %d of %d instances shrink (total -%d edges, -%d vertices)\n"
+       reducible (List.length ctx.records) shrink_e shrink_v);
+  Buffer.contents buf
+
+let run_all ?seed ?scale ?budget_seconds () =
+  let ctx = prepare ?seed ?scale ?budget_seconds () in
+  String.concat "\n"
+    [
+      table1 ctx;
+      table2 ctx;
+      figure3 ctx;
+      figure4 ctx;
+      figure5 ctx;
+      table3 ctx;
+      table4 ctx;
+      table5 ctx;
+      table6 ctx;
+      ablation ?budget_seconds ctx;
+    ]

@@ -1,0 +1,61 @@
+(** Reproductions of every table and figure of the paper's evaluation
+    (§5.6 and §6). Each function renders one artefact in the paper's shape
+    from a shared analysis pass; [run_all] executes them in order.
+
+    Absolute counts differ from the paper (our repository is a seeded,
+    scaled rebuild of sources that are not redistributable; see DESIGN.md)
+    — the comparisons recorded in EXPERIMENTS.md are about shape: which
+    classes are cyclic, where hw sits, which algorithm wins where, and how
+    rarely ghw improves on hw. *)
+
+type context = {
+  instances : Benchlib.Instance.t list;
+  records : Benchlib.Analysis.record list;
+  ghd : Benchlib.Analysis.ghd_record list;
+  frac : Benchlib.Analysis.frac_record list;
+}
+
+val prepare :
+  ?seed:int ->
+  ?scale:float ->
+  ?budget_seconds:float ->
+  ?max_k:int ->
+  unit ->
+  context
+(** Build the repository and run the shared hw / ghw / fractional
+    analyses. [budget_seconds] (default 1.0) is the per-run timeout — the
+    scaled-down stand-in for the paper's 3600 s. *)
+
+val table1 : context -> string
+(** Benchmark overview: instances and cyclic counts per source. *)
+
+val table2 : context -> string
+(** Deg / BIP / 3-BMIP / 4-BMIP / VC-dim histograms per group. *)
+
+val figure3 : context -> string
+(** Size distributions (vertices, edges, arity buckets) per group. *)
+
+val figure4 : context -> string
+(** hw analysis per group and level k: yes/no/timeout with average
+    runtimes. *)
+
+val figure5 : context -> string
+(** Pairwise correlation matrix of the hypergraph metrics and hw. *)
+
+val table3 : context -> string
+(** GlobalBIP vs LocalBIP vs BalSep on Check(GHD, hw-1). *)
+
+val table4 : context -> string
+(** Combined (portfolio) ghw improvement results. *)
+
+val table5 : context -> string
+(** ImproveHD improvement buckets. *)
+
+val table6 : context -> string
+(** FracImproveHD improvement buckets. *)
+
+val ablation : ?budget_seconds:float -> context -> string
+(** Design-choice ablations: DetKDecomp failure memoisation on/off and
+    BalSep with/without the subedge fallback. *)
+
+val run_all : ?seed:int -> ?scale:float -> ?budget_seconds:float -> unit -> string

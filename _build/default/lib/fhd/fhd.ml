@@ -1,0 +1,163 @@
+module Bitset = Kit.Bitset
+module Rational = Kit.Rational
+module Hypergraph = Hg.Hypergraph
+
+module Frac_cover = struct
+  type t = { weight : float; gamma : (int * float) list }
+
+  let eps = 1e-7
+
+  let rho_star ?edges h x =
+    if Bitset.is_empty x then Some { weight = 0.0; gamma = [] }
+    else begin
+      let candidate_pool =
+        match edges with Some e -> e | None -> Hypergraph.all_edges h
+      in
+      (* Only edges meeting X can contribute. *)
+      let cands =
+        Bitset.to_list (Bitset.inter candidate_pool (Hypergraph.edges_touching h x))
+      in
+      let n = List.length cands in
+      if n = 0 then None
+      else begin
+        let cand_arr = Array.of_list cands in
+        let rows =
+          Bitset.fold
+            (fun v acc ->
+              let row =
+                Array.map
+                  (fun e -> if Bitset.mem v (Hypergraph.edge h e) then 1.0 else 0.0)
+                  cand_arr
+              in
+              (row, Lp.Ge, 1.0) :: acc)
+            x []
+        in
+        (* A vertex of X in no candidate edge yields an all-zero >=1 row,
+           which the solver correctly reports as infeasible. *)
+        match Lp.minimize (Array.make n 1.0) rows with
+        | Lp.Optimal { value; x = sol } ->
+            let gamma = ref [] in
+            Array.iteri
+              (fun i w -> if w > eps then gamma := (cand_arr.(i), w) :: !gamma)
+              sol;
+            Some { weight = value; gamma = List.rev !gamma }
+        | Lp.Infeasible -> None
+        | Lp.Unbounded -> assert false (* covering objective is >= 0 *)
+      end
+    end
+
+  let verify h x { weight; gamma } =
+    let total = List.fold_left (fun acc (_, w) -> acc +. w) 0.0 gamma in
+    Float.abs (total -. weight) <= 1e-5
+    && List.for_all (fun (_, w) -> w >= -.eps && w <= 1.0 +. eps) gamma
+    && Bitset.for_all
+         (fun v ->
+           let cover =
+             List.fold_left
+               (fun acc (e, w) ->
+                 if Bitset.mem v (Hypergraph.edge h e) then acc +. w else acc)
+               0.0 gamma
+           in
+           cover >= 1.0 -. 1e-5)
+         x
+
+  (* Exact value by rational reconstruction: rationalise every weight and
+     the total, then re-check all constraints in exact arithmetic. *)
+  let rho_star_exact ?edges ?(max_den = 1024) h x =
+    match rho_star ?edges h x with
+    | None -> None
+    | Some { weight; gamma } ->
+        let rat_gamma =
+          List.map (fun (e, w) -> (e, Rational.of_float_approx ~max_den w)) gamma
+        in
+        let total =
+          List.fold_left (fun acc (_, w) -> Rational.add acc w) Rational.zero rat_gamma
+        in
+        let covers_exactly =
+          Bitset.for_all
+            (fun v ->
+              let cover =
+                List.fold_left
+                  (fun acc (e, w) ->
+                    if Bitset.mem v (Hypergraph.edge h e) then Rational.add acc w
+                    else acc)
+                  Rational.zero rat_gamma
+              in
+              Rational.compare cover Rational.one >= 0)
+            x
+        in
+        if covers_exactly && Float.abs (Rational.to_float total -. weight) < 1e-4
+        then Some total
+        else None
+end
+
+module Improve_hd = struct
+  let fractional_cover_of_bag h bag =
+    match Frac_cover.rho_star h bag with
+    | Some c -> c.Frac_cover.gamma
+    | None ->
+        (* Bags produced by our HD algorithms are always coverable. *)
+        assert false
+
+  let rec improve h (u : Decomp.node) : Decomp.Fractional.fnode =
+    {
+      Decomp.Fractional.fbag = u.Decomp.bag;
+      fcover = fractional_cover_of_bag h u.Decomp.bag;
+      fchildren = List.map (improve h) u.Decomp.children;
+    }
+
+  let improved_width h d = Decomp.Fractional.width (improve h d)
+end
+
+module Frac_improve_hd = struct
+  type outcome =
+    | Improved of Decomp.Fractional.fhd * float
+    | No_improvement
+    | Timeout
+
+  let check ?deadline h ~k ~k' =
+    (* Memoise ρ* per bag: the same bags recur across branches. *)
+    let cache = Hashtbl.create 256 in
+    let rho bag =
+      let key = Bitset.to_list bag in
+      match Hashtbl.find_opt cache key with
+      | Some v -> v
+      | None ->
+          let v =
+            match Frac_cover.rho_star h bag with
+            | Some c -> c.Frac_cover.weight
+            | None -> infinity
+          in
+          Hashtbl.add cache key v;
+          v
+    in
+    let bag_filter bag = rho bag <= k' +. 1e-6 in
+    match
+      Detk.solve_gen ?deadline ~bag_filter
+        ~candidates:(Detk.candidates_of_edges h) h ~k
+    with
+    | Detk.Decomposition d ->
+        let fhd = Improve_hd.improve h d in
+        Improved (fhd, Decomp.Fractional.width fhd)
+    | Detk.No_decomposition -> No_improvement
+    | Detk.Timeout -> Timeout
+
+  let best ?deadline ?(step = 0.1) h ~k =
+    (* Start from any HD of width <= k, then tighten the threshold. *)
+    match Detk.solve ?deadline h ~k with
+    | Detk.No_decomposition | Detk.Timeout -> None
+    | Detk.Decomposition d ->
+        let initial = Improve_hd.improve h d in
+        let rec tighten best_fhd best_width =
+          let target = best_width -. step in
+          if target < 1.0 -. 1e-9 then Some (best_fhd, best_width)
+          else
+            match check ?deadline h ~k ~k':target with
+            | Improved (fhd, w) ->
+                (* The returned width can beat the target; keep tightening
+                   from the actually achieved width. *)
+                tighten fhd (Float.min w target)
+            | No_improvement | Timeout -> Some (best_fhd, best_width)
+        in
+        tighten initial (Decomp.Fractional.width initial)
+end

@@ -1,0 +1,1 @@
+lib/gen/random_cq.ml: Hashtbl Hg Kit List Stdlib

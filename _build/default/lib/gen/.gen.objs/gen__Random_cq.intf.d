@@ -1,0 +1,1 @@
+lib/gen/random_cq.mli: Hg Kit

@@ -1,0 +1,1 @@
+lib/gen/random_csp.ml: Hashtbl Hg Kit List Stdlib

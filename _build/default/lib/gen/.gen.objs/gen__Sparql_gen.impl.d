@@ -1,0 +1,1 @@
+lib/gen/sparql_gen.ml: Hg Kit List

@@ -1,0 +1,1 @@
+lib/gen/sparql_gen.mli: Hg Kit

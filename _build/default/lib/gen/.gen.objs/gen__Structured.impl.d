@@ -1,0 +1,1 @@
+lib/gen/structured.ml: Array Hashtbl Hg Kit List Stdlib

@@ -1,0 +1,1 @@
+lib/gen/structured.mli: Hg Kit

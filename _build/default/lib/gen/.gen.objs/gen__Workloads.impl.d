@@ -1,0 +1,1 @@
+lib/gen/workloads.ml: Array Hg Kit List Printf Random_cq Sql

@@ -1,0 +1,1 @@
+lib/gen/workloads.mli: Hg Kit Sql

@@ -1,0 +1,23 @@
+module Rng = Kit.Rng
+
+let random rng ~n_variables ~n_constraints ~max_arity =
+  if n_variables < 2 || n_constraints < 1 || max_arity < 2 then
+    invalid_arg "Random_csp.random";
+  let max_arity = Stdlib.min max_arity n_variables in
+  let scopes =
+    List.init n_constraints (fun _ ->
+        let a = 2 + Rng.int rng (max_arity - 1) in
+        Kit.Rng.sample rng n_variables a)
+  in
+  let used = List.sort_uniq compare (List.concat scopes) in
+  let renumber = Hashtbl.create 64 in
+  List.iteri (fun i v -> Hashtbl.replace renumber v i) used;
+  Hg.Hypergraph.of_int_edges (List.map (List.map (Hashtbl.find renumber)) scopes)
+  |> Hg.Hypergraph.dedup_edges
+
+let typical rng =
+  let n_variables = Rng.int_in rng 20 60 in
+  let n_constraints = Rng.int_in rng 25 90 in
+  let max_arity = Rng.int_in rng 2 5 in
+  random rng ~n_variables ~n_constraints
+    ~max_arity:(Stdlib.max 2 max_arity)

@@ -1,0 +1,13 @@
+(** Random CSP hypergraphs mirroring the paper's "CSP Random" group
+    (§5.5): heavy vertex reuse yields the high degrees observed in
+    Table 2 (nearly all random CSPs have degree > 5) while intersection
+    sizes stay small. *)
+
+val random :
+  Kit.Rng.t -> n_variables:int -> n_constraints:int -> max_arity:int -> Hg.Hypergraph.t
+(** Every constraint samples 2..max_arity distinct variables uniformly —
+    with far fewer variables than constraint slots, degrees grow large. *)
+
+val typical : Kit.Rng.t -> Hg.Hypergraph.t
+(** A draw with parameter ranges producing paper-like CSP Random
+    instances (20-60 variables, 25-90 constraints, arity 2-5). *)

@@ -1,0 +1,88 @@
+module Rng = Kit.Rng
+
+type shape = Cycle | Theta | Flower | Double_cycle | Clique
+
+(* Triple patterns are binary edges {subject, object}; with probability
+   ~15% a variable predicate turns one into a ternary edge. *)
+let maybe_ternary rng next_var edges =
+  List.map
+    (fun e ->
+      match e with
+      | [ _; _ ] when Rng.float rng < 0.15 ->
+          let p = !next_var in
+          incr next_var;
+          e @ [ p ]
+      | _ -> e)
+    edges
+
+let cycle_edges n = List.init n (fun i -> [ i; (i + 1) mod n ])
+
+let generate rng shape =
+  let edges, n_base =
+    match shape with
+    | Cycle ->
+        let n = Rng.int_in rng 3 8 in
+        (cycle_edges n, n)
+    | Theta ->
+        (* Two hub vertices joined by three internally-disjoint paths. *)
+        let path_len = Rng.int_in rng 1 3 in
+        let next = ref 2 in
+        let paths =
+          List.concat
+            (List.init 3 (fun _ ->
+                 let inner = List.init path_len (fun i -> !next + i) in
+                 next := !next + path_len;
+                 let nodes = (0 :: inner) @ [ 1 ] in
+                 let rec pairs = function
+                   | a :: (b :: _ as rest) -> [ a; b ] :: pairs rest
+                   | _ -> []
+                 in
+                 pairs nodes))
+        in
+        (paths, !next)
+    | Flower ->
+        (* A centre with acyclic petals plus one cyclic petal. *)
+        let petals = Rng.int_in rng 2 5 in
+        let next = ref 1 in
+        let star =
+          List.init petals (fun _ ->
+              let v = !next in
+              incr next;
+              [ 0; v ])
+        in
+        let c1 = !next and c2 = !next + 1 in
+        next := !next + 2;
+        (star @ [ [ 0; c1 ]; [ c1; c2 ]; [ c2; 0 ] ], !next)
+    | Clique ->
+        (* K5 as binary triple patterns: hw 3. *)
+        let n = 5 in
+        let edges = ref [] in
+        for i = 0 to n - 1 do
+          for j = i + 1 to n - 1 do
+            edges := [ i; j ] :: !edges
+          done
+        done;
+        (List.rev !edges, n)
+    | Double_cycle ->
+        (* Two cycles sharing one vertex: hw 2 but more complex. *)
+        let n1 = Rng.int_in rng 3 5 and n2 = Rng.int_in rng 3 5 in
+        let first = cycle_edges n1 in
+        let second =
+          List.init n2 (fun i ->
+              let a = if i = 0 then 0 else n1 + i - 1 in
+              let b = if i = n2 - 1 then 0 else n1 + i in
+              [ a; b ])
+        in
+        (first @ second, n1 + n2 - 1)
+  in
+  let next_var = ref n_base in
+  let edges = maybe_ternary rng next_var edges in
+  Hg.Hypergraph.of_int_edges edges
+
+let random_shape rng =
+  (* Cliques are rare in the logs; keep them rare here too. *)
+  let shapes =
+    [| Cycle; Theta; Flower; Double_cycle; Cycle; Theta; Flower;
+       Double_cycle; Cycle; Clique |]
+  in
+  generate rng (Rng.pick rng shapes)

@@ -1,0 +1,14 @@
+(** SPARQL-style CQ hypergraphs (arity <= 3) for the paper's SPARQL and
+    Wikidata groups (§5.6). Those corpora were filtered to hw >= 2, so the
+    shapes here are the cyclic ones observed there: cycles, theta-shapes,
+    flowers with cyclic petals and combinations; plus the occasional
+    ternary (variable-predicate) triple pattern. *)
+
+type shape = Cycle | Theta | Flower | Double_cycle | Clique
+(** [Clique]: a dense K5-like pattern — the rare hw = 3 queries the
+    SPARQL logs contain (8 out of 26M in the paper's corpus). *)
+
+val generate : Kit.Rng.t -> shape -> Hg.Hypergraph.t
+(** All generated instances are cyclic (hw >= 2). *)
+
+val random_shape : Kit.Rng.t -> Hg.Hypergraph.t

@@ -1,0 +1,128 @@
+module Rng = Kit.Rng
+
+let grid ~rows ~cols =
+  if rows < 2 || cols < 2 then invalid_arg "Structured.grid";
+  let v i j = (i * cols) + j in
+  let edges = ref [] in
+  for i = 0 to rows - 2 do
+    for j = 0 to cols - 2 do
+      edges := [ v i j; v i (j + 1); v (i + 1) j; v (i + 1) (j + 1) ] :: !edges
+    done
+  done;
+  Hg.Hypergraph.of_int_edges (List.rev !edges)
+
+let circuit rng ~n_gates ~n_inputs =
+  if n_gates < 1 || n_inputs < 2 then invalid_arg "Structured.circuit";
+  (* Signals 0..n_inputs-1 are primary inputs; each gate g adds signal
+     n_inputs+g driven by two earlier signals (preferring recent ones, as
+     in real netlists). *)
+  let edges = ref [] in
+  for g = 0 to n_gates - 1 do
+    let out = n_inputs + g in
+    let pick () =
+      if Rng.float rng < 0.7 && g > 0 then
+        n_inputs + Stdlib.max 0 (g - 1 - Rng.int rng (Stdlib.min g 8))
+      else Rng.int rng out
+    in
+    let i1 = pick () in
+    let i2 =
+      let rec retry n =
+        let x = pick () in
+        if x <> i1 || n > 5 then x else retry (n + 1)
+      in
+      retry 0
+    in
+    edges := List.sort_uniq compare [ out; i1; i2 ] :: !edges
+  done;
+  Hg.Hypergraph.of_int_edges (List.rev !edges) |> Hg.Hypergraph.dedup_edges |> Hg.Hypergraph.compact
+
+let configuration rng ~n_clusters ~cluster_size ~backbone =
+  if n_clusters < 1 || cluster_size < 1 || backbone < 1 then
+    invalid_arg "Structured.configuration";
+  (* Vertices: 0..backbone-1 are global options; each cluster has its own
+     private block plus 1-2 backbone vertices. *)
+  let edges = ref [] in
+  let next = ref backbone in
+  for _ = 1 to n_clusters do
+    let privates = List.init cluster_size (fun i -> !next + i) in
+    next := !next + cluster_size;
+    let b1 = Rng.int rng backbone in
+    let shared =
+      if backbone > 1 && Rng.bool rng then
+        let b2 = (b1 + 1 + Rng.int rng (backbone - 1)) mod backbone in
+        [ b1; b2 ]
+      else [ b1 ]
+    in
+    (* The cluster-wide constraint... *)
+    edges := (shared @ privates) :: !edges;
+    (* ... plus a few local sub-constraints. *)
+    if cluster_size >= 3 then begin
+      let p = Array.of_list privates in
+      edges := [ p.(0); p.(1); p.(2) ] :: !edges;
+      if cluster_size >= 4 then
+        edges := [ p.(cluster_size - 2); p.(cluster_size - 1); List.hd shared ] :: !edges
+    end
+  done;
+  Hg.Hypergraph.of_int_edges (List.rev !edges) |> Hg.Hypergraph.dedup_edges |> Hg.Hypergraph.compact
+
+let coloring rng ~n_vertices ~avg_degree =
+  if n_vertices < 2 then invalid_arg "Structured.coloring";
+  let target_edges =
+    Stdlib.max (n_vertices - 1)
+      (int_of_float (avg_degree *. float_of_int n_vertices /. 2.0))
+  in
+  let seen = Hashtbl.create 64 in
+  let edges = ref [] in
+  (* A random spanning path keeps the instance connected. *)
+  let order = Array.init n_vertices (fun i -> i) in
+  Rng.shuffle rng order;
+  for i = 0 to n_vertices - 2 do
+    let a = Stdlib.min order.(i) order.(i + 1)
+    and b = Stdlib.max order.(i) order.(i + 1) in
+    Hashtbl.replace seen (a, b) ();
+    edges := [ a; b ] :: !edges
+  done;
+  let attempts = ref 0 in
+  while List.length !edges < target_edges && !attempts < target_edges * 20 do
+    incr attempts;
+    let a = Rng.int rng n_vertices and b = Rng.int rng n_vertices in
+    if a <> b then begin
+      let key = (Stdlib.min a b, Stdlib.max a b) in
+      if not (Hashtbl.mem seen key) then begin
+        Hashtbl.replace seen key ();
+        edges := [ fst key; snd key ] :: !edges
+      end
+    end
+  done;
+  Hg.Hypergraph.of_int_edges !edges
+
+let scheduling rng ~jobs ~machines =
+  if jobs < 2 || machines < 2 then invalid_arg "Structured.scheduling";
+  let v j m = (j * machines) + m in
+  let edges = ref [] in
+  (* Row constraints: each job's slots. *)
+  for j = 0 to jobs - 1 do
+    edges := List.init machines (fun m -> v j m) :: !edges
+  done;
+  (* Column constraints: each machine's slots, in overlapping chunks to
+     keep arity moderate. *)
+  for m = 0 to machines - 1 do
+    let chunk = 3 in
+    let rec chunks start =
+      if start >= jobs - 1 then ()
+      else begin
+        let stop = Stdlib.min (jobs - 1) (start + chunk) in
+        edges := List.init (stop - start + 1) (fun i -> v (start + i) m) :: !edges;
+        chunks stop
+      end
+    in
+    chunks 0
+  done;
+  (* A few random precedence constraints. *)
+  let extra = Rng.int rng (jobs + machines) in
+  for _ = 1 to extra do
+    let j1 = Rng.int rng jobs and j2 = Rng.int rng jobs in
+    let m1 = Rng.int rng machines and m2 = Rng.int rng machines in
+    if v j1 m1 <> v j2 m2 then edges := [ v j1 m1; v j2 m2 ] :: !edges
+  done;
+  Hg.Hypergraph.of_int_edges (List.rev !edges) |> Hg.Hypergraph.dedup_edges |> Hg.Hypergraph.compact

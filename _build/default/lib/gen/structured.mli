@@ -1,0 +1,26 @@
+(** Structured instance families for the "CSP Application" and "CSP Other"
+    groups (§5.5): grids from pebbling problems, ISCAS-like circuits,
+    Daimler-Chrysler-like configuration instances, graph colouring, and
+    scheduling-style instances. These provide the hard-to-decompose and
+    the realistically-easy ends of the spectrum. *)
+
+val grid : rows:int -> cols:int -> Hg.Hypergraph.t
+(** Pebbling-style grid: one 4-vertex hyperedge per unit square. Width
+    grows with min(rows, cols): the paper's hard CSP Other instances. *)
+
+val circuit : Kit.Rng.t -> n_gates:int -> n_inputs:int -> Hg.Hypergraph.t
+(** ISCAS-like combinational circuit: each gate is an edge
+    {output, input1, input2} over earlier signals; low hypertree width,
+    degree grows with fanout. *)
+
+val configuration :
+  Kit.Rng.t -> n_clusters:int -> cluster_size:int -> backbone:int -> Hg.Hypergraph.t
+(** Daimler-like product configuration: wide constraint clusters sharing a
+    small global backbone of option variables — large arity, small BIP. *)
+
+val coloring : Kit.Rng.t -> n_vertices:int -> avg_degree:float -> Hg.Hypergraph.t
+(** Binary-constraint random graph (colouring style). *)
+
+val scheduling : Kit.Rng.t -> jobs:int -> machines:int -> Hg.Hypergraph.t
+(** Job/machine grid with row and column constraints (allDifferent rows,
+    capacity columns): moderately cyclic. *)

@@ -1,0 +1,1 @@
+lib/ghd/bal_sep.ml: Array Decomp Detk Global_bip Hashtbl Hg Kit List Printf Subedges

@@ -1,0 +1,1 @@
+lib/ghd/bal_sep.mli: Detk Hg Kit

@@ -1,0 +1,1 @@
+lib/ghd/global_bip.ml: Decomp Detk Hg Kit Subedges

@@ -1,0 +1,1 @@
+lib/ghd/global_bip.mli: Decomp Detk Hg Kit

@@ -1,0 +1,1 @@
+lib/ghd/local_bip.ml: Detk Global_bip Hashtbl Kit Subedges

@@ -1,0 +1,1 @@
+lib/ghd/local_bip.mli: Detk Hg Kit

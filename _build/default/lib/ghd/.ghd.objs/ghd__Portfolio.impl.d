@@ -1,0 +1,1 @@
+lib/ghd/portfolio.ml: Bal_sep Decomp Detk Global_bip Kit Local_bip

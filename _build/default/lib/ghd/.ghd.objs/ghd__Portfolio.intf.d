@@ -1,0 +1,1 @@
+lib/ghd/portfolio.mli: Decomp Hg Kit

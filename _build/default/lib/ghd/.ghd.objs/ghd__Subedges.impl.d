@@ -1,0 +1,1 @@
+lib/ghd/subedges.ml: Array Decomp Detk Hashtbl Hg Kit List Printf

@@ -1,0 +1,1 @@
+lib/ghd/subedges.mli: Detk Hg Kit

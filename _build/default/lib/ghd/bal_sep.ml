@@ -1,0 +1,293 @@
+module Bitset = Kit.Bitset
+module Deadline = Kit.Deadline
+module Hypergraph = Hg.Hypergraph
+
+type answer = {
+  outcome : Detk.outcome;
+  exact : bool;
+}
+
+(* Special edges carry a unique id so that BuildGHD can find "its" special
+   leaf in a child decomposition even when two special edges happen to have
+   the same vertex set. *)
+type special = { sid : int; verts : Bitset.t }
+
+let special_label s = Printf.sprintf "__special_%d" s.sid
+
+let special_cover_elt s : Decomp.cover_elt =
+  { label = special_label s; vertices = s.verts; source = Decomp.Special }
+
+let special_leaf s : Decomp.node =
+  { bag = s.verts; cover = [ special_cover_elt s ]; children = [] }
+
+(* Re-root an immutable decomposition tree at the first node satisfying
+   [pred]; the tree is undirected for this purpose. *)
+let reroot root ~pred =
+  let count = Decomp.size root in
+  let info = Array.make count (Bitset.empty 0, []) in
+  let adj = Array.make count [] in
+  let target = ref (-1) in
+  let counter = ref 0 in
+  let rec collect (u : Decomp.node) =
+    let id = !counter in
+    incr counter;
+    info.(id) <- (u.bag, u.cover);
+    if !target < 0 && pred u then target := id;
+    List.iter
+      (fun c ->
+        let cid = collect c in
+        adj.(id) <- cid :: adj.(id);
+        adj.(cid) <- id :: adj.(cid))
+      u.children;
+    id
+  in
+  ignore (collect root);
+  if !target < 0 then None
+  else begin
+    let visited = Array.make count false in
+    let rec build id : Decomp.node =
+      visited.(id) <- true;
+      let bag, cover = info.(id) in
+      let children =
+        List.filter (fun j -> not visited.(j)) adj.(id) |> List.map build
+      in
+      { bag; cover; children }
+    in
+    Some (build !target)
+  end
+
+(* Function BuildGHD: make the node (bag, cover) and graft each child
+   decomposition. The connecting special edge appears in each child either
+   as a dedicated leaf with λ = {s} — re-root there, drop the leaf and
+   attach its neighbours — or swallowed by some larger bag B ⊇ s, in which
+   case we re-root at that node and attach it whole (it shares all of s
+   with our bag, so connectedness is preserved). *)
+let build_ghd bag cover ~special_lab ~special_verts children : Decomp.node =
+  let is_special_leaf (u : Decomp.node) =
+    match u.cover with
+    | [ { Decomp.label = l; source = Decomp.Special; _ } ] -> l = special_lab
+    | _ -> false
+  in
+  let covers_special (u : Decomp.node) = Bitset.subset special_verts u.bag in
+  let grafted =
+    List.concat_map
+      (fun child ->
+        match reroot child ~pred:is_special_leaf with
+        | Some r -> r.Decomp.children
+        | None -> (
+            match reroot child ~pred:covers_special with
+            | Some r -> [ r ]
+            | None ->
+                (* Unreachable for decompositions produced by Decompose:
+                   the special edge is always covered somewhere. *)
+                assert false))
+      children
+  in
+  { bag; cover; children = grafted }
+
+let solve ?(deadline = Deadline.none) ?(memoize = true) ?(use_subedges = true)
+    ?expand_limit ?max_subedges h ~k =
+  if k < 1 then invalid_arg "Bal_sep.solve: k must be >= 1";
+  let nv = h.Hypergraph.n_vertices in
+  let edge_candidates = Array.of_list (Detk.candidates_of_edges h) in
+  (* The subedge pool is generated lazily, once, on first fallback. *)
+  let subedge_pool = ref None in
+  let exact = ref true in
+  let subedges () =
+    match !subedge_pool with
+    | Some p -> p
+    | None ->
+        let { Subedges.candidates; complete } =
+          Subedges.f_global ~deadline ?expand_limit ?max_subedges h ~k
+        in
+        if not complete then exact := false;
+        let arr = Array.of_list candidates in
+        subedge_pool := Some arr;
+        arr
+  in
+  let next_sid = ref 0 in
+  let fresh_special verts =
+    let s = { sid = !next_sid; verts } in
+    incr next_sid;
+    s
+  in
+  let failed : (int list list, unit) Hashtbl.t = Hashtbl.create 128 in
+  let memo_key h' sp =
+    let sets = Bitset.to_list h' :: List.map (fun s -> Bitset.to_list s.verts) sp in
+    List.sort compare sets
+  in
+  (* Try all separators of <= k candidates drawn from [pool]; [need_fresh]
+     demands at least one candidate with index >= fresh_from (used to avoid
+     re-trying pure full-edge combinations in the subedge phase). *)
+  let rec decompose h' sp : Decomp.node option =
+    Deadline.check deadline;
+    let key = memo_key h' sp in
+    if memoize && Hashtbl.mem failed key then None
+    else begin
+      let r = attempt h' sp in
+      if r = None && memoize then Hashtbl.replace failed key ();
+      r
+    end
+  and attempt h' sp =
+    let n_ord = Bitset.cardinal h' in
+    let total = n_ord + List.length sp in
+    if total = 0 then None
+    else if total = 1 then
+      Some
+        (match (Bitset.choose h', sp) with
+        | Some e, _ ->
+            {
+              Decomp.bag = Hypergraph.edge h e;
+              cover =
+                [
+                  {
+                    Decomp.label = Hypergraph.edge_name h e;
+                    vertices = Hypergraph.edge h e;
+                    source = Decomp.Original e;
+                  };
+                ];
+              children = [];
+            }
+        | None, s :: _ -> special_leaf s
+        | None, [] -> assert false)
+    else if total = 2 then begin
+      let elts =
+        List.map
+          (fun e ->
+            ( Hypergraph.edge h e,
+              {
+                Decomp.label = Hypergraph.edge_name h e;
+                vertices = Hypergraph.edge h e;
+                source = Decomp.Original e;
+              } ))
+          (Bitset.to_list h')
+        @ List.map (fun s -> (s.verts, special_cover_elt s)) sp
+      in
+      match elts with
+      | [ (b1, c1); (b2, c2) ] ->
+          Some
+            {
+              Decomp.bag = b1;
+              cover = [ c1 ];
+              children = [ { Decomp.bag = b2; cover = [ c2 ]; children = [] } ];
+            }
+      | _ -> assert false
+    end
+    else begin
+      let sp_arr = Array.of_list (List.map (fun s -> s.verts) sp) in
+      let sp_idx = Array.of_list sp in
+      let scope =
+        Array.fold_left Bitset.union (Hypergraph.vertices_of_edges h h') sp_arr
+      in
+      let try_separator lambda =
+        Deadline.check deadline;
+        (* Restrict the bag to the vertices of this extended subhypergraph:
+           separator edges may reach into sibling components, and those
+           foreign vertices must not enter bags here or connectedness of
+           the final assembly breaks. Covering and component computation
+           are unaffected. *)
+        let bag =
+          Bitset.inter scope
+            (List.fold_left
+               (fun acc (c : Detk.candidate) -> Bitset.union acc c.vertices)
+               (Bitset.empty nv) lambda)
+        in
+        if Bitset.is_empty bag then None
+        else
+        let comps =
+          Hg.Components.components_extended h ~within:h' ~special:sp_arr bag
+        in
+        let bound = total / 2 in
+        let balanced =
+          List.for_all
+            (fun (es, sps) -> Bitset.cardinal es + List.length sps <= bound)
+            comps
+        in
+        if not balanced then None
+        else begin
+          let s = fresh_special bag in
+          let rec solve_children = function
+            | [] -> Some []
+            | (es, sps) :: rest -> (
+                let child_sp = s :: List.map (fun i -> sp_idx.(i)) sps in
+                match decompose es child_sp with
+                | None -> None
+                | Some d -> (
+                    match solve_children rest with
+                    | None -> None
+                    | Some ds -> Some (d :: ds)))
+          in
+          match solve_children comps with
+          | None -> None
+          | Some children ->
+              let cover =
+                List.map
+                  (fun (c : Detk.candidate) ->
+                    {
+                      Decomp.label = c.label;
+                      vertices = c.vertices;
+                      source = c.source;
+                    })
+                  lambda
+              in
+              Some
+                (build_ghd bag cover ~special_lab:(special_label s)
+                   ~special_verts:s.verts children)
+        end
+      in
+      (* Enumerate combinations out of [pool]; in the subedge phase at
+         least one element must come from the subedge suffix. *)
+      let enumerate pool fresh_from =
+        let n = Array.length pool in
+        let rec go idx depth lambda has_fresh =
+          if depth > 0 && (has_fresh || fresh_from = 0) then
+            match try_separator (List.rev lambda) with
+            | Some _ as r -> r
+            | None -> extend idx depth lambda has_fresh
+          else extend idx depth lambda has_fresh
+        and extend idx depth lambda has_fresh =
+          if depth = k then None
+          else begin
+            let rec from i =
+              if i >= n then None
+              else if
+                (* Only candidates meeting the current scope help. *)
+                not (Bitset.intersects pool.(i).Detk.vertices scope)
+              then from (i + 1)
+              else
+                match
+                  go (i + 1) (depth + 1) (pool.(i) :: lambda)
+                    (has_fresh || i >= fresh_from)
+                with
+                | Some _ as r -> r
+                | None -> from (i + 1)
+            in
+            from idx
+          end
+        in
+        go 0 0 [] false
+      in
+      match enumerate edge_candidates 0 with
+      | Some _ as r -> r
+      | None ->
+          if not use_subedges then None
+          else begin
+            let subs = subedges () in
+            if Array.length subs = 0 then None
+            else
+              enumerate
+                (Array.append edge_candidates subs)
+                (Array.length edge_candidates)
+          end
+    end
+  in
+  let all = Hypergraph.all_edges h in
+  if Bitset.is_empty all then
+    { outcome = Detk.Decomposition { bag = Bitset.empty nv; cover = []; children = [] };
+      exact = true }
+  else
+    match decompose all [] with
+    | Some d ->
+        { outcome = Detk.Decomposition (Global_bip.fix_covers h d); exact = true }
+    | None -> { outcome = Detk.No_decomposition; exact = !exact }
+    | exception Deadline.Timed_out -> { outcome = Detk.Timeout; exact = false }

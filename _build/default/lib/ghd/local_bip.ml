@@ -1,0 +1,31 @@
+module Bitset = Kit.Bitset
+
+type answer = {
+  outcome : Detk.outcome;
+  exact : bool;
+}
+
+let solve ?deadline ?expand_limit ?max_subedges h ~k =
+  let all_complete = ref true in
+  (* The local subedge set depends only on the component, so cache it. *)
+  let cache : (int list, Detk.candidate list) Hashtbl.t = Hashtbl.create 32 in
+  let extra ~comp ~conn:_ =
+    let key = Bitset.to_list comp in
+    match Hashtbl.find_opt cache key with
+    | Some cs -> cs
+    | None ->
+        let { Subedges.candidates; complete } =
+          Subedges.f_local ?deadline ?expand_limit ?max_subedges h ~k ~comp
+        in
+        if not complete then all_complete := false;
+        Hashtbl.replace cache key candidates;
+        candidates
+  in
+  match
+    Detk.solve_gen ?deadline ~extra ~candidates:(Detk.candidates_of_edges h) h ~k
+  with
+  | Detk.Decomposition d ->
+      { outcome = Detk.Decomposition (Global_bip.fix_covers h d); exact = true }
+  | Detk.No_decomposition ->
+      { outcome = Detk.No_decomposition; exact = !all_complete }
+  | Detk.Timeout -> { outcome = Detk.Timeout; exact = false }

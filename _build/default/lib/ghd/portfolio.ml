@@ -1,0 +1,44 @@
+type algorithm = Bal_sep_alg | Local_bip_alg | Global_bip_alg
+
+let algorithm_name = function
+  | Bal_sep_alg -> "BalSep"
+  | Local_bip_alg -> "LocalBIP"
+  | Global_bip_alg -> "GlobalBIP"
+
+type verdict =
+  | Yes of Decomp.t * algorithm
+  | No of algorithm
+  | All_timeout
+
+let default_budget () = Kit.Deadline.none
+
+let check ?(budget = default_budget) h ~k =
+  let run alg =
+    let { Bal_sep.outcome; exact } =
+      match alg with
+      | Bal_sep_alg -> Bal_sep.solve ~deadline:(budget ()) h ~k
+      | Local_bip_alg ->
+          let { Local_bip.outcome; exact } = Local_bip.solve ~deadline:(budget ()) h ~k in
+          { Bal_sep.outcome; exact }
+      | Global_bip_alg ->
+          let { Global_bip.outcome; exact } = Global_bip.solve ~deadline:(budget ()) h ~k in
+          { Bal_sep.outcome; exact }
+    in
+    match outcome with
+    | Detk.Decomposition d -> Some (Yes (d, alg))
+    | Detk.No_decomposition when exact -> Some (No alg)
+    | Detk.No_decomposition | Detk.Timeout -> None
+  in
+  let rec first = function
+    | [] -> All_timeout
+    | alg :: rest -> ( match run alg with Some v -> v | None -> first rest)
+  in
+  first [ Bal_sep_alg; Local_bip_alg; Global_bip_alg ]
+
+let ghw_improvement ?budget h ~hw =
+  if hw <= 2 then `Not_improvable (* hw <= 2 implies ghw = hw, §6.4 *)
+  else
+    match check ?budget h ~k:(hw - 1) with
+    | Yes (d, _) -> `Improved (hw - 1, d)
+    | No _ -> `Not_improvable
+    | All_timeout -> `Unknown

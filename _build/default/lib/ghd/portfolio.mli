@@ -1,0 +1,32 @@
+(** Combined ghw computation (paper §6.4, Table 4): the paper runs
+    GlobalBIP, LocalBIP and BalSep in parallel and takes the first
+    answer. We emulate this sequentially with a per-algorithm budget —
+    BalSep first (best on "no" instances), then LocalBIP, then GlobalBIP —
+    reporting which algorithm decided. *)
+
+type algorithm = Bal_sep_alg | Local_bip_alg | Global_bip_alg
+
+val algorithm_name : algorithm -> string
+
+type verdict =
+  | Yes of Decomp.t * algorithm
+  | No of algorithm
+  | All_timeout
+
+val check :
+  ?budget:(unit -> Kit.Deadline.t) ->
+  Hg.Hypergraph.t ->
+  k:int ->
+  verdict
+(** Check(GHD,k) with the portfolio. [budget] produces a fresh deadline per
+    algorithm (default: none). Inexact "no" answers (truncated subedge
+    sets) are treated as timeouts so that [No] is always trustworthy. *)
+
+val ghw_improvement :
+  ?budget:(unit -> Kit.Deadline.t) ->
+  Hg.Hypergraph.t ->
+  hw:int ->
+  [ `Improved of int * Decomp.t | `Not_improvable | `Unknown ]
+(** The experiment of Table 4: given hw(H) = [hw], try to show
+    ghw <= hw - 1. [`Improved (hw-1, ghd)] on success, [`Not_improvable]
+    when ghw = hw is proven, [`Unknown] on timeout. *)

@@ -1,0 +1,121 @@
+module Bitset = Kit.Bitset
+module Deadline = Kit.Deadline
+module Hypergraph = Hg.Hypergraph
+
+type result = {
+  candidates : Detk.candidate list;
+  complete : bool;
+}
+
+(* All non-empty proper subsets of a small vertex set, via index masks. *)
+let proper_subsets verts =
+  let arr = Array.of_list (Bitset.to_list verts) in
+  let n = Array.length arr in
+  let universe = Bitset.universe verts in
+  let out = ref [] in
+  for mask = 1 to (1 lsl n) - 2 do
+    let s = ref (Bitset.empty universe) in
+    for i = 0 to n - 1 do
+      if mask land (1 lsl i) <> 0 then s := Bitset.add arr.(i) !s
+    done;
+    out := !s :: !out
+  done;
+  !out
+
+let generate ?(deadline = Deadline.none) ?(expand_limit = 10)
+    ?(max_subedges = 20_000) ?(c = 2) h ~k ~partners =
+  if c < 2 then invalid_arg "Subedges: c must be >= 2";
+  let truncated = ref false in
+  let seen : (int list, unit) Hashtbl.t = Hashtbl.create 256 in
+  (* Never emit a set equal to an original edge. *)
+  Array.iter (fun e -> Hashtbl.replace seen (Bitset.to_list e) ()) h.Hypergraph.edges;
+  let out = ref [] in
+  let count = ref 0 in
+  let emit parent s =
+    if not (Bitset.is_empty s) then begin
+      let key = Bitset.to_list s in
+      if not (Hashtbl.mem seen key) then begin
+        if !count >= max_subedges then truncated := true
+        else begin
+          Hashtbl.replace seen key ();
+          incr count;
+          out :=
+            {
+              Detk.label =
+                Printf.sprintf "%s~%d" (Hypergraph.edge_name h parent) !count;
+              vertices = s;
+              source = Decomp.Subedge parent;
+            }
+            :: !out
+        end
+      end
+    end
+  in
+  let partner_list = Bitset.to_list partners in
+  for e = 0 to h.Hypergraph.n_edges - 1 do
+    let edge_e = Hypergraph.edge h e in
+    (* Distinct non-empty intersections of e with up to c-1 partner edges
+       (c = 2 is the BIP case of pairwise intersections; larger c is the
+       BMIP generalisation where multi-intersections stay small even when
+       pairwise ones are big). *)
+    let partner_arr = Array.of_list (List.filter (( <> ) e) partner_list) in
+    let inter_set = Hashtbl.create 32 in
+    let rec multi depth first acc =
+      Deadline.check deadline;
+      if not (Bitset.is_empty acc) then
+        Hashtbl.replace inter_set (Bitset.to_list acc) acc;
+      if depth < c - 1 && not (Bitset.is_empty acc) then
+        for j = first to Array.length partner_arr - 1 do
+          multi (depth + 1) (j + 1)
+            (Bitset.inter acc (Hypergraph.edge h partner_arr.(j)))
+        done
+    in
+    for j = 0 to Array.length partner_arr - 1 do
+      multi 1 (j + 1) (Bitset.inter edge_e (Hypergraph.edge h partner_arr.(j)))
+    done;
+    let inters =
+      Hashtbl.fold (fun _ v acc -> v :: acc) inter_set []
+      |> List.sort_uniq Bitset.compare
+    in
+    let inters = Array.of_list inters in
+    (* Unions of up to k intersections, deduplicated along the way. *)
+    let union_seen = Hashtbl.create 64 in
+    let expand u =
+      emit e u;
+      if Bitset.cardinal u <= expand_limit then
+        List.iter (emit e) (proper_subsets u)
+      else begin
+        truncated := true;
+        (* Still provide the singletons as a cheap approximation. *)
+        Bitset.iter
+          (fun v -> emit e (Bitset.singleton (Bitset.universe u) v))
+          u
+      end
+    in
+    let rec unions depth first u =
+      Deadline.check deadline;
+      if !count < max_subedges then begin
+        let key = Bitset.to_list u in
+        if not (Hashtbl.mem union_seen key) then begin
+          Hashtbl.replace union_seen key ();
+          expand u;
+          if depth < k then
+            for j = first to Array.length inters - 1 do
+              unions (depth + 1) (j + 1) (Bitset.union u inters.(j))
+            done
+        end
+      end
+      else truncated := true
+    in
+    for j = 0 to Array.length inters - 1 do
+      unions 1 (j + 1) inters.(j)
+    done
+  done;
+  { candidates = List.rev !out; complete = not !truncated }
+
+let f_global ?deadline ?expand_limit ?max_subedges ?c h ~k =
+  generate ?deadline ?expand_limit ?max_subedges ?c h ~k
+    ~partners:(Hypergraph.all_edges h)
+
+let f_local ?deadline ?expand_limit ?max_subedges ?c h ~k ~comp =
+  generate ?deadline ?expand_limit ?max_subedges ?c h ~k ~partners:comp

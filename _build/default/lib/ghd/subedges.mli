@@ -1,0 +1,48 @@
+(** The subedge sets f(H,k) and f_u(H,k) of paper §4 (Equations 1 and 2).
+
+    For every edge [e], f(H,k) contains all subsets of intersections of [e]
+    with unions of up to [k] other edges. For hypergraphs with intersection
+    size [d] these sets have polynomial size; we additionally guard against
+    blow-up with two caps:
+
+    - [expand_limit] (default 10): full powerset expansion of an
+      intersection union happens only when the union has at most this many
+      vertices; larger unions contribute themselves and their singleton
+      subsets only.
+    - [max_subedges] (default 20_000): hard cap on the number of generated
+      subedges.
+
+    When either cap truncates, the [complete] flag of the result is false:
+    a subsequent "no" answer of a GHD algorithm is then only an
+    approximation (the paper's implementations share this caveat for large
+    inputs). *)
+
+type result = {
+  candidates : Detk.candidate list;
+  complete : bool;
+}
+
+val f_global :
+  ?deadline:Kit.Deadline.t ->
+  ?expand_limit:int ->
+  ?max_subedges:int ->
+  ?c:int ->
+  Hg.Hypergraph.t ->
+  k:int ->
+  result
+(** Equation 1: subedges from intersections with unions of up to [k] edges
+    anywhere in H. [c] (default 2) selects the multi-intersection variant:
+    base intersections use up to [c - 1] partner edges each — the BMIP
+    algorithm the paper lists as future work. *)
+
+val f_local :
+  ?deadline:Kit.Deadline.t ->
+  ?expand_limit:int ->
+  ?max_subedges:int ->
+  ?c:int ->
+  Hg.Hypergraph.t ->
+  k:int ->
+  comp:Kit.Bitset.t ->
+  result
+(** Equation 2: like {!f_global} but the union partners e1..ej range only
+    over the edges of the current component [comp]. *)

@@ -1,0 +1,1 @@
+lib/hypergraph/components.ml: Array Hypergraph Kit List

@@ -1,0 +1,1 @@
+lib/hypergraph/components.mli: Hypergraph Kit

@@ -1,0 +1,1 @@
+lib/hypergraph/primal.ml: Array Fun Hypergraph Kit List Stdlib

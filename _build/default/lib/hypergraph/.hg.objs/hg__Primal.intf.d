@@ -1,0 +1,1 @@
+lib/hypergraph/primal.mli: Hypergraph Kit

@@ -1,0 +1,1 @@
+lib/hypergraph/properties.ml: Array Format Hashtbl Hypergraph Kit List Stdlib

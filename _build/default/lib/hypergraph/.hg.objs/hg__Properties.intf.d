@@ -1,0 +1,1 @@
+lib/hypergraph/properties.mli: Format Hypergraph Kit

@@ -1,0 +1,1 @@
+lib/hypergraph/reduce.ml: Array Fun Hashtbl Hypergraph Kit List

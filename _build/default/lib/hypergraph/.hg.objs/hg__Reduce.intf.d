@@ -1,0 +1,1 @@
+lib/hypergraph/reduce.mli: Hypergraph

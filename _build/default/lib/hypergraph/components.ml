@@ -1,0 +1,89 @@
+module Bitset = Kit.Bitset
+
+(* Components are grown by BFS over the "region" of vertices outside [u]
+   reached so far: any candidate edge intersecting the region joins the
+   component and extends the region with its own vertices outside [u]. *)
+
+let components_extended h ~within ~special u =
+  let n_special = Array.length special in
+  let outside e = Bitset.diff e u in
+  (* Candidates: ordinary edges not fully inside u. *)
+  let remaining = ref (Bitset.filter (fun e -> not (Bitset.is_empty (outside h.Hypergraph.edges.(e)))) within) in
+  let special_left = Array.map (fun s -> not (Bitset.subset s u)) special in
+  let result = ref [] in
+  let next_seed () =
+    match Bitset.choose !remaining with
+    | Some e -> Some (`Edge e)
+    | None ->
+        let rec find i =
+          if i >= n_special then None
+          else if special_left.(i) then Some (`Special i)
+          else find (i + 1)
+        in
+        find 0
+  in
+  let rec grow comp specials region =
+    (* Ordinary edges touching the region. *)
+    let touch = Bitset.inter (Hypergraph.edges_touching h region) !remaining in
+    (* Special edges touching the region. *)
+    let new_specials = ref [] in
+    for i = 0 to n_special - 1 do
+      if special_left.(i) && Bitset.intersects (outside special.(i)) region then begin
+        special_left.(i) <- false;
+        new_specials := i :: !new_specials
+      end
+    done;
+    if Bitset.is_empty touch && !new_specials = [] then (comp, specials)
+    else begin
+      remaining := Bitset.diff !remaining touch;
+      let added_verts =
+        List.fold_left
+          (fun acc i -> Bitset.union acc (outside special.(i)))
+          (outside (Hypergraph.vertices_of_edges h touch))
+          !new_specials
+      in
+      grow (Bitset.union comp touch) (!new_specials @ specials)
+        (Bitset.union region added_verts)
+    end
+  in
+  let rec loop () =
+    match next_seed () with
+    | None -> List.rev !result
+    | Some seed ->
+        let comp0, sp0, region0 =
+          match seed with
+          | `Edge e ->
+              remaining := Bitset.remove e !remaining;
+              (Bitset.singleton h.Hypergraph.n_edges e, [], outside h.Hypergraph.edges.(e))
+          | `Special i ->
+              special_left.(i) <- false;
+              (Bitset.empty h.Hypergraph.n_edges, [ i ], outside special.(i))
+        in
+        let comp, specials = grow comp0 sp0 region0 in
+        result := (comp, List.sort compare specials) :: !result;
+        loop ()
+  in
+  loop ()
+
+let components h ~within u =
+  List.map fst (components_extended h ~within ~special:[||] u)
+
+let separates h ~within u =
+  let total = Bitset.cardinal within in
+  match components h ~within u with
+  | [] -> total > 0
+  | [ c ] -> Bitset.cardinal c < total
+  | _ :: _ :: _ -> true
+
+let is_balanced h ~within ~special u =
+  let total = Bitset.cardinal within + Array.length special in
+  let bound = total / 2 in
+  let comps = components_extended h ~within ~special u in
+  List.for_all
+    (fun (es, sps) -> Bitset.cardinal es + List.length sps <= bound)
+    comps
+
+let connected h =
+  match components h ~within:(Hypergraph.all_edges h) (Bitset.empty h.Hypergraph.n_vertices) with
+  | [] | [ _ ] -> true
+  | _ -> false

@@ -1,0 +1,42 @@
+(** [U]-components and separators (paper §3.3).
+
+    Two edges are [U]-adjacent when they share a vertex outside the vertex
+    set [U]; [U]-components are the classes of the transitive closure of
+    this relation, restricted to a given candidate edge set. Edges entirely
+    inside [U] belong to no component. *)
+
+val components :
+  Hypergraph.t -> within:Kit.Bitset.t -> Kit.Bitset.t -> Kit.Bitset.t list
+(** [components h ~within u] are the [u]-components of the edges in
+    [within] (an edge set). Each returned component is a non-empty edge
+    set; components are pairwise disjoint and their union is exactly the
+    set of edges of [within] not fully contained in [u]. *)
+
+val separates : Hypergraph.t -> within:Kit.Bitset.t -> Kit.Bitset.t -> bool
+(** True iff [u] splits [within] into at least two components, or absorbs
+    at least one edge. *)
+
+val is_balanced :
+  Hypergraph.t ->
+  within:Kit.Bitset.t ->
+  special:Kit.Bitset.t array ->
+  Kit.Bitset.t ->
+  bool
+(** Balanced-separator test used by BalSep (Definition 7): every
+    [u]-component of the extended subhypergraph with [within] ordinary
+    edges and [special] special edges must contain at most half of the
+    total number of (ordinary plus special) edges. *)
+
+val components_extended :
+  Hypergraph.t ->
+  within:Kit.Bitset.t ->
+  special:Kit.Bitset.t array ->
+  Kit.Bitset.t ->
+  (Kit.Bitset.t * int list) list
+(** Components of an extended subhypergraph (Definition 6): [within] is a
+    set of ordinary edges, [special] an array of special edges (vertex
+    sets). Returns one [(ordinary_edges, special_indices)] pair per
+    component. *)
+
+val connected : Hypergraph.t -> bool
+(** Is the hypergraph [∅]-connected (one component, no isolated parts)? *)

@@ -1,0 +1,83 @@
+module Bitset = Kit.Bitset
+
+type join_tree = {
+  roots : int list;
+  parent : int array;
+  order : int list;
+}
+
+(* An edge e (still alive) is an ear iff the set of its vertices occurring
+   in OTHER alive edges is contained in a single alive edge w != e. A
+   duplicate-free acyclic hypergraph always has an ear; we iterate until
+   nothing is removable. Duplicate edges (same vertex set) are handled by
+   treating one as the witness of the other. *)
+let reduce h =
+  let m = h.Hypergraph.n_edges in
+  if m = 0 then Some { roots = []; parent = [||]; order = [] }
+  else begin
+    let alive = Array.make m true in
+    let alive_count = ref m in
+    let parent = Array.make m (-1) in
+    let order = ref [] in
+    let roots = ref [] in
+    (* Vertices of e shared with other alive edges. *)
+    let shared e =
+      let others =
+        Bitset.fold
+          (fun v acc ->
+            let inc = Bitset.remove e h.Hypergraph.incidence.(v) in
+            if Bitset.exists (fun e' -> alive.(e')) inc then Bitset.add v acc
+            else acc)
+          h.Hypergraph.edges.(e)
+          (Bitset.empty h.Hypergraph.n_vertices)
+      in
+      others
+    in
+    let find_witness e =
+      let s = shared e in
+      if Bitset.is_empty s then Some (-1) (* isolated component root *)
+      else begin
+        (* Any alive edge (other than e) containing all of s. *)
+        let candidates = Hypergraph.edges_touching h s in
+        let exception Found of int in
+        try
+          Bitset.iter
+            (fun w ->
+              if w <> e && alive.(w) && Bitset.subset s h.Hypergraph.edges.(w)
+              then raise (Found w))
+            candidates;
+          None
+        with Found w -> Some w
+      end
+    in
+    let progress = ref true in
+    while !progress && !alive_count > 0 do
+      progress := false;
+      for e = 0 to m - 1 do
+        if alive.(e) && !alive_count > 1 then begin
+          match find_witness e with
+          | Some w ->
+              alive.(e) <- false;
+              decr alive_count;
+              progress := true;
+              order := e :: !order;
+              if w >= 0 then parent.(e) <- w else roots := e :: !roots
+          | None -> ()
+        end
+      done
+    done;
+    if !alive_count > 1 then None
+    else begin
+      (* The final edge is the root of the last component. *)
+      Array.iteri
+        (fun e a ->
+          if a then begin
+            roots := e :: !roots;
+            order := e :: !order
+          end)
+        alive;
+      Some { roots = !roots; parent; order = !order }
+    end
+  end
+
+let is_acyclic h = reduce h <> None

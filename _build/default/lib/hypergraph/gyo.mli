@@ -1,0 +1,24 @@
+(** GYO reduction: α-acyclicity testing and join-tree construction.
+
+    A hypergraph is α-acyclic — equivalently, hw = ghw = fhw = 1 — iff
+    repeatedly removing "ears" empties it. An ear is an edge e whose
+    vertices shared with the rest of the hypergraph are covered by a
+    single other edge (its witness); edges sharing nothing are ears too.
+    This classical Graham / Yu–Özsoyoğlu reduction decides Check(HD,1) in
+    polynomial time without search — the k = 1 line of the paper's
+    Figure 4 at a fraction of DetKDecomp's cost.
+
+    Parenting every ear to its witness yields a join tree, i.e. a
+    width-1 hypertree decomposition (materialised by {!Detk.solve}'s fast
+    path). *)
+
+type join_tree = {
+  roots : int list;  (** one edge per connected component *)
+  parent : int array;  (** witness edge of each ear; -1 at roots *)
+  order : int list;  (** ear elimination order *)
+}
+
+val reduce : Hypergraph.t -> join_tree option
+(** [Some tree] iff the hypergraph is acyclic. *)
+
+val is_acyclic : Hypergraph.t -> bool

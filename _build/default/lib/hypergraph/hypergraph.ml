@@ -1,0 +1,223 @@
+module Bitset = Kit.Bitset
+
+type t = {
+  n_vertices : int;
+  n_edges : int;
+  edges : Bitset.t array;
+  incidence : Bitset.t array;
+  vertex_names : string array;
+  edge_names : string array;
+}
+
+let create ~vertex_names ~edge_names members =
+  let n_vertices = Array.length vertex_names in
+  let n_edges = Array.length edge_names in
+  if Array.length members <> n_edges then
+    invalid_arg "Hypergraph.create: edge_names and members differ in length";
+  let edges =
+    Array.map
+      (fun vs ->
+        if vs = [] then invalid_arg "Hypergraph.create: empty edge";
+        List.iter
+          (fun v ->
+            if v < 0 || v >= n_vertices then
+              invalid_arg "Hypergraph.create: vertex id out of range")
+          vs;
+        Bitset.of_list n_vertices vs)
+      members
+  in
+  let incidence = Array.make n_vertices (Bitset.empty n_edges) in
+  Array.iteri
+    (fun e vs -> Bitset.iter (fun v -> incidence.(v) <- Bitset.add e incidence.(v)) vs)
+    edges;
+  { n_vertices; n_edges; edges; incidence; vertex_names; edge_names }
+
+let of_named_edges pairs =
+  let names = Kit.Names.create () in
+  let members =
+    List.map (fun (_, vs) -> List.map (Kit.Names.intern names) vs) pairs
+  in
+  create
+    ~vertex_names:(Kit.Names.to_array names)
+    ~edge_names:(Array.of_list (List.map fst pairs))
+    (Array.of_list members)
+
+let of_int_edges edges =
+  let n_vertices =
+    List.fold_left (fun m vs -> List.fold_left (fun m v -> Stdlib.max m (v + 1)) m vs) 0 edges
+  in
+  create
+    ~vertex_names:(Array.init n_vertices (Printf.sprintf "v%d"))
+    ~edge_names:(Array.init (List.length edges) (Printf.sprintf "e%d"))
+    (Array.of_list edges)
+
+let edge h e = h.edges.(e)
+let vertices h = Bitset.full h.n_vertices
+let all_edges h = Bitset.full h.n_edges
+let vertex_name h v = h.vertex_names.(v)
+let edge_name h e = h.edge_names.(e)
+
+let vertices_of_edges h es =
+  Bitset.fold (fun e acc -> Bitset.union acc h.edges.(e)) es (Bitset.empty h.n_vertices)
+
+let edges_touching h vs =
+  Bitset.fold (fun v acc -> Bitset.union acc h.incidence.(v)) vs (Bitset.empty h.n_edges)
+
+let arity h =
+  Array.fold_left (fun m e -> Stdlib.max m (Bitset.cardinal e)) 0 h.edges
+
+let dedup_edges h =
+  let seen = Hashtbl.create 16 in
+  let keep = ref [] in
+  Array.iteri
+    (fun i e ->
+      let key = Bitset.to_list e in
+      if key <> [] && not (Hashtbl.mem seen key) then begin
+        Hashtbl.add seen key ();
+        keep := i :: !keep
+      end)
+    h.edges;
+  let keep = Array.of_list (List.rev !keep) in
+  create ~vertex_names:h.vertex_names
+    ~edge_names:(Array.map (fun i -> h.edge_names.(i)) keep)
+    (Array.map (fun i -> Bitset.to_list h.edges.(i)) keep)
+
+let compact h =
+  let live = Array.map (fun inc -> not (Bitset.is_empty inc)) h.incidence in
+  if Array.for_all Fun.id live then h
+  else begin
+    let renumber = Array.make h.n_vertices (-1) in
+    let names = ref [] in
+    let next = ref 0 in
+    Array.iteri
+      (fun v alive ->
+        if alive then begin
+          renumber.(v) <- !next;
+          names := h.vertex_names.(v) :: !names;
+          incr next
+        end)
+      live;
+    create
+      ~vertex_names:(Array.of_list (List.rev !names))
+      ~edge_names:h.edge_names
+      (Array.map
+         (fun e -> List.map (fun v -> renumber.(v)) (Bitset.to_list e))
+         h.edges)
+  end
+
+let covers h lambda x =
+  Bitset.subset x (vertices_of_edges h lambda)
+
+(* Compare via vertex names so the relation is stable under renumbering
+   (e.g. format round-trips that intern vertices in a different order). *)
+let equal_structure a b =
+  a.n_vertices = b.n_vertices && a.n_edges = b.n_edges
+  && begin
+       let canon h =
+         Array.to_list h.edges
+         |> List.map (fun e ->
+                List.sort compare
+                  (List.map (fun v -> h.vertex_names.(v)) (Bitset.to_list e)))
+         |> List.sort compare
+       in
+       canon a = canon b
+     end
+
+let pp fmt h =
+  let n = h.n_edges in
+  Array.iteri
+    (fun i e ->
+      let vs = Bitset.to_list e |> List.map (fun v -> h.vertex_names.(v)) in
+      Format.fprintf fmt "%s(%s)%s@." h.edge_names.(i) (String.concat "," vs)
+        (if i = n - 1 then "." else ","))
+    h.edges
+
+let to_string h = Format.asprintf "%a" pp h
+
+(* --- parsing ------------------------------------------------------------ *)
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+  || c = '_' || c = '-' || c = ':' || c = '.' || c = '[' || c = ']' || c = '\''
+
+let parse text =
+  let pos = ref 0 in
+  let len = String.length text in
+  let error msg = Error (Printf.sprintf "parse error at offset %d: %s" !pos msg) in
+  let skip_ws () =
+    let continue = ref true in
+    while !continue do
+      continue := false;
+      while !pos < len && (match text.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+        incr pos
+      done;
+      if !pos < len && text.[!pos] = '%' then begin
+        while !pos < len && text.[!pos] <> '\n' do incr pos done;
+        continue := true
+      end
+    done
+  in
+  let ident () =
+    let start = !pos in
+    while !pos < len && is_ident_char text.[!pos] do incr pos done;
+    if !pos = start then None else Some (String.sub text start (!pos - start))
+  in
+  let rec atoms acc =
+    skip_ws ();
+    if !pos >= len then Ok (List.rev acc)
+    else
+      match ident () with
+      | None -> error "expected edge name"
+      | Some name -> (
+          skip_ws ();
+          if !pos >= len || text.[!pos] <> '(' then error "expected '('"
+          else begin
+            incr pos;
+            let rec verts vacc =
+              skip_ws ();
+              match ident () with
+              | None -> error "expected vertex name"
+              | Some v -> (
+                  skip_ws ();
+                  if !pos < len && text.[!pos] = ',' then begin
+                    incr pos;
+                    verts (v :: vacc)
+                  end
+                  else if !pos < len && text.[!pos] = ')' then begin
+                    incr pos;
+                    Ok (List.rev (v :: vacc))
+                  end
+                  else error "expected ',' or ')'")
+            in
+            match verts [] with
+            | Error _ as e -> e
+            | Ok vs -> (
+                skip_ws ();
+                if !pos < len && text.[!pos] = ',' then begin
+                  incr pos;
+                  atoms ((name, vs) :: acc)
+                end
+                else if !pos < len && text.[!pos] = '.' then begin
+                  incr pos;
+                  skip_ws ();
+                  if !pos < len then error "trailing input after '.'"
+                  else Ok (List.rev ((name, vs) :: acc))
+                end
+                else if !pos >= len then Ok (List.rev ((name, vs) :: acc))
+                else error "expected ',' or '.' after edge")
+          end)
+  in
+  match atoms [] with
+  | Error _ as e -> e
+  | Ok [] -> Error "empty hypergraph"
+  | Ok pairs -> (
+      try Ok (of_named_edges pairs) with Invalid_argument m -> Error m)
+
+let parse_file path =
+  try
+    let ic = open_in path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    parse s
+  with Sys_error m -> Error m

@@ -1,0 +1,134 @@
+module Bitset = Kit.Bitset
+module Deadline = Kit.Deadline
+
+let degree h =
+  Array.fold_left
+    (fun m inc -> Stdlib.max m (Bitset.cardinal inc))
+    0 h.Hypergraph.incidence
+
+let intersection_size h =
+  let m = h.Hypergraph.n_edges in
+  let best = ref 0 in
+  for i = 0 to m - 1 do
+    for j = i + 1 to m - 1 do
+      let c = Bitset.inter_cardinal h.Hypergraph.edges.(i) h.Hypergraph.edges.(j) in
+      if c > !best then best := c
+    done
+  done;
+  !best
+
+(* Branch-and-bound over ordered edge tuples: extend a partial intersection
+   only while its cardinality still beats the best value found so far. *)
+let multi_intersection_size ?(deadline = Deadline.none) h ~c =
+  if c < 2 then invalid_arg "multi_intersection_size: c must be >= 2";
+  let m = h.Hypergraph.n_edges in
+  let best = ref 0 in
+  let rec extend depth first inter =
+    Deadline.check deadline;
+    if depth = c then begin
+      let card = Bitset.cardinal inter in
+      if card > !best then best := card
+    end
+    else
+      for j = first to m - 1 do
+        let inter' = Bitset.inter inter h.Hypergraph.edges.(j) in
+        (* Pruning: a smaller-or-equal intersection cannot improve. *)
+        if Bitset.cardinal inter' > !best then extend (depth + 1) (j + 1) inter'
+      done
+  in
+  if m >= c then
+    for i = 0 to m - 1 do
+      extend 1 (i + 1) h.Hypergraph.edges.(i)
+    done;
+  !best
+
+(* A set X is shattered iff every subset of X is a trace X ∩ e. Since the
+   full trace X itself is required, X must be a subset of some edge; we
+   therefore search inside each edge. The trace table is a bitmask over
+   2^|X| cells. *)
+let shattered h xs =
+  let d = List.length xs in
+  let arr = Array.of_list xs in
+  let want = 1 lsl d in
+  let seen = Array.make want false in
+  let found = ref 0 in
+  (try
+     Array.iter
+       (fun e ->
+         let mask = ref 0 in
+         for i = 0 to d - 1 do
+           if Bitset.mem arr.(i) e then mask := !mask lor (1 lsl i)
+         done;
+         if not seen.(!mask) then begin
+           seen.(!mask) <- true;
+           incr found;
+           if !found = want then raise Exit
+         end)
+       h.Hypergraph.edges
+   with Exit -> ());
+  !found = want
+
+let vc_dimension ?(deadline = Deadline.none) h =
+  if h.Hypergraph.n_edges = 0 then 0
+  else begin
+    let best = ref 0 in
+    (* Memoise rejected candidate sets across edges. *)
+    let rejected = Hashtbl.create 256 in
+    let rec extend candidates xs size =
+      Deadline.check deadline;
+      if size > !best then best := size;
+      match candidates with
+      | [] -> ()
+      | v :: rest ->
+          (* Try including v. *)
+          let xs' = v :: xs in
+          let key = List.sort compare xs' in
+          if not (Hashtbl.mem rejected key) then begin
+            if shattered h xs' then extend rest xs' (size + 1)
+            else Hashtbl.add rejected key ()
+          end;
+          (* Try skipping v, but only if enough candidates remain to win. *)
+          if size + List.length rest > !best then extend rest xs size
+    in
+    Array.iter
+      (fun e ->
+        let members = Bitset.to_list e in
+        if List.length members > !best then extend members [] 0)
+      h.Hypergraph.edges;
+    !best
+  end
+
+let has_more_vertices_than_edges h =
+  h.Hypergraph.n_vertices > h.Hypergraph.n_edges
+
+type profile = {
+  vertices : int;
+  edges : int;
+  arity : int;
+  degree : int;
+  bip : int;
+  bmip3 : int;
+  bmip4 : int;
+  vc_dim : int option;
+}
+
+let profile ?(deadline = Deadline.none) h =
+  let vc_dim =
+    try Some (vc_dimension ~deadline h) with Deadline.Timed_out -> None
+  in
+  {
+    vertices = h.Hypergraph.n_vertices;
+    edges = h.Hypergraph.n_edges;
+    arity = Hypergraph.arity h;
+    degree = degree h;
+    bip = intersection_size h;
+    bmip3 = multi_intersection_size ~deadline h ~c:3;
+    bmip4 = multi_intersection_size ~deadline h ~c:4;
+    vc_dim;
+  }
+
+let pp_profile fmt p =
+  Format.fprintf fmt
+    "vertices=%d edges=%d arity=%d degree=%d bip=%d 3-bmip=%d 4-bmip=%d vc=%s"
+    p.vertices p.edges p.arity p.degree p.bip p.bmip3 p.bmip4
+    (match p.vc_dim with Some v -> string_of_int v | None -> "timeout")

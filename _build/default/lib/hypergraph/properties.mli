@@ -1,0 +1,41 @@
+(** Structural hypergraph invariants from paper §3.5 and Table 2.
+
+    All computations are exact. The VC-dimension and multi-intersection
+    searches accept a {!Kit.Deadline.t} because they are worst-case
+    exponential resp. polynomial of high degree; on expiry they raise
+    {!Kit.Deadline.Timed_out} like the paper's 3600 s cluster timeout. *)
+
+val degree : Hypergraph.t -> int
+(** Maximum number of edges any vertex occurs in (Definition 4). *)
+
+val intersection_size : Hypergraph.t -> int
+(** BIP: max over edge pairs of |e1 ∩ e2| (Definition 2 with c = 2). *)
+
+val multi_intersection_size :
+  ?deadline:Kit.Deadline.t -> Hypergraph.t -> c:int -> int
+(** c-multi-intersection size: max over c distinct edges of the cardinality
+    of their common intersection (Definition 2). [c >= 2]. *)
+
+val vc_dimension : ?deadline:Kit.Deadline.t -> Hypergraph.t -> int
+(** Exact VC-dimension (Definition 5). Uses the fact that a shattered set
+    must be contained in some edge (the full trace is required), so the
+    search runs inside single edges. *)
+
+val has_more_vertices_than_edges : Hypergraph.t -> bool
+(** The n > m test from the edge-clique-cover discussion in §2. *)
+
+type profile = {
+  vertices : int;
+  edges : int;
+  arity : int;
+  degree : int;
+  bip : int;
+  bmip3 : int;
+  bmip4 : int;
+  vc_dim : int option;  (** [None] when the computation timed out *)
+}
+
+val profile : ?deadline:Kit.Deadline.t -> Hypergraph.t -> profile
+(** All invariants at once; only [vc_dim] may be missing on timeout. *)
+
+val pp_profile : Format.formatter -> profile -> unit

@@ -1,0 +1,83 @@
+module Bitset = Kit.Bitset
+
+type reduction = {
+  reduced : Hypergraph.t;
+  removed_edges : int list;
+  twin_of : int array;
+  edge_map : int array;
+  vertex_map : int array;
+}
+
+let reduce h =
+  let n = h.Hypergraph.n_vertices and m = h.Hypergraph.n_edges in
+  (* 1. Twin vertices: group by incidence set. *)
+  let twin_of = Array.init n Fun.id in
+  let by_incidence = Hashtbl.create n in
+  for v = 0 to n - 1 do
+    let key = Bitset.to_list h.Hypergraph.incidence.(v) in
+    match Hashtbl.find_opt by_incidence key with
+    | Some rep -> twin_of.(v) <- rep
+    | None -> Hashtbl.replace by_incidence key v
+  done;
+  (* 2. Subsumed edges: after twin merging, an edge is subsumed when its
+     merged vertex set is contained in another's (ties broken by id so
+     exactly one of two equal edges survives). *)
+  let merged_edge e =
+    Bitset.fold
+      (fun v acc -> Bitset.add twin_of.(v) acc)
+      h.Hypergraph.edges.(e) (Bitset.empty n)
+  in
+  let merged = Array.init m merged_edge in
+  let subsumed = Array.make m false in
+  for e = 0 to m - 1 do
+    if not subsumed.(e) then
+      for e' = 0 to m - 1 do
+        if
+          e' <> e
+          && (not subsumed.(e'))
+          && Bitset.subset merged.(e) merged.(e')
+          && ((not (Bitset.equal merged.(e) merged.(e'))) || e' < e)
+        then subsumed.(e) <- true
+      done
+  done;
+  let kept_edges =
+    List.filter (fun e -> not subsumed.(e)) (List.init m Fun.id)
+  in
+  let removed_edges = List.filter (fun e -> subsumed.(e)) (List.init m Fun.id) in
+  (* 3. Rebuild with kept vertices (twin representatives occurring in kept
+     edges) renumbered densely. *)
+  let used = Array.make n false in
+  List.iter (fun e -> Bitset.iter (fun v -> used.(v) <- true) merged.(e)) kept_edges;
+  let vertex_map = ref [] in
+  let renumber = Array.make n (-1) in
+  let next = ref 0 in
+  for v = 0 to n - 1 do
+    if used.(v) then begin
+      renumber.(v) <- !next;
+      vertex_map := v :: !vertex_map;
+      incr next
+    end
+  done;
+  let vertex_map = Array.of_list (List.rev !vertex_map) in
+  let reduced =
+    Hypergraph.create
+      ~vertex_names:(Array.map (fun v -> h.Hypergraph.vertex_names.(v)) vertex_map)
+      ~edge_names:
+        (Array.of_list
+           (List.map (fun e -> h.Hypergraph.edge_names.(e)) kept_edges))
+      (Array.of_list
+         (List.map
+            (fun e -> List.map (fun v -> renumber.(v)) (Bitset.to_list merged.(e)))
+            kept_edges))
+  in
+  {
+    reduced;
+    removed_edges;
+    twin_of;
+    edge_map = Array.of_list kept_edges;
+    vertex_map;
+  }
+
+let is_noop r =
+  r.removed_edges = []
+  && Array.length r.vertex_map = Array.length r.twin_of

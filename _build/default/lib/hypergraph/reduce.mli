@@ -1,0 +1,34 @@
+(** Width-preserving hypergraph simplifications.
+
+    The paper's follow-up work (Gottlob, Okulmus, Pichler, IJCAI 2020 —
+    cited in §2 as [29]) proposes simplifying the input hypergraph before
+    decomposing. Two classical reductions preserve hw, ghw and fhw:
+
+    - {b subsumed edges}: an edge contained in another edge can be removed
+      (any bag covering the big edge covers it, and the small edge's cover
+      can be replaced by the big one);
+    - {b twin vertices}: vertices with identical incidence sets can be
+      merged (bags and covers treat them identically).
+
+    Both shrink the search space of every algorithm in this repository;
+    the ablation bench measures by how much. A decomposition of the
+    reduced hypergraph maps back to the original by translating vertices
+    through [vertex_map], re-adding merged twins (via [twin_of]) to every
+    bag containing their representative, and translating cover edges
+    through [edge_map]; subsumed edges are then covered automatically. *)
+
+type reduction = {
+  reduced : Hypergraph.t;
+  removed_edges : int list;  (** original ids of subsumed edges *)
+  twin_of : int array;
+      (** original vertex -> representative original vertex (identity for
+          kept vertices) *)
+  edge_map : int array;  (** reduced edge id -> original edge id *)
+  vertex_map : int array;  (** reduced vertex id -> original vertex id *)
+}
+
+val reduce : Hypergraph.t -> reduction
+(** Apply both reductions to a fixpoint. Names are preserved for kept
+    vertices and edges. *)
+
+val is_noop : reduction -> bool

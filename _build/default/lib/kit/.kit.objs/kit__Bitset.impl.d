@@ -1,0 +1,1 @@
+lib/kit/bitset.ml: Array Format Int List Printf String Sys

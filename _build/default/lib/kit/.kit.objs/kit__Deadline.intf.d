@@ -1,0 +1,1 @@
+lib/kit/deadline.mli:

@@ -1,0 +1,1 @@
+lib/kit/names.mli:

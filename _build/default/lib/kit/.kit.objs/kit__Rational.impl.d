@@ -1,0 +1,1 @@
+lib/kit/rational.ml: Float Format Int Printf

@@ -1,0 +1,1 @@
+lib/kit/rational.mli: Format

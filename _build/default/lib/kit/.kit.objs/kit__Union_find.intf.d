@@ -1,0 +1,1 @@
+lib/kit/union_find.mli:

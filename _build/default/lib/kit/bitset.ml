@@ -1,0 +1,154 @@
+(* Immutable bitsets backed by int arrays. The universe size is stored in
+   the first cell so that sets over different universes cannot be mixed
+   silently. Words hold [bits] elements each. *)
+
+let bits = Sys.int_size
+
+type t = int array
+(* t.(0) = universe size; t.(1..) = bit words. *)
+
+let words n = (n + bits - 1) / bits
+
+let empty n =
+  assert (n >= 0);
+  Array.make (1 + words n) 0 |> fun a -> a.(0) <- n; a
+
+let universe s = s.(0)
+
+let check_elt s x =
+  if x < 0 || x >= s.(0) then
+    invalid_arg (Printf.sprintf "Bitset: element %d outside universe %d" x s.(0))
+
+let full n =
+  let s = empty n in
+  let w = words n in
+  for i = 1 to w do s.(i) <- -1 done;
+  (* Clear the bits beyond n in the last word. *)
+  let rem = n mod bits in
+  if w > 0 && rem <> 0 then s.(w) <- s.(w) land ((1 lsl rem) - 1);
+  s
+
+let mem x s =
+  check_elt s x;
+  s.(1 + x / bits) land (1 lsl (x mod bits)) <> 0
+
+let add x s =
+  check_elt s x;
+  let s' = Array.copy s in
+  s'.(1 + x / bits) <- s'.(1 + x / bits) lor (1 lsl (x mod bits));
+  s'
+
+let remove x s =
+  check_elt s x;
+  let s' = Array.copy s in
+  s'.(1 + x / bits) <- s'.(1 + x / bits) land lnot (1 lsl (x mod bits));
+  s'
+
+let singleton n x = add x (empty n)
+
+let of_list n xs = List.fold_left (fun s x -> add x s) (empty n) xs
+
+let same_universe a b =
+  if a.(0) <> b.(0) then
+    invalid_arg
+      (Printf.sprintf "Bitset: universes differ (%d vs %d)" a.(0) b.(0))
+
+let map2 f a b =
+  same_universe a b;
+  let r = Array.copy a in
+  for i = 1 to Array.length a - 1 do r.(i) <- f a.(i) b.(i) done;
+  r
+
+let union a b = map2 ( lor ) a b
+let inter a b = map2 ( land ) a b
+let diff a b = map2 (fun x y -> x land lnot y) a b
+
+let is_empty s =
+  let rec go i = i >= Array.length s || (s.(i) = 0 && go (i + 1)) in
+  go 1
+
+let equal a b =
+  same_universe a b;
+  let rec go i = i >= Array.length a || (a.(i) = b.(i) && go (i + 1)) in
+  go 1
+
+let compare a b =
+  same_universe a b;
+  let rec go i =
+    if i >= Array.length a then 0
+    else
+      let c = Int.compare a.(i) b.(i) in
+      if c <> 0 then c else go (i + 1)
+  in
+  go 1
+
+let subset a b =
+  same_universe a b;
+  let rec go i =
+    i >= Array.length a || (a.(i) land lnot b.(i) = 0 && go (i + 1))
+  in
+  go 1
+
+let intersects a b =
+  same_universe a b;
+  let rec go i =
+    i < Array.length a && (a.(i) land b.(i) <> 0 || go (i + 1))
+  in
+  go 1
+
+let popcount x =
+  let rec go acc x = if x = 0 then acc else go (acc + 1) (x land (x - 1)) in
+  go 0 x
+
+let cardinal s =
+  let c = ref 0 in
+  for i = 1 to Array.length s - 1 do c := !c + popcount s.(i) done;
+  !c
+
+let inter_cardinal a b =
+  same_universe a b;
+  let c = ref 0 in
+  for i = 1 to Array.length a - 1 do c := !c + popcount (a.(i) land b.(i)) done;
+  !c
+
+let iter f s =
+  for i = 1 to Array.length s - 1 do
+    let w = ref s.(i) in
+    while !w <> 0 do
+      let b = !w land - !w in
+      let rec log2 b acc = if b = 1 then acc else log2 (b lsr 1) (acc + 1) in
+      f (((i - 1) * bits) + log2 b 0);
+      w := !w land (!w - 1)
+    done
+  done
+
+let fold f s init =
+  let acc = ref init in
+  iter (fun x -> acc := f x !acc) s;
+  !acc
+
+let to_list s = List.rev (fold (fun x l -> x :: l) s [])
+
+let choose s =
+  let exception Found of int in
+  try iter (fun x -> raise (Found x)) s; None with Found x -> Some x
+
+let for_all p s =
+  let exception Fail in
+  try iter (fun x -> if not (p x) then raise Fail) s; true
+  with Fail -> false
+
+let exists p s = not (for_all (fun x -> not (p x)) s)
+
+let filter p s = fold (fun x acc -> if p x then add x acc else acc) s (empty s.(0))
+
+let hash s =
+  let h = ref 5381 in
+  for i = 1 to Array.length s - 1 do
+    h := (!h * 33) lxor s.(i)
+  done;
+  !h land max_int
+
+let pp fmt s =
+  Format.fprintf fmt "{%s}"
+    (String.concat ", " (List.map string_of_int (to_list s)))

@@ -1,0 +1,57 @@
+(** Immutable fixed-universe bitsets.
+
+    All sets created from the same [universe] size are compatible; mixing
+    sets of different universe sizes is a programming error and is rejected
+    by an assertion. Elements are integers in [0, universe). *)
+
+type t
+
+val empty : int -> t
+(** [empty n] is the empty set over universe size [n]. *)
+
+val full : int -> t
+(** [full n] is {0, ..., n-1}. *)
+
+val universe : t -> int
+(** Universe size this set was created with. *)
+
+val singleton : int -> int -> t
+(** [singleton n x] is the set {x} over universe size [n]. *)
+
+val of_list : int -> int list -> t
+val to_list : t -> int list
+
+val mem : int -> t -> bool
+val add : int -> t -> t
+val remove : int -> t -> t
+
+val union : t -> t -> t
+val inter : t -> t -> t
+val diff : t -> t -> t
+
+val is_empty : t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val subset : t -> t -> bool
+(** [subset a b] is true iff every element of [a] is in [b]. *)
+
+val intersects : t -> t -> bool
+(** [intersects a b] is true iff [a] and [b] share an element. *)
+
+val cardinal : t -> int
+val inter_cardinal : t -> t -> int
+(** [inter_cardinal a b] = [cardinal (inter a b)] without allocating. *)
+
+val choose : t -> int option
+(** Smallest element, if any. *)
+
+val iter : (int -> unit) -> t -> unit
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+val for_all : (int -> bool) -> t -> bool
+val exists : (int -> bool) -> t -> bool
+val filter : (int -> bool) -> t -> t
+
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [{0, 3, 5}]. *)

@@ -1,0 +1,34 @@
+exception Timed_out
+
+type kind =
+  | No_limit
+  | Wall of float (* absolute deadline *)
+  | Fuel of int ref
+
+type t = { kind : kind; started : float; mutable ticks : int }
+
+let now () = Unix.gettimeofday ()
+
+let none = { kind = No_limit; started = 0.0; ticks = 0 }
+
+let of_seconds s = { kind = Wall (now () +. s); started = now (); ticks = 0 }
+
+let of_fuel n = { kind = Fuel (ref n); started = now (); ticks = 0 }
+
+let expired t =
+  match t.kind with
+  | No_limit -> false
+  | Wall d -> now () > d
+  | Fuel r -> !r <= 0
+
+let check t =
+  match t.kind with
+  | No_limit -> ()
+  | Fuel r ->
+      decr r;
+      if !r <= 0 then raise Timed_out
+  | Wall d ->
+      t.ticks <- t.ticks + 1;
+      if t.ticks land 1023 = 0 && now () > d then raise Timed_out
+
+let elapsed t = if t.started = 0.0 then 0.0 else now () -. t.started

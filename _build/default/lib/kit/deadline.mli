@@ -1,0 +1,31 @@
+(** Cooperative deadlines for long-running searches.
+
+    The paper runs every algorithm with a 3600 s timeout on a cluster; we
+    reproduce the behaviour in-process. Search loops call {!check}
+    periodically; when the wall-clock budget (or the deterministic fuel
+    budget used in tests) is exhausted, {!Timed_out} is raised and the
+    caller reports a timeout instead of an answer. *)
+
+exception Timed_out
+
+type t
+
+val none : t
+(** Never times out. *)
+
+val of_seconds : float -> t
+(** Budget starting now. *)
+
+val of_fuel : int -> t
+(** Deterministic budget: times out after [n] checks. *)
+
+val check : t -> unit
+(** @raise Timed_out when the budget is exhausted. Cheap: the wall clock is
+    consulted only every 1024 calls. *)
+
+val expired : t -> bool
+(** Non-raising variant of {!check}. *)
+
+val elapsed : t -> float
+(** Seconds since the deadline was created (0 for [none]/fuel budgets
+    created without a clock). *)

@@ -1,0 +1,33 @@
+type t = {
+  tbl : (string, int) Hashtbl.t;
+  mutable arr : string array;
+  mutable count : int;
+}
+
+let create () = { tbl = Hashtbl.create 64; arr = Array.make 16 ""; count = 0 }
+
+let intern t name =
+  match Hashtbl.find_opt t.tbl name with
+  | Some id -> id
+  | None ->
+      let id = t.count in
+      if id >= Array.length t.arr then begin
+        let arr = Array.make (2 * Array.length t.arr) "" in
+        Array.blit t.arr 0 arr 0 t.count;
+        t.arr <- arr
+      end;
+      t.arr.(id) <- name;
+      t.count <- id + 1;
+      Hashtbl.add t.tbl name id;
+      id
+
+let find_opt t name = Hashtbl.find_opt t.tbl name
+
+let name t id =
+  if id < 0 || id >= t.count then
+    invalid_arg (Printf.sprintf "Names.name: unknown id %d" id);
+  t.arr.(id)
+
+let count t = t.count
+
+let to_array t = Array.sub t.arr 0 t.count

@@ -1,0 +1,18 @@
+(** String interning: a bijective mapping between names and dense ids.
+
+    Hypergraph vertices and edges are represented internally by integers;
+    this table remembers the original names for printing and parsing. *)
+
+type t
+
+val create : unit -> t
+val intern : t -> string -> int
+(** Id of [name], allocating a fresh id on first sight. *)
+
+val find_opt : t -> string -> int option
+val name : t -> int -> string
+(** @raise Invalid_argument on an unknown id. *)
+
+val count : t -> int
+val to_array : t -> string array
+(** Names in id order. *)

@@ -1,0 +1,63 @@
+type t = { num : int; den : int }
+
+let rec gcd a b = if b = 0 then abs a else gcd b (a mod b)
+
+let make num den =
+  if den = 0 then raise Division_by_zero;
+  let sign = if den < 0 then -1 else 1 in
+  let num = sign * num and den = sign * den in
+  let g = gcd num den in
+  if g = 0 then { num = 0; den = 1 } else { num = num / g; den = den / g }
+
+let of_int n = { num = n; den = 1 }
+let zero = of_int 0
+let one = of_int 1
+
+let add a b = make ((a.num * b.den) + (b.num * a.den)) (a.den * b.den)
+let sub a b = make ((a.num * b.den) - (b.num * a.den)) (a.den * b.den)
+let mul a b = make (a.num * b.num) (a.den * b.den)
+let div a b = make (a.num * b.den) (a.den * b.num)
+let neg a = { a with num = -a.num }
+
+let compare a b = Int.compare (a.num * b.den) (b.num * a.den)
+let equal a b = compare a b = 0
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+
+let to_float a = float_of_int a.num /. float_of_int a.den
+
+(* Stern–Brocot / continued-fraction approximation. *)
+let of_float_approx ?(max_den = 1024) x =
+  if Float.is_nan x || Float.is_integer x then of_int (int_of_float x)
+  else begin
+    let neg_input = x < 0.0 in
+    let x = Float.abs x in
+    let p0 = ref 0 and q0 = ref 1 and p1 = ref 1 and q1 = ref 0 in
+    let r = ref x in
+    (try
+       while true do
+         let a = int_of_float (Float.floor !r) in
+         let p2 = (a * !p1) + !p0 and q2 = (a * !q1) + !q0 in
+         if q2 > max_den then raise Exit;
+         p0 := !p1; q0 := !q1; p1 := p2; q1 := q2;
+         let frac = !r -. Float.of_int a in
+         if frac < 1e-12 then raise Exit;
+         r := 1.0 /. frac
+       done
+     with Exit -> ());
+    let v = make !p1 !q1 in
+    if neg_input then neg v else v
+  end
+
+let floor a =
+  if a.num >= 0 then a.num / a.den
+  else if a.num mod a.den = 0 then a.num / a.den
+  else (a.num / a.den) - 1
+
+let ceil a = - (floor (neg a))
+
+let to_string a =
+  if a.den = 1 then string_of_int a.num
+  else Printf.sprintf "%d/%d" a.num a.den
+
+let pp fmt a = Format.pp_print_string fmt (to_string a)

@@ -1,0 +1,36 @@
+(** Exact rational arithmetic over native integers.
+
+    Numerators and denominators are kept reduced (gcd 1, positive
+    denominator). Intended for the small numbers arising in fractional
+    edge-cover widths; native-int overflow is not guarded against. *)
+
+type t = private { num : int; den : int }
+
+val make : int -> int -> t
+(** [make num den]. @raise Division_by_zero if [den = 0]. *)
+
+val of_int : int -> t
+val zero : t
+val one : t
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+val neg : t -> t
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val min : t -> t -> t
+val max : t -> t -> t
+
+val to_float : t -> float
+val of_float_approx : ?max_den:int -> float -> t
+(** Best rational approximation with denominator at most [max_den]
+    (default 1024), via continued fractions. *)
+
+val ceil : t -> int
+val floor : t -> int
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

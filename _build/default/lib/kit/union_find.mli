@@ -1,0 +1,21 @@
+(** Classic union-find with path compression and union by rank.
+
+    Used for connected components and for the attribute-merging step of the
+    SQL-to-hypergraph conversion. *)
+
+type t
+
+val create : int -> t
+(** [create n] makes [n] singleton classes 0..n-1. *)
+
+val find : t -> int -> int
+(** Canonical representative of the class of [x]. *)
+
+val union : t -> int -> int -> unit
+(** Merge the classes of the two elements. *)
+
+val same : t -> int -> int -> bool
+
+val groups : t -> int list array
+(** All classes as lists, indexed by representative; non-representative
+    slots hold the empty list. *)

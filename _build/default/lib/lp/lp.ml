@@ -1,0 +1,203 @@
+type op = Le | Ge | Eq
+
+type problem = {
+  minimize : bool;
+  objective : float array;
+  rows : (float array * op * float) list;
+}
+
+type solution = { value : float; x : float array }
+
+type result = Optimal of solution | Infeasible | Unbounded
+
+let eps = 1e-9
+
+(* Tableau layout: columns are [structural vars | slack/surplus | artificials],
+   one artificial per row, plus the right-hand side held separately.
+   The initial basis consists of the artificials, so phase 1 always has a
+   feasible start. Bland's rule (smallest eligible index, for entering and
+   for ties on leaving) guarantees termination. *)
+
+type tableau = {
+  m : int;  (* rows *)
+  cols : int;  (* structural + slack columns (artificials excluded) *)
+  total : int;  (* all columns incl. artificials *)
+  t : float array array;  (* m x total *)
+  rhs : float array;
+  basis : int array;  (* basis.(i) = column basic in row i *)
+  art0 : int;  (* first artificial column *)
+}
+
+let build_tableau n rows =
+  let m = List.length rows in
+  (* Normalise to b >= 0. *)
+  let rows =
+    List.map
+      (fun (a, op, b) ->
+        if Array.length a <> n then invalid_arg "Lp: row length mismatch";
+        if b < 0.0 then
+          ( Array.map (fun x -> -.x) a,
+            (match op with Le -> Ge | Ge -> Le | Eq -> Eq),
+            -.b )
+        else (a, op, b))
+      rows
+  in
+  let n_slack =
+    List.fold_left (fun acc (_, op, _) -> match op with Eq -> acc | Le | Ge -> acc + 1) 0 rows
+  in
+  let cols = n + n_slack in
+  let total = cols + m in
+  let t = Array.make_matrix m total 0.0 in
+  let rhs = Array.make m 0.0 in
+  let basis = Array.make m 0 in
+  let slack = ref n in
+  List.iteri
+    (fun i (a, op, b) ->
+      Array.blit a 0 t.(i) 0 n;
+      (match op with
+      | Le ->
+          t.(i).(!slack) <- 1.0;
+          incr slack
+      | Ge ->
+          t.(i).(!slack) <- -1.0;
+          incr slack
+      | Eq -> ());
+      t.(i).(cols + i) <- 1.0;
+      basis.(i) <- cols + i;
+      rhs.(i) <- b)
+    rows;
+  { m; cols; total; t; rhs; basis; art0 = cols }
+
+let pivot tab ~row ~col =
+  let { t; rhs; m; total; basis; _ } = tab in
+  let p = t.(row).(col) in
+  for j = 0 to total - 1 do
+    t.(row).(j) <- t.(row).(j) /. p
+  done;
+  rhs.(row) <- rhs.(row) /. p;
+  for i = 0 to m - 1 do
+    if i <> row then begin
+      let f = t.(i).(col) in
+      if Float.abs f > 0.0 then begin
+        for j = 0 to total - 1 do
+          t.(i).(j) <- t.(i).(j) -. (f *. t.(row).(j))
+        done;
+        rhs.(i) <- rhs.(i) -. (f *. rhs.(row))
+      end
+    end
+  done;
+  basis.(row) <- col
+
+(* One simplex phase on cost vector [c] (length total). [allowed j] limits
+   the columns that may enter the basis. Returns `Optimal or `Unbounded. *)
+let run_phase tab c allowed =
+  let { m; total; t; rhs; basis; _ } = tab in
+  let reduced = Array.make total 0.0 in
+  let rec iterate () =
+    (* reduced_j = c_j - c_B · column_j *)
+    for j = 0 to total - 1 do
+      reduced.(j) <- c.(j)
+    done;
+    for i = 0 to m - 1 do
+      let cb = c.(basis.(i)) in
+      if Float.abs cb > 0.0 then
+        for j = 0 to total - 1 do
+          reduced.(j) <- reduced.(j) -. (cb *. t.(i).(j))
+        done
+    done;
+    (* Bland: smallest improving column. *)
+    let entering = ref (-1) in
+    (try
+       for j = 0 to total - 1 do
+         if allowed j && reduced.(j) < -.eps then begin
+           entering := j;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    if !entering < 0 then `Optimal
+    else begin
+      let col = !entering in
+      (* Ratio test with Bland tie-break on basis variable index. *)
+      let row = ref (-1) and best = ref infinity in
+      for i = 0 to m - 1 do
+        if t.(i).(col) > eps then begin
+          let ratio = rhs.(i) /. t.(i).(col) in
+          if
+            ratio < !best -. eps
+            || (Float.abs (ratio -. !best) <= eps
+               && !row >= 0
+               && basis.(i) < basis.(!row))
+          then begin
+            best := ratio;
+            row := i
+          end
+        end
+      done;
+      if !row < 0 then `Unbounded
+      else begin
+        pivot tab ~row:!row ~col;
+        iterate ()
+      end
+    end
+  in
+  iterate ()
+
+let objective_value c tab =
+  let v = ref 0.0 in
+  for i = 0 to tab.m - 1 do
+    v := !v +. (c.(tab.basis.(i)) *. tab.rhs.(i))
+  done;
+  !v
+
+let solve { minimize; objective; rows } =
+  let n = Array.length objective in
+  if rows = [] then
+    (* Unconstrained non-negative variables. *)
+    let improving =
+      Array.exists (fun c -> if minimize then c < -.eps else c > eps) objective
+    in
+    if improving then Unbounded else Optimal { value = 0.0; x = Array.make n 0.0 }
+  else begin
+    let tab = build_tableau n rows in
+    (* Phase 1: minimise the sum of artificials. *)
+    let c1 = Array.make tab.total 0.0 in
+    for j = tab.art0 to tab.total - 1 do
+      c1.(j) <- 1.0
+    done;
+    (match run_phase tab c1 (fun _ -> true) with
+    | `Unbounded -> assert false (* phase-1 objective is bounded below by 0 *)
+    | `Optimal -> ());
+    if objective_value c1 tab > 1e-7 then Infeasible
+    else begin
+      (* Drive any artificial still basic (at zero) out of the basis when
+         possible; rows where it is impossible are redundant and harmless
+         because artificial columns are forbidden from re-entering. *)
+      for i = 0 to tab.m - 1 do
+        if tab.basis.(i) >= tab.art0 then begin
+          let j = ref 0 and found = ref false in
+          while (not !found) && !j < tab.art0 do
+            if Float.abs tab.t.(i).(!j) > eps then found := true else incr j
+          done;
+          if !found then pivot tab ~row:i ~col:!j
+        end
+      done;
+      (* Phase 2 on the real objective. *)
+      let c2 = Array.make tab.total 0.0 in
+      for j = 0 to n - 1 do
+        c2.(j) <- (if minimize then objective.(j) else -.objective.(j))
+      done;
+      match run_phase tab c2 (fun j -> j < tab.art0) with
+      | `Unbounded -> Unbounded
+      | `Optimal ->
+          let x = Array.make n 0.0 in
+          for i = 0 to tab.m - 1 do
+            if tab.basis.(i) < n then x.(tab.basis.(i)) <- tab.rhs.(i)
+          done;
+          let v = objective_value c2 tab in
+          Optimal { value = (if minimize then v else -.v); x }
+    end
+  end
+
+let minimize objective rows = solve { minimize = true; objective; rows }
+let maximize objective rows = solve { minimize = false; objective; rows }

@@ -1,0 +1,28 @@
+(** A small dense linear-programming solver (two-phase primal simplex).
+
+    Built from scratch because no LP package ships with this environment;
+    fractional hypertree widths (paper §6.5) need one. Bland's rule is used
+    throughout, so the solver cannot cycle; numerics are plain floats with
+    an absolute tolerance, which is ample for the tiny edge-cover programs
+    arising here (tens of variables and constraints). *)
+
+type op = Le | Ge | Eq
+
+type problem = {
+  minimize : bool;
+  objective : float array;
+  rows : (float array * op * float) list;
+      (** Each row [(a, op, b)] encodes [a · x op b]; variables are
+          implicitly non-negative. *)
+}
+
+type solution = { value : float; x : float array }
+
+type result = Optimal of solution | Infeasible | Unbounded
+
+val solve : problem -> result
+
+val minimize : float array -> (float array * op * float) list -> result
+(** [minimize c rows] solves min c·x subject to [rows], x >= 0. *)
+
+val maximize : float array -> (float array * op * float) list -> result

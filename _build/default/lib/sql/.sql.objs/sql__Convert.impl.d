@@ -1,0 +1,1 @@
+lib/sql/convert.ml: Array Ast Hashtbl Hg Kit List Option Parser Printf Schema String Transform

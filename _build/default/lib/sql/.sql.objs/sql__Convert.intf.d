@@ -1,0 +1,1 @@
+lib/sql/convert.mli: Ast Hg Schema

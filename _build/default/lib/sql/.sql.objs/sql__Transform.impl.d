@@ -1,0 +1,1 @@
+lib/sql/transform.ml: Ast Hashtbl List Option Printf Schema String

@@ -1,0 +1,1 @@
+lib/sql/transform.mli: Ast Schema

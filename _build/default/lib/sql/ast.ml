@@ -1,0 +1,93 @@
+(* Abstract syntax for the SQL fragment handled by the hg-tools pipeline
+   (paper §5.2): SELECT-FROM-WHERE with joins, nested subqueries (IN /
+   EXISTS / scalar comparison), WITH views, set operations, and the usual
+   scalar predicates. Only the query *structure* matters downstream, so
+   expressions are deliberately coarse. *)
+
+type literal = Int of int | Float of float | String of string | Null
+
+type expr =
+  | Col of string option * string  (* qualifier (alias or table), column *)
+  | Lit of literal
+  | Star
+  | Fun of string * expr list
+  | Binop of string * expr * expr
+
+type cmp_op = Eq | Neq | Lt | Gt | Le | Ge
+
+type cond =
+  | And of cond * cond
+  | Or of cond * cond
+  | Not of cond
+  | Cmp of cmp_op * expr * expr
+  | In_query of expr * query  (* e IN (SELECT ...) *)
+  | In_list of expr * expr list
+  | Exists of query
+  | Between of expr * expr * expr
+  | Is_null of expr * bool  (* true = IS NULL, false = IS NOT NULL *)
+  | Like of expr * string * bool  (* true = LIKE, false = NOT LIKE *)
+  | Cmp_query of cmp_op * expr * query  (* e < (SELECT ...) etc. *)
+
+and table_ref =
+  | Table of string * string option  (* relation name, optional alias *)
+  | Derived of query * string  (* subquery in FROM, mandatory alias *)
+
+and select = {
+  distinct : bool;
+  select_list : (expr * string option) list;  (* [] encodes SELECT * *)
+  from : table_ref list;
+  where : cond option;
+  group_by : expr list;
+  having : cond option;
+  order_by : expr list;
+}
+
+and query =
+  | Select of select
+  | Setop of setop * query * query
+
+and setop = Union | Union_all | Intersect | Except
+
+type statement = {
+  views : (string * query) list;  (* WITH name AS (...) bindings, in order *)
+  body : query;
+}
+
+let empty_select =
+  {
+    distinct = false;
+    select_list = [];
+    from = [];
+    where = None;
+    group_by = [];
+    having = None;
+    order_by = [];
+  }
+
+let cmp_op_to_string = function
+  | Eq -> "="
+  | Neq -> "<>"
+  | Lt -> "<"
+  | Gt -> ">"
+  | Le -> "<="
+  | Ge -> ">="
+
+(* Conjunction flattening: AND-lists are the working currency of the
+   conjunctive-core extraction. *)
+let rec conjuncts = function
+  | And (a, b) -> conjuncts a @ conjuncts b
+  | c -> [ c ]
+
+let conjoin = function
+  | [] -> None
+  | c :: cs -> Some (List.fold_left (fun acc x -> And (acc, x)) c cs)
+
+(* The alias under which a table_ref is visible in its query. *)
+let binding_name = function
+  | Table (name, None) -> name
+  | Table (_, Some alias) -> alias
+  | Derived (_, alias) -> alias
+
+let relation_name = function
+  | Table (name, _) -> name
+  | Derived (_, alias) -> alias

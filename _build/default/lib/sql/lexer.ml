@@ -1,0 +1,131 @@
+type token =
+  | Ident of string
+  | Number of string
+  | String of string
+  | Punct of string
+  | Eof
+
+type t = { tokens : token array; mutable index : int }
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9') || c = '$'
+
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let len = String.length src in
+  let out = ref [] in
+  let i = ref 0 in
+  let error msg = Error (Printf.sprintf "SQL lexer error at offset %d: %s" !i msg) in
+  let rec loop () =
+    if !i >= len then Ok (List.rev (Eof :: !out))
+    else begin
+      let c = src.[!i] in
+      if c = ' ' || c = '\t' || c = '\n' || c = '\r' then begin
+        incr i;
+        loop ()
+      end
+      else if c = '-' && !i + 1 < len && src.[!i + 1] = '-' then begin
+        while !i < len && src.[!i] <> '\n' do incr i done;
+        loop ()
+      end
+      else if c = '/' && !i + 1 < len && src.[!i + 1] = '*' then begin
+        let closed = ref false in
+        i := !i + 2;
+        while (not !closed) && !i + 1 < len do
+          if src.[!i] = '*' && src.[!i + 1] = '/' then begin
+            closed := true;
+            i := !i + 2
+          end
+          else incr i
+        done;
+        if !closed then loop () else error "unterminated comment"
+      end
+      else if is_ident_start c then begin
+        let start = !i in
+        while !i < len && is_ident_char src.[!i] do incr i done;
+        out := Ident (String.sub src start (!i - start)) :: !out;
+        loop ()
+      end
+      else if is_digit c then begin
+        let start = !i in
+        while !i < len && (is_digit src.[!i] || src.[!i] = '.') do incr i done;
+        out := Number (String.sub src start (!i - start)) :: !out;
+        loop ()
+      end
+      else if c = '\'' then begin
+        (* SQL strings; '' escapes a quote. *)
+        let buf = Buffer.create 16 in
+        incr i;
+        let rec scan () =
+          if !i >= len then error "unterminated string"
+          else if src.[!i] = '\'' then
+            if !i + 1 < len && src.[!i + 1] = '\'' then begin
+              Buffer.add_char buf '\'';
+              i := !i + 2;
+              scan ()
+            end
+            else begin
+              incr i;
+              out := String (Buffer.contents buf) :: !out;
+              loop ()
+            end
+          else begin
+            Buffer.add_char buf src.[!i];
+            incr i;
+            scan ()
+          end
+        in
+        scan ()
+      end
+      else if c = '"' then begin
+        (* Double-quoted identifiers. *)
+        let close = try String.index_from src (!i + 1) '"' with Not_found -> -1 in
+        if close < 0 then error "unterminated quoted identifier"
+        else begin
+          out := Ident (String.sub src (!i + 1) (close - !i - 1)) :: !out;
+          i := close + 1;
+          loop ()
+        end
+      end
+      else begin
+        let two =
+          if !i + 1 < len then String.sub src !i 2 else ""
+        in
+        match two with
+        | "<=" | ">=" | "<>" | "!=" | "==" | "||" ->
+            out := Punct (if two = "!=" then "<>" else if two = "==" then "=" else two) :: !out;
+            i := !i + 2;
+            loop ()
+        | _ -> (
+            match c with
+            | '(' | ')' | ',' | '.' | '=' | '<' | '>' | '+' | '-' | '*' | '/'
+            | ';' | '%' ->
+                out := Punct (String.make 1 c) :: !out;
+                incr i;
+                loop ()
+            | _ -> error (Printf.sprintf "unexpected character %C" c))
+      end
+    end
+  in
+  loop ()
+
+let create src =
+  match tokenize src with
+  | Ok tokens -> Ok { tokens = Array.of_list tokens; index = 0 }
+  | Error _ as e -> e
+
+let peek t = t.tokens.(t.index)
+
+let next t =
+  let tok = t.tokens.(t.index) in
+  if tok <> Eof then t.index <- t.index + 1;
+  tok
+
+let pos t = t.index
+
+let save t = t.index
+
+let restore t i = t.index <- i

@@ -1,0 +1,27 @@
+(** SQL tokenizer. Keywords are not distinguished from identifiers here;
+    the parser matches identifiers case-insensitively. *)
+
+type token =
+  | Ident of string
+  | Number of string
+  | String of string  (** contents without quotes *)
+  | Punct of string  (** operators and punctuation, e.g. "(", "<=", "," *)
+  | Eof
+
+type t
+
+val create : string -> (t, string) result
+(** Tokenize the whole input eagerly; reports unterminated strings or
+    comments and illegal characters with their offset. *)
+
+val peek : t -> token
+val next : t -> token
+(** Return the current token and advance. *)
+
+val pos : t -> int
+(** Index of the current token (for error messages). *)
+
+val save : t -> int
+val restore : t -> int -> unit
+(** Save/restore the cursor: the parser backtracks at one ambiguity
+    (parenthesised condition vs. parenthesised expression). *)

@@ -1,0 +1,477 @@
+open Ast
+
+exception Parse_error of string
+
+let reserved =
+  [
+    "SELECT"; "FROM"; "WHERE"; "GROUP"; "HAVING"; "ORDER"; "BY"; "UNION";
+    "INTERSECT"; "EXCEPT"; "JOIN"; "ON"; "AS"; "INNER"; "LEFT"; "RIGHT";
+    "FULL"; "CROSS"; "OUTER"; "WITH"; "AND"; "OR"; "NOT"; "IN"; "EXISTS";
+    "BETWEEN"; "IS"; "NULL"; "LIKE"; "LIMIT"; "OFFSET"; "DISTINCT"; "ALL";
+    "ASC"; "DESC"; "CASE"; "WHEN"; "THEN"; "ELSE"; "END";
+  ]
+
+let fail l msg =
+  raise (Parse_error (Printf.sprintf "parse error near token %d: %s" (Lexer.pos l) msg))
+
+let upper = String.uppercase_ascii
+
+let is_kw l kw =
+  match Lexer.peek l with Lexer.Ident s -> upper s = kw | _ -> false
+
+let eat_kw l kw =
+  if is_kw l kw then begin ignore (Lexer.next l); true end else false
+
+let expect_kw l kw =
+  if not (eat_kw l kw) then fail l (Printf.sprintf "expected %s" kw)
+
+let is_punct l p = Lexer.peek l = Lexer.Punct p
+
+let eat_punct l p =
+  if is_punct l p then begin ignore (Lexer.next l); true end else false
+
+let expect_punct l p =
+  if not (eat_punct l p) then fail l (Printf.sprintf "expected '%s'" p)
+
+let ident l =
+  match Lexer.peek l with
+  | Lexer.Ident s when not (List.mem (upper s) reserved) ->
+      ignore (Lexer.next l);
+      s
+  | _ -> fail l "expected identifier"
+
+(* --- expressions --------------------------------------------------------- *)
+
+let rec parse_expr l = parse_additive l
+
+and parse_additive l =
+  let rec go acc =
+    if is_punct l "+" || is_punct l "-" || is_punct l "||" then begin
+      let op = match Lexer.next l with Lexer.Punct p -> p | _ -> assert false in
+      let rhs = parse_multiplicative l in
+      go (Binop (op, acc, rhs))
+    end
+    else acc
+  in
+  go (parse_multiplicative l)
+
+and parse_multiplicative l =
+  let rec go acc =
+    if is_punct l "*" || is_punct l "/" || is_punct l "%" then begin
+      let op = match Lexer.next l with Lexer.Punct p -> p | _ -> assert false in
+      let rhs = parse_factor l in
+      go (Binop (op, acc, rhs))
+    end
+    else acc
+  in
+  go (parse_factor l)
+
+and parse_factor l =
+  match Lexer.peek l with
+  | Lexer.Number n ->
+      ignore (Lexer.next l);
+      if String.contains n '.' then Lit (Float (float_of_string n))
+      else Lit (Int (int_of_string n))
+  | Lexer.String s ->
+      ignore (Lexer.next l);
+      Lit (String s)
+  | Lexer.Punct "-" ->
+      ignore (Lexer.next l);
+      Binop ("-", Lit (Int 0), parse_factor l)
+  | Lexer.Punct "*" ->
+      ignore (Lexer.next l);
+      Star
+  | Lexer.Punct "(" ->
+      ignore (Lexer.next l);
+      let e = parse_expr l in
+      expect_punct l ")";
+      e
+  | Lexer.Ident s when upper s = "NULL" ->
+      ignore (Lexer.next l);
+      Lit Null
+  | Lexer.Ident s when upper s = "CASE" -> parse_case l
+  | Lexer.Ident _ -> (
+      let name = ident_or_function_name l in
+      match Lexer.peek l with
+      | Lexer.Punct "(" ->
+          ignore (Lexer.next l);
+          (* Aggregates: COUNT of star / COUNT DISTINCT etc. *)
+          ignore (eat_kw l "DISTINCT");
+          let args =
+            if eat_punct l ")" then []
+            else begin
+              let rec args_loop acc =
+                let e = parse_expr l in
+                if eat_punct l "," then args_loop (e :: acc)
+                else begin
+                  expect_punct l ")";
+                  List.rev (e :: acc)
+                end
+              in
+              args_loop []
+            end
+          in
+          Fun (name, args)
+      | Lexer.Punct "." ->
+          ignore (Lexer.next l);
+          if is_punct l "*" then begin
+            ignore (Lexer.next l);
+            Star
+          end
+          else
+            let col =
+              match Lexer.peek l with
+              | Lexer.Ident c ->
+                  ignore (Lexer.next l);
+                  c
+              | _ -> fail l "expected column after '.'"
+            in
+            Col (Some name, col)
+      | _ -> Col (None, name))
+  | _ -> fail l "expected expression"
+
+and ident_or_function_name l =
+  (* Function names may collide with keywords we do not reserve; plain
+     identifiers must not be reserved. *)
+  match Lexer.peek l with
+  | Lexer.Ident s when not (List.mem (upper s) reserved) ->
+      ignore (Lexer.next l);
+      s
+  | _ -> fail l "expected identifier"
+
+and parse_case l =
+  (* CASE [expr] WHEN c THEN e ... [ELSE e] END — structure-irrelevant;
+     collapse to a function of the mentioned column expressions. *)
+  expect_kw l "CASE";
+  let parts = ref [] in
+  let rec go () =
+    if eat_kw l "END" then ()
+    else if eat_kw l "WHEN" then begin
+      (* Conditions inside CASE are rare in our corpora; parse as expr
+         followed by optional comparison. *)
+      let e = parse_expr l in
+      parts := e :: !parts;
+      (match Lexer.peek l with
+      | Lexer.Punct ("=" | "<" | ">" | "<=" | ">=" | "<>") ->
+          ignore (Lexer.next l);
+          parts := parse_expr l :: !parts
+      | _ -> ());
+      expect_kw l "THEN";
+      parts := parse_expr l :: !parts;
+      go ()
+    end
+    else if eat_kw l "ELSE" then begin
+      parts := parse_expr l :: !parts;
+      go ()
+    end
+    else fail l "malformed CASE expression"
+  in
+  go ();
+  Fun ("case", List.rev !parts)
+
+(* --- conditions ----------------------------------------------------------- *)
+
+let cmp_of_punct = function
+  | "=" -> Some Eq
+  | "<>" -> Some Neq
+  | "<" -> Some Lt
+  | ">" -> Some Gt
+  | "<=" -> Some Le
+  | ">=" -> Some Ge
+  | _ -> None
+
+let rec parse_cond l = parse_or l
+
+and parse_or l =
+  let rec go acc =
+    if eat_kw l "OR" then go (Or (acc, parse_and l)) else acc
+  in
+  go (parse_and l)
+
+and parse_and l =
+  let rec go acc =
+    if eat_kw l "AND" then go (And (acc, parse_not l)) else acc
+  in
+  go (parse_not l)
+
+and parse_not l =
+  if eat_kw l "NOT" then Not (parse_not l) else parse_primary_cond l
+
+and parse_primary_cond l =
+  if is_kw l "EXISTS" then begin
+    expect_kw l "EXISTS";
+    expect_punct l "(";
+    let q = parse_query_inner l in
+    expect_punct l ")";
+    Exists q
+  end
+  else if is_punct l "(" then begin
+    (* Ambiguity: '(cond)' vs '(expr) cmp ...'. Try condition first and
+       fall back to an expression-led predicate. *)
+    let mark = Lexer.save l in
+    match
+      ignore (Lexer.next l);
+      let c = parse_cond l in
+      expect_punct l ")";
+      c
+    with
+    | c -> (
+        (* If a comparison operator follows, it was an expression after
+           all: re-parse. *)
+        match Lexer.peek l with
+        | Lexer.Punct p when cmp_of_punct p <> None ->
+            Lexer.restore l mark;
+            parse_predicate l
+        | _ -> c)
+    | exception Parse_error _ ->
+        Lexer.restore l mark;
+        parse_predicate l
+  end
+  else parse_predicate l
+
+and parse_predicate l =
+  let e = parse_expr l in
+  let negated = eat_kw l "NOT" in
+  if is_kw l "IN" then begin
+    expect_kw l "IN";
+    expect_punct l "(";
+    let c =
+      if is_kw l "SELECT" then begin
+        let q = parse_query_inner l in
+        In_query (e, q)
+      end
+      else begin
+        let rec items acc =
+          let x = parse_expr l in
+          if eat_punct l "," then items (x :: acc) else List.rev (x :: acc)
+        in
+        In_list (e, items [])
+      end
+    in
+    expect_punct l ")";
+    if negated then Not c else c
+  end
+  else if is_kw l "BETWEEN" then begin
+    expect_kw l "BETWEEN";
+    let lo = parse_expr l in
+    expect_kw l "AND";
+    let hi = parse_expr l in
+    let c = Between (e, lo, hi) in
+    if negated then Not c else c
+  end
+  else if is_kw l "LIKE" then begin
+    expect_kw l "LIKE";
+    match Lexer.next l with
+    | Lexer.String s -> Like (e, s, not negated)
+    | _ -> fail l "expected string after LIKE"
+  end
+  else if is_kw l "IS" then begin
+    expect_kw l "IS";
+    let neg = eat_kw l "NOT" in
+    expect_kw l "NULL";
+    Is_null (e, not neg)
+  end
+  else if negated then fail l "expected IN/BETWEEN/LIKE after NOT"
+  else
+    match Lexer.peek l with
+    | Lexer.Punct p when cmp_of_punct p <> None -> (
+        ignore (Lexer.next l);
+        let op = Option.get (cmp_of_punct p) in
+        (* Scalar subquery on the right-hand side? *)
+        if is_punct l "(" then begin
+          let mark = Lexer.save l in
+          ignore (Lexer.next l);
+          if is_kw l "SELECT" then begin
+            let q = parse_query_inner l in
+            expect_punct l ")";
+            Cmp_query (op, e, q)
+          end
+          else begin
+            Lexer.restore l mark;
+            Cmp (op, e, parse_expr l)
+          end
+        end
+        else
+          match (is_kw l "ANY", is_kw l "SOME", is_kw l "ALL") with
+          | false, false, false -> Cmp (op, e, parse_expr l)
+          | _ ->
+              ignore (Lexer.next l);
+              expect_punct l "(";
+              let q = parse_query_inner l in
+              expect_punct l ")";
+              Cmp_query (op, e, q))
+    | _ -> fail l "expected comparison operator"
+
+(* --- FROM clause ----------------------------------------------------------- *)
+
+and parse_table_ref l =
+  if is_punct l "(" then begin
+    ignore (Lexer.next l);
+    let q = parse_query_inner l in
+    expect_punct l ")";
+    ignore (eat_kw l "AS");
+    let alias = ident l in
+    Derived (q, alias)
+  end
+  else begin
+    let name = ident l in
+    ignore (eat_kw l "AS");
+    match Lexer.peek l with
+    | Lexer.Ident s when not (List.mem (upper s) reserved) ->
+        ignore (Lexer.next l);
+        Table (name, Some s)
+    | _ -> Table (name, None)
+  end
+
+and parse_from l =
+  (* Returns the table refs plus the conjunction of all ON conditions. *)
+  let conds = ref [] in
+  let rec joins acc =
+    let is_join_kw () =
+      is_kw l "JOIN" || is_kw l "INNER" || is_kw l "LEFT" || is_kw l "RIGHT"
+      || is_kw l "FULL" || is_kw l "CROSS"
+    in
+    if is_join_kw () then begin
+      ignore (eat_kw l "INNER");
+      ignore (eat_kw l "LEFT");
+      ignore (eat_kw l "RIGHT");
+      ignore (eat_kw l "FULL");
+      ignore (eat_kw l "CROSS");
+      ignore (eat_kw l "OUTER");
+      expect_kw l "JOIN";
+      let t = parse_table_ref l in
+      if eat_kw l "ON" then conds := parse_cond l :: !conds;
+      joins (t :: acc)
+    end
+    else if eat_punct l "," then joins (parse_table_ref l :: acc)
+    else List.rev acc
+  in
+  let refs = joins [ parse_table_ref l ] in
+  (refs, List.rev !conds)
+
+(* --- SELECT core ----------------------------------------------------------- *)
+
+and parse_select l =
+  expect_kw l "SELECT";
+  let distinct = eat_kw l "DISTINCT" in
+  ignore (eat_kw l "ALL");
+  let select_list =
+    if is_punct l "*" then begin
+      ignore (Lexer.next l);
+      []
+    end
+    else begin
+      let item () =
+        let e = parse_expr l in
+        let alias =
+          if eat_kw l "AS" then Some (ident l)
+          else
+            match Lexer.peek l with
+            | Lexer.Ident s when not (List.mem (upper s) reserved) ->
+                ignore (Lexer.next l);
+                Some s
+            | _ -> None
+        in
+        (e, alias)
+      in
+      let rec items acc =
+        let it = item () in
+        if eat_punct l "," then items (it :: acc) else List.rev (it :: acc)
+      in
+      items []
+    end
+  in
+  expect_kw l "FROM";
+  let from, join_conds = parse_from l in
+  let where =
+    if eat_kw l "WHERE" then Some (parse_cond l) else None
+  in
+  let where = Ast.conjoin (join_conds @ Option.to_list where) in
+  let group_by =
+    if is_kw l "GROUP" then begin
+      expect_kw l "GROUP";
+      expect_kw l "BY";
+      let rec exprs acc =
+        let e = parse_expr l in
+        if eat_punct l "," then exprs (e :: acc) else List.rev (e :: acc)
+      in
+      exprs []
+    end
+    else []
+  in
+  let having = if eat_kw l "HAVING" then Some (parse_cond l) else None in
+  let order_by =
+    if is_kw l "ORDER" then begin
+      expect_kw l "ORDER";
+      expect_kw l "BY";
+      let rec exprs acc =
+        let e = parse_expr l in
+        ignore (eat_kw l "ASC");
+        ignore (eat_kw l "DESC");
+        if eat_punct l "," then exprs (e :: acc) else List.rev (e :: acc)
+      in
+      exprs []
+    end
+    else []
+  in
+  if eat_kw l "LIMIT" then ignore (Lexer.next l);
+  if eat_kw l "OFFSET" then ignore (Lexer.next l);
+  Select { distinct; select_list; from; where; group_by; having; order_by }
+
+and parse_query_inner l =
+  let lhs = parse_select l in
+  let rec setops acc =
+    if is_kw l "UNION" then begin
+      expect_kw l "UNION";
+      let all = eat_kw l "ALL" in
+      let rhs = parse_select l in
+      setops (Setop ((if all then Union_all else Union), acc, rhs))
+    end
+    else if is_kw l "INTERSECT" then begin
+      expect_kw l "INTERSECT";
+      ignore (eat_kw l "ALL");
+      setops (Setop (Intersect, acc, parse_select l))
+    end
+    else if is_kw l "EXCEPT" then begin
+      expect_kw l "EXCEPT";
+      ignore (eat_kw l "ALL");
+      setops (Setop (Except, acc, parse_select l))
+    end
+    else acc
+  in
+  setops lhs
+
+let parse_statement l =
+  let views =
+    if is_kw l "WITH" then begin
+      expect_kw l "WITH";
+      let rec view_list acc =
+        let name = ident l in
+        expect_kw l "AS";
+        expect_punct l "(";
+        let q = parse_query_inner l in
+        expect_punct l ")";
+        if eat_punct l "," then view_list ((name, q) :: acc)
+        else List.rev ((name, q) :: acc)
+      in
+      view_list []
+    end
+    else []
+  in
+  let body = parse_query_inner l in
+  ignore (eat_punct l ";");
+  (match Lexer.peek l with
+  | Lexer.Eof -> ()
+  | _ -> fail l "trailing input");
+  { views; body }
+
+let parse src =
+  match Lexer.create src with
+  | Error _ as e -> e
+  | Ok l -> ( try Ok (parse_statement l) with Parse_error m -> Error m)
+
+let parse_query src =
+  match parse src with
+  | Ok { views = []; body } -> Ok body
+  | Ok _ -> Error "unexpected WITH clause"
+  | Error _ as e -> e

@@ -1,0 +1,10 @@
+(** Recursive-descent parser for the SQL fragment of paper §5.2:
+    SELECT-FROM-WHERE with explicit JOIN ... ON, WITH views, set
+    operations, and nested subqueries via IN, EXISTS and scalar
+    comparisons. GROUP BY / HAVING / ORDER BY / LIMIT are parsed and
+    retained but play no role in the hypergraph structure. *)
+
+val parse : string -> (Ast.statement, string) result
+
+val parse_query : string -> (Ast.query, string) result
+(** Like {!parse} but without the WITH prefix. *)

@@ -1,0 +1,1 @@
+lib/xcsp/xcsp.ml: Array Buffer Hashtbl Hg Kit List Option Printf String Xml

@@ -1,0 +1,1 @@
+lib/xcsp/xcsp.mli: Hg

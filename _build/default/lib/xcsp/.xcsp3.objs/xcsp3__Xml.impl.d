@@ -1,0 +1,1 @@
+lib/xcsp/xml.ml: Buffer List Printf String

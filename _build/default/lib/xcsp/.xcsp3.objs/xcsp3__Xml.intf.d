@@ -1,0 +1,1 @@
+lib/xcsp/xml.mli:

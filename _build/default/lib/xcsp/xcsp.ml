@@ -1,0 +1,206 @@
+type instance = {
+  name : string;
+  variables : string list;
+  scopes : string list list;
+}
+
+(* "[3]" -> [3]; "[2][4]" -> [2;4] *)
+let parse_dims s =
+  let s = String.trim s in
+  let out = ref [] in
+  let i = ref 0 in
+  let ok = ref true in
+  let len = String.length s in
+  while !ok && !i < len do
+    if s.[!i] <> '[' then ok := false
+    else begin
+      let close = try String.index_from s !i ']' with Not_found -> -1 in
+      if close < 0 then ok := false
+      else begin
+        (match int_of_string_opt (String.sub s (!i + 1) (close - !i - 1)) with
+        | Some n when n > 0 -> out := n :: !out
+        | _ -> ok := false);
+        i := close + 1
+      end
+    end
+  done;
+  if !ok && !out <> [] then Some (List.rev !out) else None
+
+let expand_array id dims =
+  let rec go prefix = function
+    | [] -> [ prefix ]
+    | d :: rest ->
+        List.concat (List.init d (fun i -> go (Printf.sprintf "%s[%d]" prefix i) rest))
+  in
+  go id dims
+
+(* Tokens that look like variable references: name, name[i], name[i][j]. *)
+let scope_tokens text =
+  let is_token_char c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+    || c = '_' || c = '[' || c = ']'
+  in
+  let len = String.length text in
+  let out = ref [] in
+  let i = ref 0 in
+  while !i < len do
+    if is_token_char text.[!i] then begin
+      let start = !i in
+      while !i < len && is_token_char text.[!i] do incr i done;
+      out := String.sub text start (!i - start) :: !out
+    end
+    else incr i
+  done;
+  List.rev !out
+
+let parse src =
+  match Xml.parse src with
+  | Error _ as e -> e
+  | Ok root -> (
+      match Xml.tag root with
+      | Some "instance" -> (
+          let name = Option.value (Xml.attr root "id") ~default:"instance" in
+          match Xml.find_child root "variables" with
+          | None -> Error "XCSP: missing <variables>"
+          | Some vars_el -> (
+              let variables =
+                List.concat_map
+                  (fun child ->
+                    match (Xml.tag child, Xml.attr child "id") with
+                    | Some "var", Some id -> [ id ]
+                    | Some "array", Some id -> (
+                        match Xml.attr child "size" with
+                        | Some size -> (
+                            match parse_dims size with
+                            | Some dims -> expand_array id dims
+                            | None -> [])
+                        | None -> [])
+                    | _ -> [])
+                  (Xml.children vars_el)
+              in
+              match Xml.find_child root "constraints" with
+              | None -> Error "XCSP: missing <constraints>"
+              | Some cons_el ->
+                  let declared = Hashtbl.create 64 in
+                  List.iter (fun v -> Hashtbl.replace declared v ()) variables;
+                  (* Array bases, for whole-array references like "y[]". *)
+                  let array_bases = Hashtbl.create 8 in
+                  List.iter
+                    (fun v ->
+                      match String.index_opt v '[' with
+                      | Some i ->
+                          let base = String.sub v 0 i in
+                          Hashtbl.replace array_bases base
+                            (v :: (Option.value (Hashtbl.find_opt array_bases base) ~default:[]))
+                      | None -> ())
+                    variables;
+                  let scope_of_text text =
+                    List.concat_map
+                      (fun tok ->
+                        if Hashtbl.mem declared tok then [ tok ]
+                        else if String.length tok > 2
+                                && String.sub tok (String.length tok - 2) 2 = "[]"
+                        then
+                          let base = String.sub tok 0 (String.length tok - 2) in
+                          List.rev
+                            (Option.value (Hashtbl.find_opt array_bases base) ~default:[])
+                        else [])
+                      (scope_tokens text)
+                    |> List.sort_uniq compare
+                  in
+                  let scopes = ref [] in
+                  let rec walk node =
+                    match Xml.tag node with
+                    | Some "block" -> List.iter walk (Xml.children node)
+                    | Some "group" -> (
+                        (* Template + one <args> per instantiation: scope =
+                           template variables ∪ args variables. *)
+                        let args = Xml.find_children node "args" in
+                        let template_text =
+                          String.concat " "
+                            (List.filter_map
+                               (fun c ->
+                                 if Xml.tag c = Some "args" then None
+                                 else Some (Xml.text_content c))
+                               (Xml.children node))
+                        in
+                        let template_scope = scope_of_text template_text in
+                        match args with
+                        | [] -> if template_scope <> [] then scopes := template_scope :: !scopes
+                        | _ ->
+                            List.iter
+                              (fun a ->
+                                let s =
+                                  List.sort_uniq compare
+                                    (template_scope @ scope_of_text (Xml.text_content a))
+                                in
+                                if s <> [] then scopes := s :: !scopes)
+                              args)
+                    | Some _ ->
+                        let s = scope_of_text (Xml.text_content node) in
+                        if s <> [] then scopes := s :: !scopes
+                    | None -> ()
+                  in
+                  List.iter walk (Xml.children cons_el);
+                  Ok { name; variables; scopes = List.rev !scopes }))
+      | Some t -> Error (Printf.sprintf "XCSP: unexpected root element <%s>" t)
+      | None -> Error "XCSP: no root element")
+
+let parse_file path =
+  try
+    let ic = open_in path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    parse s
+  with Sys_error m -> Error m
+
+let to_hypergraph inst =
+  if inst.scopes = [] then Error "XCSP: no constraints"
+  else begin
+    let declared = Hashtbl.create 64 in
+    List.iter (fun v -> Hashtbl.replace declared v ()) inst.variables;
+    let undeclared =
+      List.concat_map
+        (fun scope -> List.filter (fun v -> not (Hashtbl.mem declared v)) scope)
+        inst.scopes
+    in
+    match undeclared with
+    | v :: _ -> Error (Printf.sprintf "XCSP: undeclared variable %s" v)
+    | [] ->
+        Ok
+          (Hg.Hypergraph.of_named_edges
+             (List.mapi (fun i scope -> (Printf.sprintf "c%d" i, scope)) inst.scopes))
+  end
+
+let read src =
+  match parse src with Error _ as e -> e | Ok inst -> to_hypergraph inst
+
+let read_file path =
+  match parse_file path with Error _ as e -> e | Ok inst -> to_hypergraph inst
+
+let to_xml ~name h =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "<instance id=\"%s\" format=\"XCSP3\" type=\"CSP\">\n  <variables>\n" name);
+  Array.iter
+    (fun v ->
+      Buffer.add_string buf
+        (Printf.sprintf "    <var id=\"%s\"> 0..1 </var>\n" v))
+    h.Hg.Hypergraph.vertex_names;
+  Buffer.add_string buf "  </variables>\n  <constraints>\n";
+  Array.iteri
+    (fun i e ->
+      let scope =
+        Kit.Bitset.to_list e
+        |> List.map (Hg.Hypergraph.vertex_name h)
+        |> String.concat " "
+      in
+      ignore i;
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    <extension>\n      <list> %s </list>\n      <supports> </supports>\n    </extension>\n"
+           scope))
+    h.Hg.Hypergraph.edges;
+  Buffer.add_string buf "  </constraints>\n</instance>\n";
+  Buffer.contents buf

@@ -1,0 +1,37 @@
+(** XCSP-style CSP instances to hypergraphs (paper §5.5).
+
+    The reader accepts the structural subset of XCSP3: variable
+    declarations via [<var>] and [<array>] (with [size="[n]"] or
+    [size="[n][m]"] shapes), and constraints of any type under
+    [<constraints>], including [<group>] (a template with one [<args>]
+    instantiation per constraint) and nested [<block>]s. Each constraint
+    becomes a hyperedge over the variables occurring in its scope —
+    exactly the paper's translation: a vertex per variable, an edge per
+    constraint.
+
+    The writer emits instances in the same shape (extensional constraints
+    only), which makes generator output self-describing and round-trips
+    with the reader. *)
+
+type instance = {
+  name : string;
+  variables : string list;  (** expanded variable names, declaration order *)
+  scopes : string list list;  (** one scope per constraint *)
+}
+
+val parse : string -> (instance, string) result
+val parse_file : string -> (instance, string) result
+
+val to_hypergraph : instance -> (Hg.Hypergraph.t, string) result
+(** Fails when a constraint references an undeclared variable or the
+    instance has no constraints. Variables not occurring in any scope are
+    dropped (hypergraphs have no isolated vertices). *)
+
+val read : string -> (Hg.Hypergraph.t, string) result
+(** [parse] followed by [to_hypergraph]. *)
+
+val read_file : string -> (Hg.Hypergraph.t, string) result
+
+val to_xml : name:string -> Hg.Hypergraph.t -> string
+(** Render a hypergraph as an XCSP-style instance with one extensional
+    constraint per edge. *)

@@ -1,0 +1,21 @@
+(** A small XML parser, sufficient for XCSP3-style instance files:
+    elements, attributes (single or double quoted), text, comments,
+    processing instructions/declarations, self-closing tags and the five
+    predefined entities. No DTD, CDATA or namespace handling. *)
+
+type node =
+  | Element of string * (string * string) list * node list
+  | Text of string
+
+val parse : string -> (node, string) result
+(** Parse a document; returns its single root element. *)
+
+val tag : node -> string option
+val attr : node -> string -> string option
+val children : node -> node list
+val text_content : node -> string
+(** Concatenated text of the node and its descendants. *)
+
+val find_child : node -> string -> node option
+val find_children : node -> string -> node list
+(** Direct children by tag name. *)

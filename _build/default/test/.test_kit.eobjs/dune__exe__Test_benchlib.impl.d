@@ -1,0 +1,1 @@
+test/test_benchlib.ml: Alcotest Array Benchlib Decomp Detk Experiments Filename Hg Kit List String Sys

@@ -1,0 +1,1 @@
+test/test_decomp.ml: Alcotest Decomp Hg Kit List String

@@ -1,0 +1,1 @@
+test/test_detk.ml: Alcotest Decomp Detk Hg Kit List QCheck QCheck_alcotest

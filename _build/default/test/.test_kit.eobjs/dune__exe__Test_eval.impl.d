@@ -1,0 +1,1 @@
+test/test_eval.ml: Alcotest Array Detk Eval Ghd Hg Kit List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Cq Decomp Detk Ghd Hg Kit List QCheck QCheck_alcotest

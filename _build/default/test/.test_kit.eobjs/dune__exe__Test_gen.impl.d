@@ -1,0 +1,1 @@
+test/test_gen.ml: Alcotest Array Detk Gen Hg Kit List Option String

@@ -1,0 +1,1 @@
+test/test_ghd.ml: Alcotest Decomp Detk Ghd Hg Kit List Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_hypergraph.ml: Alcotest Array Hg Kit List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_kit.ml: Alcotest Array Kit List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_lp_fhd.ml: Alcotest Array Decomp Detk Fhd Hg Kit List Lp QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_props.ml: Alcotest Array Detk Fhd Float Hg Kit List Lp QCheck QCheck_alcotest Stdlib

@@ -1,0 +1,1 @@
+test/test_reduce_io.ml: Alcotest Decomp Decomp_io Detk Hg Kit List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_sql.ml: Alcotest Decomp Detk Hg Kit List Sql Str

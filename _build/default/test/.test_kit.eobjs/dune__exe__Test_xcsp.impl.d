@@ -1,0 +1,1 @@
+test/test_xcsp.ml: Alcotest Gen Hg Kit List Option Printf String Xcsp3

@@ -1,0 +1,180 @@
+(* Tests for the benchmark repository, the analysis runners and the
+   experiment renderers (fast, tiny-scale integration). *)
+
+module B = Benchlib
+
+let build () = B.Repository.build ~seed:7 ~scale:0.05 ()
+
+let repository_build () =
+  let instances = build () in
+  Alcotest.(check bool) "nonempty" true (List.length instances > 10);
+  (* All five groups are populated. *)
+  List.iter
+    (fun (g, insts) ->
+      Alcotest.(check bool) (B.Group.name g ^ " populated") true (insts <> []))
+    (B.Repository.by_group instances);
+  (* Names are unique. *)
+  let names = List.map (fun i -> i.B.Instance.name) instances in
+  Alcotest.(check int) "unique names" (List.length names)
+    (List.length (List.sort_uniq compare names))
+
+let repository_deterministic () =
+  let a = build () and b = build () in
+  Alcotest.(check int) "same count" (List.length a) (List.length b);
+  List.iter2
+    (fun x y ->
+      Alcotest.(check string) "same name" x.B.Instance.name y.B.Instance.name;
+      Alcotest.(check bool) "same structure" true
+        (Hg.Hypergraph.equal_structure x.B.Instance.hg y.B.Instance.hg))
+    a b
+
+let repository_scale () =
+  let small = B.Repository.build ~seed:7 ~scale:0.05 () in
+  let large = B.Repository.build ~seed:7 ~scale:0.3 () in
+  Alcotest.(check bool) "scale grows the repository" true
+    (List.length large > List.length small)
+
+let save_load_roundtrip () =
+  let dir = Filename.temp_file "hb" "" in
+  Sys.remove dir;
+  let instances = build () in
+  B.Repository.save ~dir instances;
+  (match B.Repository.load ~dir with
+  | Error m -> Alcotest.fail m
+  | Ok loaded ->
+      Alcotest.(check int) "count" (List.length instances) (List.length loaded);
+      List.iter2
+        (fun a b ->
+          Alcotest.(check string) "name" a.B.Instance.name b.B.Instance.name;
+          Alcotest.(check bool) "group" true (a.B.Instance.group = b.B.Instance.group);
+          Alcotest.(check string) "source" a.B.Instance.source b.B.Instance.source;
+          Alcotest.(check bool) "structure" true
+            (Hg.Hypergraph.equal_structure a.B.Instance.hg b.B.Instance.hg))
+        instances loaded);
+  (* Clean up. *)
+  Sys.readdir dir |> Array.iter (fun f -> Sys.remove (Filename.concat dir f));
+  Sys.rmdir dir
+
+let load_missing () =
+  match B.Repository.load ~dir:"/nonexistent-hyperbench" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "missing dir should fail"
+
+let fast_budget () = Kit.Deadline.of_seconds 0.2
+
+let analysis_statuses () =
+  let instances = build () in
+  let records = B.Analysis.analyze ~budget:fast_budget ~max_k:4 instances in
+  Alcotest.(check int) "one record per instance" (List.length instances)
+    (List.length records);
+  List.iter
+    (fun (r : B.Analysis.record) ->
+      (* Exactness claim checked against a direct solve. *)
+      match r.B.Analysis.hw with
+      | B.Analysis.Exact k ->
+          let direct = Detk.solve r.B.Analysis.instance.B.Instance.hg ~k in
+          (match direct with
+          | Detk.Decomposition _ -> ()
+          | _ -> Alcotest.failf "%s: exact hw %d not confirmed"
+                   r.B.Analysis.instance.B.Instance.name k);
+          if k > 1 then begin
+            (* The runs must witness the 'no' at k-1. *)
+            let below =
+              List.find_opt
+                (fun (run : B.Analysis.hw_run) -> run.k = k - 1)
+                r.B.Analysis.hw_runs
+            in
+            match below with
+            | Some { outcome = `No; _ } -> ()
+            | _ -> Alcotest.failf "%s: missing no-run below hw" r.B.Analysis.instance.B.Instance.name
+          end
+      | B.Analysis.Upper _ | B.Analysis.Open_above _ -> ())
+    records
+
+let analysis_witnesses_valid () =
+  let instances = build () in
+  let records = B.Analysis.analyze ~budget:fast_budget ~max_k:4 instances in
+  List.iter
+    (fun (r : B.Analysis.record) ->
+      match r.B.Analysis.hd with
+      | Some d ->
+          Alcotest.(check bool)
+            (r.B.Analysis.instance.B.Instance.name ^ " valid witness")
+            true
+            (Decomp.is_valid_hd r.B.Analysis.instance.B.Instance.hg d)
+      | None -> ())
+    records
+
+let stats_histograms () =
+  let instances = build () in
+  let records = B.Analysis.analyze ~budget:fast_budget ~max_k:3 instances in
+  let hist =
+    B.Stats.property_histogram
+      (fun r -> Some r.B.Analysis.profile.Hg.Properties.degree)
+      records
+  in
+  Alcotest.(check int) "histogram sums to record count"
+    (List.length records)
+    (Array.fold_left ( + ) 0 hist);
+  let sizes =
+    B.Stats.size_buckets (fun r -> r.B.Analysis.profile.Hg.Properties.edges) records
+  in
+  Alcotest.(check int) "size buckets sum" (List.length records)
+    (Array.fold_left ( + ) 0 sizes)
+
+let pearson_sanity () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0 |] in
+  Alcotest.(check (float 1e-9)) "self" 1.0 (B.Stats.pearson xs xs);
+  Alcotest.(check (float 1e-9)) "negation" (-1.0)
+    (B.Stats.pearson xs (Array.map (fun x -> -.x) xs));
+  Alcotest.(check (float 1e-9)) "constant" 0.0
+    (B.Stats.pearson xs [| 5.0; 5.0; 5.0; 5.0 |])
+
+let experiments_render () =
+  let ctx = Experiments.prepare ~seed:7 ~scale:0.05 ~budget_seconds:0.2 ~max_k:4 () in
+  let checks =
+    [
+      (Experiments.table1 ctx, "Table 1");
+      (Experiments.table2 ctx, "Table 2");
+      (Experiments.figure3 ctx, "Figure 3");
+      (Experiments.figure4 ctx, "Figure 4");
+      (Experiments.figure5 ctx, "Figure 5");
+      (Experiments.table3 ctx, "Table 3");
+      (Experiments.table4 ctx, "Table 4");
+      (Experiments.table5 ctx, "Table 5");
+      (Experiments.table6 ctx, "Table 6");
+    ]
+  in
+  List.iter
+    (fun (text, header) ->
+      Alcotest.(check bool)
+        (header ^ " rendered")
+        true
+        (String.length text > String.length header
+        && String.sub text 0 (String.length header) = header))
+    checks
+
+let () =
+  Alcotest.run "benchlib"
+    [
+      ( "repository",
+        [
+          Alcotest.test_case "build" `Quick repository_build;
+          Alcotest.test_case "deterministic" `Quick repository_deterministic;
+          Alcotest.test_case "scale" `Quick repository_scale;
+          Alcotest.test_case "save/load" `Quick save_load_roundtrip;
+          Alcotest.test_case "load missing" `Quick load_missing;
+        ] );
+      ( "analysis",
+        [
+          Alcotest.test_case "statuses" `Slow analysis_statuses;
+          Alcotest.test_case "witnesses valid" `Slow analysis_witnesses_valid;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "histograms" `Quick stats_histograms;
+          Alcotest.test_case "pearson" `Quick pearson_sanity;
+        ] );
+      ( "experiments",
+        [ Alcotest.test_case "render all artefacts" `Slow experiments_render ] );
+    ]

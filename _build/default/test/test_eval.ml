@@ -1,0 +1,162 @@
+(* Tests for the decomposition-guided evaluation engine: the relation
+   algebra against hand-computed results, and Yannakakis evaluation
+   cross-validated against the naive join on random databases. *)
+
+module H = Hg.Hypergraph
+module R = Eval.Relation
+module Y = Eval.Yannakakis
+
+let row l = Array.of_list l
+
+let relation_basics () =
+  let r = R.create ~columns:[ 2; 0 ] [ row [ 10; 1 ]; row [ 20; 2 ]; row [ 10; 1 ] ] in
+  (* Columns are normalised to sorted order, rows permuted along. *)
+  Alcotest.(check (list int)) "sorted columns" [ 0; 2 ] (R.columns r);
+  Alcotest.(check int) "duplicates dropped" 2 (R.cardinality r);
+  Alcotest.(check bool) "row present" true
+    (List.exists (fun x -> x = row [ 1; 10 ]) (R.rows r))
+
+let relation_project () =
+  let r = R.create ~columns:[ 0; 1 ] [ row [ 1; 2 ]; row [ 1; 3 ]; row [ 2; 3 ] ] in
+  let p = R.project r [ 0 ] in
+  Alcotest.(check int) "projection dedups" 2 (R.cardinality p)
+
+let relation_join () =
+  let r = R.create ~columns:[ 0; 1 ] [ row [ 1; 2 ]; row [ 3; 4 ] ] in
+  let s = R.create ~columns:[ 1; 2 ] [ row [ 2; 5 ]; row [ 2; 6 ]; row [ 9; 9 ] ] in
+  let j = R.join r s in
+  Alcotest.(check (list int)) "join columns" [ 0; 1; 2 ] (R.columns j);
+  Alcotest.(check int) "two matches" 2 (R.cardinality j);
+  Alcotest.(check bool) "tuple" true
+    (List.exists (fun x -> x = row [ 1; 2; 5 ]) (R.rows j))
+
+let relation_join_disjoint_is_product () =
+  let r = R.create ~columns:[ 0 ] [ row [ 1 ]; row [ 2 ] ] in
+  let s = R.create ~columns:[ 1 ] [ row [ 7 ]; row [ 8 ]; row [ 9 ] ] in
+  Alcotest.(check int) "cross product" 6 (R.cardinality (R.join r s))
+
+let relation_semijoin () =
+  let r = R.create ~columns:[ 0; 1 ] [ row [ 1; 2 ]; row [ 3; 4 ] ] in
+  let s = R.create ~columns:[ 1; 2 ] [ row [ 2; 5 ] ] in
+  let sj = R.semijoin r s in
+  Alcotest.(check int) "one survivor" 1 (R.cardinality sj);
+  Alcotest.(check (list int)) "columns unchanged" [ 0; 1 ] (R.columns sj)
+
+let relation_unit () =
+  let r = R.create ~columns:[ 0 ] [ row [ 1 ] ] in
+  Alcotest.(check bool) "unit is identity" true
+    (R.equal r (R.join R.unit_relation r))
+
+let triangle = H.of_int_edges [ [ 0; 1 ]; [ 1; 2 ]; [ 2; 0 ] ]
+
+let db_of_lists h lists =
+  List.mapi
+    (fun e rows ->
+      (e, R.create ~columns:(Kit.Bitset.to_list (H.edge h e)) (List.map row rows)))
+    lists
+
+let triangle_db =
+  (* r(0,1) = {(1,2),(2,3)}; s(1,2) = {(2,4),(3,5)}; t(2,0) -> columns
+     sorted to (0,2): {(1,4),(9,9)}. One triangle: 1-2-4. *)
+  db_of_lists triangle
+    [ [ [ 1; 2 ]; [ 2; 3 ] ]; [ [ 2; 4 ]; [ 3; 5 ] ]; [ [ 1; 4 ] ] ]
+
+let naive_triangle () =
+  let result = Y.naive_join triangle triangle_db in
+  Alcotest.(check int) "one triangle" 1 (R.cardinality result);
+  Alcotest.(check bool) "the tuple" true
+    (List.exists (fun x -> x = row [ 1; 2; 4 ]) (R.rows result))
+
+let guided_triangle () =
+  match Detk.solve triangle ~k:2 with
+  | Detk.Decomposition d ->
+      let result = Y.evaluate triangle triangle_db d in
+      Alcotest.(check bool) "matches naive" true
+        (R.equal result (Y.naive_join triangle triangle_db));
+      Alcotest.(check bool) "boolean satisfiable" true
+        (Y.boolean triangle triangle_db d)
+  | _ -> Alcotest.fail "triangle decomposes at 2"
+
+let unsatisfiable () =
+  let db =
+    db_of_lists triangle [ [ [ 1; 2 ] ]; [ [ 2; 4 ] ]; [ [ 7; 7 ] ] ]
+  in
+  match Detk.solve triangle ~k:2 with
+  | Detk.Decomposition d ->
+      Alcotest.(check bool) "boolean no" false (Y.boolean triangle db d);
+      Alcotest.(check int) "empty result" 0 (R.cardinality (Y.evaluate triangle db d))
+  | _ -> Alcotest.fail "triangle decomposes at 2"
+
+let check_db_validation () =
+  (match Y.check_db triangle triangle_db with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m);
+  match Y.check_db triangle (List.tl triangle_db) with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "missing relation must be reported"
+
+(* The central property: decomposition-guided evaluation agrees with the
+   naive join, for HDs from the solver on random hypergraphs and random
+   databases. *)
+let prop_guided_matches_naive =
+  QCheck.Test.make ~name:"Yannakakis over HD = naive join" ~count:60
+    (QCheck.make
+       QCheck.Gen.(
+         pair (int_range 0 10_000)
+           (list_size (int_range 1 5) (list_size (int_range 1 3) (int_bound 5)))))
+    (fun (seed, edges) ->
+      let edges = List.map (List.sort_uniq compare) edges in
+      let edges = List.filter (( <> ) []) edges in
+      QCheck.assume (edges <> []);
+      let h = H.of_int_edges edges in
+      let rng = Kit.Rng.create seed in
+      let db = Y.random_db rng ~rows:12 ~domain:4 h in
+      match Detk.hypertree_width h with
+      | Some (_, d), _ ->
+          let guided = Y.evaluate h db d in
+          let naive = Y.naive_join h db in
+          R.equal guided naive
+          && Y.boolean h db d = not (R.is_empty naive)
+      | None, _ -> true)
+
+let prop_guided_matches_naive_balsep =
+  QCheck.Test.make ~name:"Yannakakis over BalSep GHD = naive join" ~count:40
+    (QCheck.make
+       QCheck.Gen.(
+         pair (int_range 0 10_000)
+           (list_size (int_range 2 5) (list_size (int_range 1 3) (int_bound 5)))))
+    (fun (seed, edges) ->
+      let edges = List.map (List.sort_uniq compare) edges in
+      let edges = List.filter (( <> ) []) edges in
+      QCheck.assume (edges <> []);
+      let h = H.of_int_edges edges in
+      let rng = Kit.Rng.create seed in
+      let db = Y.random_db rng ~rows:10 ~domain:4 h in
+      match (Ghd.Bal_sep.solve h ~k:3).Ghd.Bal_sep.outcome with
+      | Detk.Decomposition d ->
+          R.equal (Y.evaluate h db d) (Y.naive_join h db)
+      | Detk.No_decomposition | Detk.Timeout -> true)
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "eval"
+    [
+      ( "relation",
+        [
+          Alcotest.test_case "create/normalise" `Quick relation_basics;
+          Alcotest.test_case "project" `Quick relation_project;
+          Alcotest.test_case "join" `Quick relation_join;
+          Alcotest.test_case "cross product" `Quick relation_join_disjoint_is_product;
+          Alcotest.test_case "semijoin" `Quick relation_semijoin;
+          Alcotest.test_case "unit" `Quick relation_unit;
+        ] );
+      ( "yannakakis",
+        [
+          Alcotest.test_case "naive triangle" `Quick naive_triangle;
+          Alcotest.test_case "guided triangle" `Quick guided_triangle;
+          Alcotest.test_case "unsatisfiable" `Quick unsatisfiable;
+          Alcotest.test_case "db validation" `Quick check_db_validation;
+          qt prop_guided_matches_naive;
+          qt prop_guided_matches_naive_balsep;
+        ] );
+    ]

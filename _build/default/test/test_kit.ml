@@ -1,0 +1,227 @@
+(* Unit and property tests for the foundation kit. *)
+
+module Bitset = Kit.Bitset
+module Rational = Kit.Rational
+module Rng = Kit.Rng
+
+let bitset_basics () =
+  let s = Bitset.of_list 100 [ 3; 5; 99 ] in
+  Alcotest.(check bool) "mem 3" true (Bitset.mem 3 s);
+  Alcotest.(check bool) "mem 4" false (Bitset.mem 4 s);
+  Alcotest.(check int) "cardinal" 3 (Bitset.cardinal s);
+  Alcotest.(check (list int)) "to_list" [ 3; 5; 99 ] (Bitset.to_list s);
+  let s' = Bitset.remove 5 s in
+  Alcotest.(check int) "cardinal after remove" 2 (Bitset.cardinal s');
+  Alcotest.(check int) "original untouched" 3 (Bitset.cardinal s);
+  Alcotest.(check bool) "is_empty empty" true (Bitset.is_empty (Bitset.empty 10));
+  Alcotest.(check int) "full cardinal" 100 (Bitset.cardinal (Bitset.full 100))
+
+let bitset_full_partial_word () =
+  (* A universe size not divisible by the word size must not leak bits. *)
+  List.iter
+    (fun n ->
+      Alcotest.(check int)
+        (Printf.sprintf "full %d" n)
+        n
+        (Bitset.cardinal (Bitset.full n)))
+    [ 1; 7; 62; 63; 64; 65; 126; 127 ]
+
+let bitset_set_ops () =
+  let a = Bitset.of_list 20 [ 1; 2; 3 ] and b = Bitset.of_list 20 [ 3; 4 ] in
+  Alcotest.(check (list int)) "union" [ 1; 2; 3; 4 ] Bitset.(to_list (union a b));
+  Alcotest.(check (list int)) "inter" [ 3 ] Bitset.(to_list (inter a b));
+  Alcotest.(check (list int)) "diff" [ 1; 2 ] Bitset.(to_list (diff a b));
+  Alcotest.(check bool) "intersects" true (Bitset.intersects a b);
+  Alcotest.(check bool)
+    "no intersect" false
+    (Bitset.intersects a (Bitset.of_list 20 [ 10; 11 ]));
+  Alcotest.(check int) "inter_cardinal" 1 (Bitset.inter_cardinal a b);
+  Alcotest.(check bool) "subset yes" true (Bitset.subset (Bitset.of_list 20 [ 1; 2 ]) a);
+  Alcotest.(check bool) "subset no" false (Bitset.subset b a)
+
+let bitset_universe_mismatch () =
+  let a = Bitset.empty 5 and b = Bitset.empty 6 in
+  Alcotest.check_raises "mixing universes"
+    (Invalid_argument "Bitset: universes differ (5 vs 6)") (fun () ->
+      ignore (Bitset.union a b))
+
+let bitset_choose_filter () =
+  let s = Bitset.of_list 50 [ 10; 20; 30 ] in
+  Alcotest.(check (option int)) "choose" (Some 10) (Bitset.choose s);
+  Alcotest.(check (option int)) "choose empty" None (Bitset.choose (Bitset.empty 3));
+  Alcotest.(check (list int))
+    "filter" [ 20; 30 ]
+    (Bitset.to_list (Bitset.filter (fun x -> x >= 20) s));
+  Alcotest.(check bool) "for_all" true (Bitset.for_all (fun x -> x mod 10 = 0) s);
+  Alcotest.(check bool) "exists" true (Bitset.exists (fun x -> x = 20) s)
+
+(* Property tests: bitsets vs the reference model (sorted int lists). *)
+let prop_gen =
+  QCheck.Gen.(list_size (int_bound 40) (int_bound 99))
+
+let sorted_dedup l = List.sort_uniq compare l
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"bitset of_list/to_list is sorted dedup" ~count:300
+    (QCheck.make prop_gen) (fun l ->
+      Bitset.to_list (Bitset.of_list 100 l) = sorted_dedup l)
+
+let prop_union_model =
+  QCheck.Test.make ~name:"bitset union matches list model" ~count:300
+    (QCheck.make (QCheck.Gen.pair prop_gen prop_gen)) (fun (a, b) ->
+      let s = Bitset.union (Bitset.of_list 100 a) (Bitset.of_list 100 b) in
+      Bitset.to_list s = sorted_dedup (a @ b))
+
+let prop_inter_model =
+  QCheck.Test.make ~name:"bitset inter matches list model" ~count:300
+    (QCheck.make (QCheck.Gen.pair prop_gen prop_gen)) (fun (a, b) ->
+      let s = Bitset.inter (Bitset.of_list 100 a) (Bitset.of_list 100 b) in
+      Bitset.to_list s = sorted_dedup (List.filter (fun x -> List.mem x b) a))
+
+let prop_diff_model =
+  QCheck.Test.make ~name:"bitset diff matches list model" ~count:300
+    (QCheck.make (QCheck.Gen.pair prop_gen prop_gen)) (fun (a, b) ->
+      let s = Bitset.diff (Bitset.of_list 100 a) (Bitset.of_list 100 b) in
+      Bitset.to_list s = sorted_dedup (List.filter (fun x -> not (List.mem x b)) a))
+
+let prop_inter_cardinal =
+  QCheck.Test.make ~name:"inter_cardinal = cardinal of inter" ~count:300
+    (QCheck.make (QCheck.Gen.pair prop_gen prop_gen)) (fun (a, b) ->
+      let sa = Bitset.of_list 100 a and sb = Bitset.of_list 100 b in
+      Bitset.inter_cardinal sa sb = Bitset.cardinal (Bitset.inter sa sb))
+
+let rational_basics () =
+  let half = Rational.make 1 2 and third = Rational.make 1 3 in
+  Alcotest.(check string) "add" "5/6" Rational.(to_string (add half third));
+  Alcotest.(check string) "sub" "1/6" Rational.(to_string (sub half third));
+  Alcotest.(check string) "mul" "1/6" Rational.(to_string (mul half third));
+  Alcotest.(check string) "div" "3/2" Rational.(to_string (div half third));
+  Alcotest.(check string) "normalisation" "1/2" Rational.(to_string (make 4 8));
+  Alcotest.(check string) "negative den" "-1/2" Rational.(to_string (make 4 (-8)));
+  Alcotest.(check int) "compare" (-1) (Rational.compare third half);
+  Alcotest.check_raises "zero denominator" Division_by_zero (fun () ->
+      ignore (Rational.make 1 0))
+
+let rational_floor_ceil () =
+  let check name r f c =
+    Alcotest.(check int) (name ^ " floor") f (Rational.floor r);
+    Alcotest.(check int) (name ^ " ceil") c (Rational.ceil r)
+  in
+  check "3/2" (Rational.make 3 2) 1 2;
+  check "-3/2" (Rational.make (-3) 2) (-2) (-1);
+  check "2" (Rational.of_int 2) 2 2;
+  check "-2" (Rational.of_int (-2)) (-2) (-2)
+
+let rational_approx () =
+  let r = Rational.of_float_approx 1.5 in
+  Alcotest.(check string) "1.5 -> 3/2" "3/2" (Rational.to_string r);
+  let r = Rational.of_float_approx (4.0 /. 3.0) in
+  Alcotest.(check string) "4/3" "4/3" (Rational.to_string r);
+  let r = Rational.of_float_approx 2.0 in
+  Alcotest.(check string) "integral" "2" (Rational.to_string r)
+
+let rng_determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  let xs g = List.init 20 (fun _ -> Rng.int g 1000) in
+  Alcotest.(check (list int)) "same seed, same stream" (xs a) (xs b);
+  let c = Rng.create 43 in
+  Alcotest.(check bool) "different seed, different stream" true (xs (Rng.create 42) <> xs c)
+
+let rng_bounds () =
+  let g = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let x = Rng.int g 10 in
+    if x < 0 || x >= 10 then Alcotest.fail "Rng.int out of bounds"
+  done;
+  for _ = 1 to 1000 do
+    let x = Rng.int_in g 5 8 in
+    if x < 5 || x > 8 then Alcotest.fail "Rng.int_in out of bounds"
+  done;
+  for _ = 1 to 100 do
+    let f = Rng.float g in
+    if f < 0.0 || f >= 1.0 then Alcotest.fail "Rng.float out of bounds"
+  done
+
+let rng_sample () =
+  let g = Rng.create 11 in
+  let s = Rng.sample g 20 10 in
+  Alcotest.(check int) "sample size" 10 (List.length s);
+  Alcotest.(check int) "distinct" 10 (List.length (List.sort_uniq compare s));
+  List.iter (fun x -> if x < 0 || x >= 20 then Alcotest.fail "sample range") s
+
+let union_find () =
+  let uf = Kit.Union_find.create 10 in
+  Kit.Union_find.union uf 0 1;
+  Kit.Union_find.union uf 1 2;
+  Kit.Union_find.union uf 5 6;
+  Alcotest.(check bool) "same 0 2" true (Kit.Union_find.same uf 0 2);
+  Alcotest.(check bool) "not same 0 5" false (Kit.Union_find.same uf 0 5);
+  let groups =
+    Kit.Union_find.groups uf |> Array.to_list
+    |> List.filter (fun g -> g <> [])
+    |> List.map (List.sort compare)
+    |> List.sort compare
+  in
+  Alcotest.(check int) "group count" 7 (List.length groups);
+  Alcotest.(check bool) "has 012" true (List.mem [ 0; 1; 2 ] groups);
+  Alcotest.(check bool) "has 56" true (List.mem [ 5; 6 ] groups)
+
+let names () =
+  let t = Kit.Names.create () in
+  let a = Kit.Names.intern t "alpha" in
+  let b = Kit.Names.intern t "beta" in
+  let a' = Kit.Names.intern t "alpha" in
+  Alcotest.(check int) "stable" a a';
+  Alcotest.(check bool) "distinct" true (a <> b);
+  Alcotest.(check string) "name" "beta" (Kit.Names.name t b);
+  Alcotest.(check int) "count" 2 (Kit.Names.count t);
+  Alcotest.(check (option int)) "find" (Some a) (Kit.Names.find_opt t "alpha");
+  Alcotest.(check (option int)) "find missing" None (Kit.Names.find_opt t "gamma")
+
+let deadline_fuel () =
+  let d = Kit.Deadline.of_fuel 5 in
+  for _ = 1 to 4 do Kit.Deadline.check d done;
+  Alcotest.check_raises "fuel exhausted" Kit.Deadline.Timed_out (fun () ->
+      Kit.Deadline.check d)
+
+let deadline_none () =
+  for _ = 1 to 10_000 do Kit.Deadline.check Kit.Deadline.none done;
+  Alcotest.(check bool) "never expires" false (Kit.Deadline.expired Kit.Deadline.none)
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "kit"
+    [
+      ( "bitset",
+        [
+          Alcotest.test_case "basics" `Quick bitset_basics;
+          Alcotest.test_case "full with partial word" `Quick bitset_full_partial_word;
+          Alcotest.test_case "set operations" `Quick bitset_set_ops;
+          Alcotest.test_case "universe mismatch" `Quick bitset_universe_mismatch;
+          Alcotest.test_case "choose and filter" `Quick bitset_choose_filter;
+          qt prop_roundtrip;
+          qt prop_union_model;
+          qt prop_inter_model;
+          qt prop_diff_model;
+          qt prop_inter_cardinal;
+        ] );
+      ( "rational",
+        [
+          Alcotest.test_case "arithmetic" `Quick rational_basics;
+          Alcotest.test_case "floor/ceil" `Quick rational_floor_ceil;
+          Alcotest.test_case "float approximation" `Quick rational_approx;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick rng_determinism;
+          Alcotest.test_case "bounds" `Quick rng_bounds;
+          Alcotest.test_case "sampling" `Quick rng_sample;
+        ] );
+      ( "union_find", [ Alcotest.test_case "groups" `Quick union_find ] );
+      ( "names", [ Alcotest.test_case "interning" `Quick names ] );
+      ( "deadline",
+        [
+          Alcotest.test_case "fuel" `Quick deadline_fuel;
+          Alcotest.test_case "none" `Quick deadline_none;
+        ] );
+    ]

@@ -1,0 +1,253 @@
+(* Tests for the simplex LP solver and fractional covers / fractionally
+   improved decompositions. *)
+
+module Bitset = Kit.Bitset
+module H = Hg.Hypergraph
+
+let feq = Alcotest.float 1e-6
+
+let lp_basic_min () =
+  match Lp.minimize [| 1.0; 1.0 |] [ ([| 1.0; 1.0 |], Lp.Ge, 1.0) ] with
+  | Lp.Optimal { value; _ } -> Alcotest.check feq "min x+y, x+y>=1" 1.0 value
+  | _ -> Alcotest.fail "expected optimal"
+
+let lp_basic_max () =
+  match
+    Lp.maximize [| 3.0; 2.0 |]
+      [
+        ([| 1.0; 0.0 |], Lp.Le, 4.0);
+        ([| 0.0; 1.0 |], Lp.Le, 3.0);
+        ([| 1.0; 1.0 |], Lp.Le, 5.0);
+      ]
+  with
+  | Lp.Optimal { value; x } ->
+      Alcotest.check feq "max 3x+2y" 14.0 value;
+      Alcotest.check feq "x" 4.0 x.(0);
+      Alcotest.check feq "y" 1.0 x.(1)
+  | _ -> Alcotest.fail "expected optimal"
+
+let lp_equality () =
+  match
+    Lp.minimize [| 1.0; 1.0 |]
+      [ ([| 1.0; 2.0 |], Lp.Eq, 4.0); ([| 1.0; -1.0 |], Lp.Eq, 1.0) ]
+  with
+  | Lp.Optimal { value; x } ->
+      Alcotest.check feq "value" 3.0 value;
+      Alcotest.check feq "x" 2.0 x.(0);
+      Alcotest.check feq "y" 1.0 x.(1)
+  | _ -> Alcotest.fail "expected optimal"
+
+let lp_infeasible () =
+  match
+    Lp.minimize [| 1.0 |]
+      [ ([| 1.0 |], Lp.Le, 1.0); ([| 1.0 |], Lp.Ge, 2.0) ]
+  with
+  | Lp.Infeasible -> ()
+  | _ -> Alcotest.fail "expected infeasible"
+
+let lp_infeasible_negative_bound () =
+  (* x <= -1 with x >= 0 is infeasible. *)
+  match Lp.minimize [| 1.0 |] [ ([| 1.0 |], Lp.Le, -1.0) ] with
+  | Lp.Infeasible -> ()
+  | _ -> Alcotest.fail "expected infeasible"
+
+let lp_unbounded () =
+  match Lp.maximize [| 1.0; 0.0 |] [ ([| 0.0; 1.0 |], Lp.Le, 1.0) ] with
+  | Lp.Unbounded -> ()
+  | _ -> Alcotest.fail "expected unbounded"
+
+let lp_degenerate () =
+  (* Redundant constraints exercise the artificial-variable cleanup. *)
+  match
+    Lp.minimize [| 2.0; 3.0 |]
+      [
+        ([| 1.0; 1.0 |], Lp.Ge, 2.0);
+        ([| 2.0; 2.0 |], Lp.Ge, 4.0);
+        ([| 1.0; 1.0 |], Lp.Eq, 2.0);
+      ]
+  with
+  | Lp.Optimal { value; _ } -> Alcotest.check feq "degenerate" 4.0 value
+  | _ -> Alcotest.fail "expected optimal"
+
+let lp_fractional_optimum () =
+  (* The triangle covering LP has the fractional optimum 3/2. *)
+  match
+    Lp.minimize
+      [| 1.0; 1.0; 1.0 |]
+      [
+        ([| 1.0; 0.0; 1.0 |], Lp.Ge, 1.0);
+        ([| 1.0; 1.0; 0.0 |], Lp.Ge, 1.0);
+        ([| 0.0; 1.0; 1.0 |], Lp.Ge, 1.0);
+      ]
+  with
+  | Lp.Optimal { value; _ } -> Alcotest.check feq "3/2" 1.5 value
+  | _ -> Alcotest.fail "expected optimal"
+
+(* --- fractional covers --------------------------------------------------- *)
+
+let triangle = H.of_int_edges [ [ 0; 1 ]; [ 1; 2 ]; [ 2; 0 ] ]
+
+let fano =
+  H.of_int_edges
+    [
+      [ 0; 1; 2 ];
+      [ 0; 3; 4 ];
+      [ 0; 5; 6 ];
+      [ 1; 3; 5 ];
+      [ 1; 4; 6 ];
+      [ 2; 3; 6 ];
+      [ 2; 4; 5 ];
+    ]
+
+let rho_star_triangle () =
+  match Fhd.Frac_cover.rho_star triangle (Bitset.full 3) with
+  | Some c ->
+      Alcotest.check feq "rho* = 3/2" 1.5 c.Fhd.Frac_cover.weight;
+      Alcotest.(check bool)
+        "verified" true
+        (Fhd.Frac_cover.verify triangle (Bitset.full 3) c)
+  | None -> Alcotest.fail "coverable"
+
+let rho_star_fano () =
+  match Fhd.Frac_cover.rho_star fano (Bitset.full 7) with
+  | Some c -> Alcotest.check feq "rho*(fano) = 7/3" (7.0 /. 3.0) c.Fhd.Frac_cover.weight
+  | None -> Alcotest.fail "coverable"
+
+let rho_star_exact_values () =
+  (match Fhd.Frac_cover.rho_star_exact triangle (Bitset.full 3) with
+  | Some r -> Alcotest.(check string) "3/2" "3/2" (Kit.Rational.to_string r)
+  | None -> Alcotest.fail "exact triangle");
+  match Fhd.Frac_cover.rho_star_exact fano (Bitset.full 7) with
+  | Some r -> Alcotest.(check string) "7/3" "7/3" (Kit.Rational.to_string r)
+  | None -> Alcotest.fail "exact fano"
+
+let rho_star_subset () =
+  (* Covering only one vertex costs 1. *)
+  match Fhd.Frac_cover.rho_star triangle (Bitset.of_list 3 [ 0 ]) with
+  | Some c -> Alcotest.check feq "single vertex" 1.0 c.Fhd.Frac_cover.weight
+  | None -> Alcotest.fail "coverable"
+
+let rho_star_empty () =
+  match Fhd.Frac_cover.rho_star triangle (Bitset.empty 3) with
+  | Some c -> Alcotest.check feq "empty set" 0.0 c.Fhd.Frac_cover.weight
+  | None -> Alcotest.fail "empty is coverable"
+
+let rho_star_restricted_edges () =
+  (* Restrict candidates to edge 0 = {0,1}: vertex 2 becomes uncoverable. *)
+  match
+    Fhd.Frac_cover.rho_star ~edges:(Bitset.of_list 3 [ 0 ]) triangle (Bitset.full 3)
+  with
+  | None -> ()
+  | Some _ -> Alcotest.fail "vertex 2 is not coverable by edge 0"
+
+let prop_rho_star_bounds =
+  (* 1 <= rho*(X) <= |X| for nonempty coverable X; and rho* is monotone
+     under taking subsets of X. *)
+  QCheck.Test.make ~name:"rho* within bounds and verified" ~count:100
+    (QCheck.make
+       QCheck.Gen.(
+         list_size (int_range 1 7) (list_size (int_range 1 4) (int_bound 7))))
+    (fun edges ->
+      let edges = List.map (List.sort_uniq compare) edges in
+      let edges = List.filter (( <> ) []) edges in
+      QCheck.assume (edges <> []);
+      let h = H.of_int_edges edges in
+      (* Only vertices that occur in edges: of_int_edges may leave holes in
+         the id range, and isolated ids are legitimately uncoverable. *)
+      let x = H.vertices_of_edges h (H.all_edges h) in
+      match Fhd.Frac_cover.rho_star h x with
+      | None -> false (* every used vertex is in some edge *)
+      | Some c ->
+          c.Fhd.Frac_cover.weight >= 1.0 -. 1e-6
+          && c.Fhd.Frac_cover.weight <= float_of_int (Bitset.cardinal x) +. 1e-6
+          && Fhd.Frac_cover.verify h x c)
+
+(* --- ImproveHD / FracImproveHD ------------------------------------------ *)
+
+let improve_hd_triangle () =
+  match Detk.solve triangle ~k:2 with
+  | Detk.Decomposition d ->
+      let fhd = Fhd.Improve_hd.improve triangle d in
+      Alcotest.check feq "width 1.5" 1.5 (Decomp.Fractional.width fhd);
+      Alcotest.(check bool)
+        "valid FHD" true
+        (Decomp.Fractional.is_valid_fhd triangle fhd)
+  | _ -> Alcotest.fail "triangle has hw 2"
+
+let improve_hd_never_worse =
+  QCheck.Test.make ~name:"ImproveHD never increases width" ~count:80
+    (QCheck.make
+       QCheck.Gen.(
+         list_size (int_range 1 6) (list_size (int_range 1 4) (int_bound 6))))
+    (fun edges ->
+      let edges = List.map (List.sort_uniq compare) edges in
+      let edges = List.filter (( <> ) []) edges in
+      QCheck.assume (edges <> []);
+      let h = H.of_int_edges edges in
+      match Detk.hypertree_width h with
+      | Some (hw, d), _ ->
+          let fhd = Fhd.Improve_hd.improve h d in
+          Decomp.Fractional.width fhd <= float_of_int hw +. 1e-6
+          && Decomp.Fractional.is_valid_fhd h fhd
+      | None, _ -> true)
+
+let frac_improve_check () =
+  (* The triangle has an HD of width 2 whose bags have rho* <= 1.5. *)
+  (match Fhd.Frac_improve_hd.check triangle ~k:2 ~k':1.5 with
+  | Fhd.Frac_improve_hd.Improved (fhd, w) ->
+      Alcotest.check feq "achieved width" 1.5 w;
+      Alcotest.(check bool)
+        "valid" true
+        (Decomp.Fractional.is_valid_fhd triangle fhd)
+  | _ -> Alcotest.fail "expected improvement");
+  (* ... but none with rho* <= 1.4. *)
+  match Fhd.Frac_improve_hd.check triangle ~k:2 ~k':1.4 with
+  | Fhd.Frac_improve_hd.No_improvement -> ()
+  | _ -> Alcotest.fail "1.4 must be impossible"
+
+let frac_improve_best () =
+  match Fhd.Frac_improve_hd.best triangle ~k:2 with
+  | Some (_, w) -> Alcotest.check feq "best = 1.5" 1.5 w
+  | None -> Alcotest.fail "expected a result"
+
+let frac_improve_acyclic () =
+  (* Acyclic instance: integral width 1 cannot be fractionally improved. *)
+  let path = H.of_int_edges [ [ 0; 1 ]; [ 1; 2 ] ] in
+  match Fhd.Frac_improve_hd.best path ~k:1 with
+  | Some (_, w) -> Alcotest.check feq "width 1" 1.0 w
+  | None -> Alcotest.fail "expected a result"
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "lp_fhd"
+    [
+      ( "simplex",
+        [
+          Alcotest.test_case "min" `Quick lp_basic_min;
+          Alcotest.test_case "max" `Quick lp_basic_max;
+          Alcotest.test_case "equality" `Quick lp_equality;
+          Alcotest.test_case "infeasible" `Quick lp_infeasible;
+          Alcotest.test_case "infeasible negative b" `Quick lp_infeasible_negative_bound;
+          Alcotest.test_case "unbounded" `Quick lp_unbounded;
+          Alcotest.test_case "degenerate" `Quick lp_degenerate;
+          Alcotest.test_case "fractional optimum" `Quick lp_fractional_optimum;
+        ] );
+      ( "frac_cover",
+        [
+          Alcotest.test_case "triangle 3/2" `Quick rho_star_triangle;
+          Alcotest.test_case "fano 7/3" `Quick rho_star_fano;
+          Alcotest.test_case "exact rationals" `Quick rho_star_exact_values;
+          Alcotest.test_case "subset" `Quick rho_star_subset;
+          Alcotest.test_case "empty" `Quick rho_star_empty;
+          Alcotest.test_case "restricted edges" `Quick rho_star_restricted_edges;
+          qt prop_rho_star_bounds;
+        ] );
+      ( "improve",
+        [
+          Alcotest.test_case "ImproveHD triangle" `Quick improve_hd_triangle;
+          qt improve_hd_never_worse;
+          Alcotest.test_case "FracImproveHD check" `Quick frac_improve_check;
+          Alcotest.test_case "FracImproveHD best" `Quick frac_improve_best;
+          Alcotest.test_case "acyclic no improvement" `Quick frac_improve_acyclic;
+        ] );
+    ]

@@ -1,0 +1,173 @@
+(* Cross-cutting property tests: structural invariants that tie the
+   subsystems together (component partitions, LP duality, rational field
+   laws, width inequalities). *)
+
+module H = Hg.Hypergraph
+module Bitset = Kit.Bitset
+module Rational = Kit.Rational
+
+let hg_gen =
+  QCheck.Gen.(
+    let* edges =
+      list_size (int_range 1 7) (list_size (int_range 1 4) (int_bound 8))
+    in
+    let edges = List.map (List.sort_uniq compare) edges in
+    let edges = List.filter (( <> ) []) edges in
+    return (if edges = [] then [ [ 0 ] ] else edges))
+
+(* Components of [within] w.r.t. U partition the non-absorbed edges. *)
+let prop_components_partition =
+  QCheck.Test.make ~name:"components partition the non-absorbed edges" ~count:200
+    (QCheck.make QCheck.Gen.(pair hg_gen (list_size (int_bound 4) (int_bound 8))))
+    (fun (edges, u_list) ->
+      let h = H.of_int_edges edges in
+      let u =
+        Bitset.of_list h.H.n_vertices
+          (List.filter (fun v -> v < h.H.n_vertices) u_list)
+      in
+      let comps = Hg.Components.components h ~within:(H.all_edges h) u in
+      (* Pairwise disjoint... *)
+      let rec pairwise = function
+        | [] -> true
+        | c :: rest ->
+            List.for_all (fun c' -> not (Bitset.intersects c c')) rest
+            && pairwise rest
+      in
+      (* ... and their union is exactly the edges not inside u. *)
+      let union = List.fold_left Bitset.union (Bitset.empty h.H.n_edges) comps in
+      let expected =
+        Bitset.filter
+          (fun e -> not (Bitset.subset (H.edge h e) u))
+          (H.all_edges h)
+      in
+      pairwise comps && Bitset.equal union expected)
+
+(* Edges in the same component stay connected when the separator grows
+   smaller (monotonicity of [U]-connectedness). *)
+let prop_components_monotone =
+  QCheck.Test.make ~name:"shrinking U merges components" ~count:150
+    (QCheck.make QCheck.Gen.(pair hg_gen (list_size (int_bound 4) (int_bound 8))))
+    (fun (edges, u_list) ->
+      let h = H.of_int_edges edges in
+      let u_big =
+        Bitset.of_list h.H.n_vertices
+          (List.filter (fun v -> v < h.H.n_vertices) u_list)
+      in
+      let u_small =
+        match Bitset.choose u_big with Some v -> Bitset.remove v u_big | None -> u_big
+      in
+      let comps_small = Hg.Components.components h ~within:(H.all_edges h) u_small in
+      let comps_big = Hg.Components.components h ~within:(H.all_edges h) u_big in
+      (* Every big-U component's edges lie within one small-U component or
+         are absorbed. *)
+      List.for_all
+        (fun cb ->
+          let hosts =
+            List.filter (fun cs -> Bitset.intersects cs cb) comps_small
+          in
+          List.length hosts <= 1
+          ||
+          (* edges absorbed under u_small cannot host *)
+          false)
+        comps_big)
+
+(* LP weak duality on random covering/packing pairs: min cover >= max
+   packing, and our solver should find them equal (strong duality). *)
+let prop_lp_duality =
+  QCheck.Test.make ~name:"LP strong duality on cover/packing pairs" ~count:100
+    (QCheck.make hg_gen) (fun edges ->
+      let h = H.of_int_edges edges in
+      let x = H.vertices_of_edges h (H.all_edges h) in
+      let n = h.H.n_edges in
+      let vars_cover = n in
+      (* Primal: min 1.x  s.t. for each v in x: sum_{e ∋ v} >= 1. *)
+      let rows_cover =
+        Bitset.fold
+          (fun v acc ->
+            ( Array.init vars_cover (fun e ->
+                  if Bitset.mem v (H.edge h e) then 1.0 else 0.0),
+              Lp.Ge, 1.0 )
+            :: acc)
+          x []
+      in
+      (* Dual: max 1.y  s.t. for each edge: sum_{v in e} y_v <= 1. *)
+      let verts = Bitset.to_list x in
+      let vpos = List.mapi (fun i v -> (v, i)) verts in
+      let rows_pack =
+        List.init n (fun e ->
+            ( Array.of_list
+                (List.map
+                   (fun v -> if Bitset.mem v (H.edge h e) then 1.0 else 0.0)
+                   verts),
+              Lp.Le, 1.0 ))
+      in
+      ignore vpos;
+      match
+        ( Lp.minimize (Array.make vars_cover 1.0) rows_cover,
+          Lp.maximize (Array.make (List.length verts) 1.0) rows_pack )
+      with
+      | Lp.Optimal p, Lp.Optimal d -> Float.abs (p.Lp.value -. d.Lp.value) < 1e-6
+      | _ -> false)
+
+(* rho* sits between the trivial bounds and matches the LP by duality. *)
+let prop_width_chain =
+  QCheck.Test.make ~name:"fractional <= integral widths on witnesses" ~count:100
+    (QCheck.make hg_gen) (fun edges ->
+      let h = H.of_int_edges edges in
+      match Detk.hypertree_width h with
+      | Some (hw, hd), _ ->
+          let fw = Fhd.Improve_hd.improved_width h hd in
+          fw <= float_of_int hw +. 1e-9 && fw >= 1.0 -. 1e-9
+      | None, _ -> true)
+
+(* Rational arithmetic: sampled field laws. *)
+let rational_gen =
+  QCheck.Gen.(
+    let* num = int_range (-50) 50 in
+    let* den = int_range 1 20 in
+    return (Rational.make num den))
+
+let prop_rational_laws =
+  QCheck.Test.make ~name:"rational field laws" ~count:300
+    (QCheck.make QCheck.Gen.(triple rational_gen rational_gen rational_gen))
+    (fun (a, b, c) ->
+      let open Rational in
+      equal (add a b) (add b a)
+      && equal (mul a b) (mul b a)
+      && equal (add (add a b) c) (add a (add b c))
+      && equal (mul (mul a b) c) (mul a (mul b c))
+      && equal (mul a (add b c)) (add (mul a b) (mul a c))
+      && equal (sub (add a b) b) a
+      && (equal b zero || equal (div (mul a b) b) a))
+
+let prop_rational_compare_total =
+  QCheck.Test.make ~name:"rational compare is a total order" ~count:300
+    (QCheck.make QCheck.Gen.(triple rational_gen rational_gen rational_gen))
+    (fun (a, b, c) ->
+      let open Rational in
+      (compare a b = -compare b a)
+      && ((not (compare a b <= 0 && compare b c <= 0)) || compare a c <= 0)
+      && Float.abs (to_float (sub a b)) < 1e-12 = (compare a b = 0))
+
+(* GYO vs treewidth: acyclic hypergraphs have primal treewidth
+   <= arity - 1 (each edge is a clique; join-tree bags are edges). *)
+let prop_acyclic_tw_bound =
+  QCheck.Test.make ~name:"acyclic implies tw <= arity - 1" ~count:150
+    (QCheck.make hg_gen) (fun edges ->
+      let h = H.of_int_edges edges in
+      if Hg.Gyo.is_acyclic h then
+        fst (Hg.Primal.upper_bound h) <= Stdlib.max 1 (H.arity h) - 1
+        || fst (Hg.Primal.upper_bound h) <= H.arity h - 1
+      else true)
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "props"
+    [
+      ( "components",
+        [ qt prop_components_partition; qt prop_components_monotone ] );
+      ( "lp", [ qt prop_lp_duality ] );
+      ( "widths", [ qt prop_width_chain; qt prop_acyclic_tw_bound ] );
+      ( "rational",
+        [ qt prop_rational_laws; qt prop_rational_compare_total ] );
+    ]

@@ -1,0 +1,174 @@
+(* Tests for the XML parser and the XCSP-to-hypergraph reader (§5.5). *)
+
+module H = Hg.Hypergraph
+
+let xml_basic () =
+  match Xcsp3.Xml.parse {|<a x="1" y='two'><b/><c>text</c></a>|} with
+  | Error m -> Alcotest.fail m
+  | Ok root ->
+      Alcotest.(check (option string)) "tag" (Some "a") (Xcsp3.Xml.tag root);
+      Alcotest.(check (option string)) "attr x" (Some "1") (Xcsp3.Xml.attr root "x");
+      Alcotest.(check (option string)) "attr y" (Some "two") (Xcsp3.Xml.attr root "y");
+      Alcotest.(check int) "children" 2 (List.length (Xcsp3.Xml.children root));
+      let c = Option.get (Xcsp3.Xml.find_child root "c") in
+      Alcotest.(check string) "text" "text" (String.trim (Xcsp3.Xml.text_content c))
+
+let xml_declaration_comment () =
+  let src =
+    {|<?xml version="1.0"?>
+      <!-- a comment -->
+      <root><!-- inner --><x/></root>|}
+  in
+  match Xcsp3.Xml.parse src with
+  | Error m -> Alcotest.fail m
+  | Ok root ->
+      Alcotest.(check int) "one child" 1 (List.length (Xcsp3.Xml.children root))
+
+let xml_entities () =
+  match Xcsp3.Xml.parse {|<a t="&lt;x&gt;">&amp;&quot;&apos;</a>|} with
+  | Error m -> Alcotest.fail m
+  | Ok root ->
+      Alcotest.(check (option string)) "attr entities" (Some "<x>")
+        (Xcsp3.Xml.attr root "t");
+      Alcotest.(check string) "text entities" "&\"'"
+        (String.trim (Xcsp3.Xml.text_content root))
+
+let xml_errors () =
+  let bad = [ "<a>"; "<a></b>"; "text only"; "<a attr=oops></a>"; "<a/><b/>" ] in
+  List.iter
+    (fun src ->
+      match Xcsp3.Xml.parse src with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "should fail: %s" src)
+    bad
+
+let xcsp_small () =
+  let src =
+    {|<instance format="XCSP3" type="CSP" id="demo">
+        <variables>
+          <var id="x0"> 0..3 </var>
+          <var id="x1"> 0..3 </var>
+          <var id="x2"> 0..3 </var>
+        </variables>
+        <constraints>
+          <extension>
+            <list> x0 x1 </list>
+            <supports> (0,1)(1,2) </supports>
+          </extension>
+          <allDifferent> x1 x2 </allDifferent>
+        </constraints>
+      </instance>|}
+  in
+  match Xcsp3.Xcsp.read src with
+  | Error m -> Alcotest.fail m
+  | Ok h ->
+      Alcotest.(check int) "edges" 2 h.H.n_edges;
+      Alcotest.(check int) "vertices" 3 h.H.n_vertices
+
+let xcsp_arrays_and_groups () =
+  let src =
+    {|<instance>
+        <variables>
+          <array id="y" size="[3]"> 0..1 </array>
+          <var id="z"> 0..1 </var>
+        </variables>
+        <constraints>
+          <group>
+            <intension> eq(%0,%1) </intension>
+            <args> y[0] y[1] </args>
+            <args> y[1] y[2] </args>
+          </group>
+          <sum>
+            <list> y[] z </list>
+          </sum>
+        </constraints>
+      </instance>|}
+  in
+  match Xcsp3.Xcsp.parse src with
+  | Error m -> Alcotest.fail m
+  | Ok inst ->
+      Alcotest.(check int) "expanded variables" 4 (List.length inst.Xcsp3.Xcsp.variables);
+      Alcotest.(check int) "three constraints" 3 (List.length inst.Xcsp3.Xcsp.scopes);
+      (* The whole-array reference y[] expands to all members. *)
+      let sum_scope = List.nth inst.Xcsp3.Xcsp.scopes 2 in
+      Alcotest.(check int) "sum scope size" 4 (List.length sum_scope)
+
+let xcsp_matrix_array () =
+  let src =
+    {|<instance>
+        <variables><array id="m" size="[2][2]"> 0..1 </array></variables>
+        <constraints><allDifferent> m[0][0] m[1][1] </allDifferent></constraints>
+      </instance>|}
+  in
+  match Xcsp3.Xcsp.parse src with
+  | Error m -> Alcotest.fail m
+  | Ok inst ->
+      Alcotest.(check int) "4 cells" 4 (List.length inst.Xcsp3.Xcsp.variables);
+      Alcotest.(check (list (list string))) "diagonal scope"
+        [ [ "m[0][0]"; "m[1][1]" ] ]
+        inst.Xcsp3.Xcsp.scopes
+
+let xcsp_blocks () =
+  let src =
+    {|<instance>
+        <variables><var id="a"/><var id="b"/><var id="c"/></variables>
+        <constraints>
+          <block>
+            <extension><list> a b </list></extension>
+            <block><extension><list> b c </list></extension></block>
+          </block>
+        </constraints>
+      </instance>|}
+  in
+  match Xcsp3.Xcsp.read src with
+  | Error m -> Alcotest.fail m
+  | Ok h -> Alcotest.(check int) "nested blocks flattened" 2 h.H.n_edges
+
+let xcsp_errors () =
+  (match Xcsp3.Xcsp.read "<instance><constraints/></instance>" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "missing variables should fail");
+  (match
+     Xcsp3.Xcsp.read
+       {|<instance><variables><var id="x"/></variables><constraints></constraints></instance>|}
+   with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "no constraints should fail");
+  match Xcsp3.Xcsp.read "<foo/>" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "wrong root should fail"
+
+let roundtrip () =
+  let rng = Kit.Rng.create 5 in
+  for i = 1 to 20 do
+    let h = Gen.Random_csp.typical rng in
+    let xml = Xcsp3.Xcsp.to_xml ~name:(Printf.sprintf "rt%d" i) h in
+    match Xcsp3.Xcsp.read xml with
+    | Error m -> Alcotest.failf "roundtrip %d: %s" i m
+    | Ok h' ->
+        Alcotest.(check bool)
+          (Printf.sprintf "roundtrip %d structure" i)
+          true
+          (H.equal_structure h h')
+  done
+
+let () =
+  Alcotest.run "xcsp"
+    [
+      ( "xml",
+        [
+          Alcotest.test_case "basics" `Quick xml_basic;
+          Alcotest.test_case "declaration + comments" `Quick xml_declaration_comment;
+          Alcotest.test_case "entities" `Quick xml_entities;
+          Alcotest.test_case "errors" `Quick xml_errors;
+        ] );
+      ( "xcsp",
+        [
+          Alcotest.test_case "small instance" `Quick xcsp_small;
+          Alcotest.test_case "arrays and groups" `Quick xcsp_arrays_and_groups;
+          Alcotest.test_case "matrix arrays" `Quick xcsp_matrix_array;
+          Alcotest.test_case "blocks" `Quick xcsp_blocks;
+          Alcotest.test_case "errors" `Quick xcsp_errors;
+          Alcotest.test_case "roundtrip" `Quick roundtrip;
+        ] );
+    ]
