@@ -6,7 +6,17 @@
    Environment knobs:
      HB_SCALE   repository scale factor        (default 1.0)
      HB_BUDGET  per-run timeout in seconds     (default 0.5)
+     HB_FUEL    per-run fuel budget, overrides HB_BUDGET when > 0
      HB_SEED    repository seed                (default 2019)
+     HB_JOBS    analysis domain-pool width     (default: all cores)
+
+   HB_JOBS spreads the per-instance analysis over a fixed-size domain
+   pool; results are collected in instance order, so tables and row
+   orderings never depend on the pool interleaving. With the wall-clock
+   HB_BUDGET, verdicts right at the timeout boundary are timing-sensitive
+   between any two runs (at any jobs value); set HB_FUEL for a
+   deterministic budget that makes every verdict and count bit-identical
+   at every HB_JOBS value.
 
    Usage: main.exe [table1|table2|table3|table4|table5|table6|
                     figure3|figure4|figure5|ablation|micro]... *)
@@ -79,7 +89,12 @@ let micro () =
 let () =
   let scale = env_float "HB_SCALE" 1.0 in
   let budget_seconds = env_float "HB_BUDGET" 0.5 in
+  let fuel = env_int "HB_FUEL" 0 in
+  let budget =
+    if fuel > 0 then Some (fun () -> Kit.Deadline.of_fuel fuel) else None
+  in
   let seed = env_int "HB_SEED" 2019 in
+  let jobs = Kit.Pool.default_jobs () in
   let args = List.tl (Array.to_list Sys.argv) in
   let wants name = args = [] || List.mem name args in
   let needs_ctx =
@@ -88,14 +103,21 @@ let () =
         "figure3"; "figure4"; "figure5"; "ablation" ]
   in
   Printf.printf
-    "HyperBench reproduction harness (seed=%d scale=%.2f budget=%.2fs)\n\n"
-    seed scale budget_seconds;
+    "HyperBench reproduction harness (seed=%d scale=%.2f budget=%s jobs=%d)\n\n"
+    seed scale
+    (if fuel > 0 then Printf.sprintf "%d fuel" fuel
+     else Printf.sprintf "%.2fs" budget_seconds)
+    jobs;
   if needs_ctx then begin
     let t0 = Unix.gettimeofday () in
-    let ctx = Experiments.prepare ~seed ~scale ~budget_seconds () in
-    Printf.printf "Prepared %d instances; analysis took %.1fs\n\n"
+    let ctx = Experiments.prepare ~seed ~scale ~budget_seconds ?budget ~jobs () in
+    let wall = Unix.gettimeofday () -. t0 in
+    let solver = Experiments.solver_seconds ctx in
+    Printf.printf
+      "Prepared %d instances; analysis took %.1fs wall on %d jobs (%.1fs solver time, %.1fx speedup)\n\n"
       (List.length ctx.Experiments.instances)
-      (Unix.gettimeofday () -. t0);
+      wall jobs solver
+      (if wall > 0.0 then solver /. wall else 1.0);
     let emit name render = if wants name then print_endline (render ctx) in
     emit "table1" Experiments.table1;
     emit "table2" Experiments.table2;

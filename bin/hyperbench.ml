@@ -25,9 +25,33 @@ let timeout_arg =
     & opt float 60.0
     & info [ "timeout" ] ~docv:"SECONDS" ~doc:"Per-run timeout in seconds.")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int (Kit.Pool.default_jobs ())
+    & info [ "j"; "jobs" ] ~docv:"JOBS"
+        ~doc:
+          "Number of domains for parallel work (default: \\$(b,HB_JOBS) or \
+           all cores). 1 forces sequential execution.")
+
 let load_hypergraph path =
   if Filename.check_suffix path ".xml" then Xcsp3.Xcsp.read_file path
   else Hg.Hypergraph.parse_file path
+
+(* All whole-file reads go through here: the channel is closed on every
+   path, and truncation mid-read surfaces as [Error] instead of an escaped
+   End_of_file. *)
+let read_file path =
+  match open_in_bin path with
+  | exception Sys_error m -> Error m
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          match really_input_string ic (in_channel_length ic) with
+          | s -> Ok s
+          | exception End_of_file -> Error (path ^ ": truncated file")
+          | exception Sys_error m -> Error m)
 
 (* --- build ----------------------------------------------------------------- *)
 
@@ -142,7 +166,7 @@ let method_conv =
       ("balsep", `Balsep); ("portfolio", `Portfolio) ]
 
 let decompose_cmd =
-  let run path k meth timeout dot save =
+  let run path k meth timeout jobs dot save =
     let* h = load_hypergraph path in
     let deadline () = Kit.Deadline.of_seconds timeout in
     let outcome =
@@ -152,7 +176,12 @@ let decompose_cmd =
       | `Local -> (Ghd.Local_bip.solve ~deadline:(deadline ()) h ~k).Ghd.Local_bip.outcome
       | `Balsep -> (Ghd.Bal_sep.solve ~deadline:(deadline ()) h ~k).Ghd.Bal_sep.outcome
       | `Portfolio -> (
-          match Ghd.Portfolio.check ~budget:deadline h ~k with
+          (* With more than one job the three algorithms race on separate
+             domains and the first exact verdict cancels the rest. *)
+          let portfolio =
+            if jobs > 1 then Ghd.Portfolio.race else Ghd.Portfolio.check
+          in
+          match portfolio ~budget:deadline h ~k with
           | Ghd.Portfolio.Yes (d, alg) ->
               Printf.printf "decided by %s\n" (Ghd.Portfolio.algorithm_name alg);
               Detk.Decomposition d
@@ -167,8 +196,9 @@ let decompose_cmd =
         (match save with
         | Some path ->
             let oc = open_out path in
-            output_string oc (Decomp_io.to_text h d);
-            close_out oc;
+            Fun.protect
+              ~finally:(fun () -> close_out_noerr oc)
+              (fun () -> output_string oc (Decomp_io.to_text h d));
             Printf.printf "saved to %s\n" path
         | None -> ());
         if dot then print_string (Decomp.to_dot h d)
@@ -198,21 +228,15 @@ let decompose_cmd =
   in
   Cmd.v
     (Cmd.info "decompose" ~doc:"Compute an HD or GHD of width at most k.")
-    Term.(ret (const run $ path $ k_arg $ meth $ timeout_arg $ dot $ save))
+    Term.(
+      ret (const run $ path $ k_arg $ meth $ timeout_arg $ jobs_arg $ dot $ save))
 
 (* --- validate ------------------------------------------------------------------ *)
 
 let validate_cmd =
   let run hg_path decomp_path strict =
     let* h = load_hypergraph hg_path in
-    let* text =
-      try
-        let ic = open_in decomp_path in
-        let s = really_input_string ic (in_channel_length ic) in
-        close_in ic;
-        Ok s
-      with Sys_error m -> Error m
-    in
+    let* text = read_file decomp_path in
     let* d = Decomp_io.of_text h text in
     let violations = if strict then Decomp.check_hd h d else Decomp.check_ghd h d in
     (match violations with
@@ -276,15 +300,14 @@ let improve_cmd =
 
 let read_schema_file path =
   (* Format: one "table: col1, col2" line per relation; # comments. *)
-  let ic = open_in path in
-  let rec go acc =
-    match input_line ic with
-    | exception End_of_file ->
-        close_in ic;
-        Ok (Sql.Schema.of_list (List.rev acc))
-    | line ->
+  match read_file path with
+  | Error _ as e -> e
+  | Ok text ->
+  let rec go acc = function
+    | [] -> Ok (Sql.Schema.of_list (List.rev acc))
+    | line :: rest ->
         let line = String.trim line in
-        if line = "" || line.[0] = '#' then go acc
+        if line = "" || line.[0] = '#' then go acc rest
         else (
           match String.index_opt line ':' with
           | None -> Error (Printf.sprintf "bad schema line: %s" line)
@@ -296,20 +319,13 @@ let read_schema_file path =
                 |> List.map String.trim
                 |> List.filter (( <> ) "")
               in
-              go ((name, cols) :: acc))
+              go ((name, cols) :: acc) rest)
   in
-  go []
+  go [] (String.split_on_char '\n' text)
 
 let convert_sql_cmd =
   let run path schema_path =
-    let* sql =
-      try
-        let ic = open_in path in
-        let s = really_input_string ic (in_channel_length ic) in
-        close_in ic;
-        Ok s
-      with Sys_error m -> Error m
-    in
+    let* sql = read_file path in
     let* schema =
       match schema_path with
       | None -> Ok Sql.Schema.empty

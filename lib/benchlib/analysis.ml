@@ -19,8 +19,16 @@ let timed f =
   let r = f () in
   (r, Unix.gettimeofday () -. t0)
 
-let analyze ?(budget = default_budget) ?(max_k = 8) instances =
-  List.map
+(* Instances are independent, so every runner fans its per-instance loop
+   out over a domain pool. [budget] must therefore produce a fresh
+   deadline on every call and be safe to call from any domain (the
+   defaults are). Results come back in input order regardless of [jobs]. *)
+let pool_map ?jobs f xs =
+  let jobs = match jobs with Some j -> j | None -> Kit.Pool.default_jobs () in
+  Kit.Pool.map_list ~jobs f xs
+
+let analyze ?(budget = default_budget) ?(max_k = 8) ?jobs instances =
+  pool_map ?jobs
     (fun (inst : Instance.t) ->
       let h = inst.Instance.hg in
       let profile =
@@ -65,9 +73,10 @@ type ghd_record = {
   combined_seconds : float;
 }
 
-let ghd_comparison ?(budget = default_budget) ?(ks = [ 3; 4; 5; 6 ]) records =
-  List.filter_map
-    (fun r ->
+let ghd_comparison ?(budget = default_budget) ?(ks = [ 3; 4; 5; 6 ]) ?jobs records =
+  List.filter_map Fun.id
+  @@ pool_map ?jobs
+       (fun r ->
       match hw_bound r with
       | Some k when List.mem k ks ->
           let h = r.instance.Instance.hg in
@@ -132,9 +141,10 @@ type frac_record = {
   frac_improve_width : float option;
 }
 
-let fractional ?(budget = default_budget) ?(step = 0.1) records =
-  List.filter_map
-    (fun r ->
+let fractional ?(budget = default_budget) ?(step = 0.1) ?jobs records =
+  List.filter_map Fun.id
+  @@ pool_map ?jobs
+       (fun r ->
       match (hw_bound r, r.hd) with
       | Some hw, Some hd ->
           let h = r.instance.Instance.hg in

@@ -26,11 +26,16 @@ type record = {
 val analyze :
   ?budget:(unit -> Kit.Deadline.t) ->
   ?max_k:int ->
+  ?jobs:int ->
   Instance.t list ->
   record list
 (** [budget] supplies the per-run deadline (default: 1 s wall clock, the
-    scaled-down counterpart of the paper's 3600 s). [max_k] defaults
-    to 8. *)
+    scaled-down counterpart of the paper's 3600 s); it must produce a
+    fresh deadline per call and be callable from any domain. [max_k]
+    defaults to 8. [jobs] (default {!Kit.Pool.default_jobs}) sets the
+    domain-pool width; results are in instance order and — for
+    deterministic budgets such as [Kit.Deadline.of_fuel] — identical at
+    every [jobs] value. *)
 
 val hw_bound : record -> int option
 (** The k with a yes answer (Exact or Upper), if any. *)
@@ -53,6 +58,7 @@ type ghd_record = {
 val ghd_comparison :
   ?budget:(unit -> Kit.Deadline.t) ->
   ?ks:int list ->
+  ?jobs:int ->
   record list ->
   ghd_record list
 (** Table 3/4 protocol: for every instance whose hw (yes-level) k is in
@@ -68,6 +74,10 @@ type frac_record = {
 }
 
 val fractional :
-  ?budget:(unit -> Kit.Deadline.t) -> ?step:float -> record list -> frac_record list
+  ?budget:(unit -> Kit.Deadline.t) ->
+  ?step:float ->
+  ?jobs:int ->
+  record list ->
+  frac_record list
 (** Tables 5 and 6: for every record with an HD witness, the ImproveHD
     width and the best FracImproveHD width. *)

@@ -100,33 +100,49 @@ let find instances name =
 let safe_filename name =
   String.map (fun c -> if c = '/' || c = '\\' then '_' else c) name
 
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then mkdir_p parent;
+    try Sys.mkdir dir 0o755
+    with Sys_error _ when Sys.file_exists dir -> () (* lost a creation race *)
+  end
+
+let with_out path f =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> f oc)
+
 let save ~dir instances =
-  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
-  let oc = open_out (Filename.concat dir "index.tsv") in
-  List.iter
-    (fun i ->
-      Printf.fprintf oc "%s\t%s\t%s\n" i.Instance.name
-        (Group.id i.Instance.group) i.Instance.source;
-      let f = open_out (Filename.concat dir (safe_filename i.Instance.name ^ ".hg")) in
-      output_string f (Hg.Hypergraph.to_string i.Instance.hg);
-      close_out f)
-    instances;
-  close_out oc
+  mkdir_p dir;
+  with_out (Filename.concat dir "index.tsv") (fun oc ->
+      List.iter
+        (fun i ->
+          Printf.fprintf oc "%s\t%s\t%s\n" i.Instance.name
+            (Group.id i.Instance.group) i.Instance.source;
+          with_out
+            (Filename.concat dir (safe_filename i.Instance.name ^ ".hg"))
+            (fun f -> output_string f (Hg.Hypergraph.to_string i.Instance.hg)))
+        instances)
 
 let load ~dir =
   let index = Filename.concat dir "index.tsv" in
   if not (Sys.file_exists index) then
     Error (Printf.sprintf "no index.tsv in %s" dir)
   else begin
-    let ic = open_in index in
-    let rec lines acc =
-      match input_line ic with
-      | line -> lines (line :: acc)
-      | exception End_of_file ->
-          close_in ic;
-          List.rev acc
+    match open_in index with
+    | exception Sys_error m -> Error m
+    | ic ->
+    let rows =
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let rec lines acc =
+            match input_line ic with
+            | line -> lines (line :: acc)
+            | exception End_of_file -> List.rev acc
+          in
+          lines [])
     in
-    let rows = lines [] in
     let rec build acc = function
       | [] -> Ok (List.rev acc)
       | line :: rest -> (

@@ -29,7 +29,8 @@ val find : Instance.t list -> string -> Instance.t option
 
 val save : dir:string -> Instance.t list -> unit
 (** Write one [<name>.hg] file per instance plus an [index.tsv] with
-    name, group, source. Creates [dir] if needed.
+    name, group, source. Creates [dir] (and missing parents) if needed;
+    channels are closed even when writing fails partway.
     @raise Sys_error on I/O failure. *)
 
 val load : dir:string -> (Instance.t list, string) result

@@ -11,13 +11,36 @@ type context = {
   frac : Analysis.frac_record list;
 }
 
-let prepare ?(seed = 2019) ?(scale = 1.0) ?(budget_seconds = 1.0) ?(max_k = 8) () =
-  let budget () = Kit.Deadline.of_seconds budget_seconds in
+let prepare ?(seed = 2019) ?(scale = 1.0) ?(budget_seconds = 1.0) ?budget
+    ?(max_k = 8) ?jobs () =
+  let budget =
+    match budget with
+    | Some b -> b
+    | None -> fun () -> Kit.Deadline.of_seconds budget_seconds
+  in
   let instances = Repository.build ~seed ~scale () in
-  let records = Analysis.analyze ~budget ~max_k instances in
-  let ghd = Analysis.ghd_comparison ~budget records in
-  let frac = Analysis.fractional ~budget records in
+  let records = Analysis.analyze ~budget ~max_k ?jobs instances in
+  let ghd = Analysis.ghd_comparison ~budget ?jobs records in
+  let frac = Analysis.fractional ~budget ?jobs records in
   { instances; records; ghd; frac }
+
+(* Solver seconds actually measured by the analysis pass: the sequential-
+   equivalent cost, used by bench/main.ml to report the pool speedup. *)
+let solver_seconds ctx =
+  let hw =
+    List.fold_left
+      (fun acc r ->
+        List.fold_left
+          (fun a (run : Analysis.hw_run) -> a +. run.seconds)
+          acc r.Analysis.hw_runs)
+      0.0 ctx.records
+  in
+  List.fold_left
+    (fun acc g ->
+      List.fold_left
+        (fun a (r : Analysis.ghd_run) -> a +. r.seconds)
+        acc g.Analysis.runs)
+    hw ctx.ghd
 
 let group_records ctx g =
   List.filter (fun r -> r.Analysis.instance.Instance.group = g) ctx.records

@@ -19,12 +19,23 @@ val prepare :
   ?seed:int ->
   ?scale:float ->
   ?budget_seconds:float ->
+  ?budget:(unit -> Kit.Deadline.t) ->
   ?max_k:int ->
+  ?jobs:int ->
   unit ->
   context
 (** Build the repository and run the shared hw / ghw / fractional
     analyses. [budget_seconds] (default 1.0) is the per-run timeout — the
-    scaled-down stand-in for the paper's 3600 s. *)
+    scaled-down stand-in for the paper's 3600 s; [budget] overrides it
+    with an arbitrary per-run deadline factory (e.g.
+    [Kit.Deadline.of_fuel] for bit-reproducible runs). [jobs] (default
+    {!Kit.Pool.default_jobs}, i.e. the [HB_JOBS] knob) runs the
+    per-instance loops on a domain pool. Results are collected in
+    instance order, so verdicts and table contents do not depend on the
+    pool interleaving; with a wall-clock budget, runs close to the
+    timeout boundary remain timing-sensitive (between any two runs, at
+    any [jobs]), while a fuel budget makes the tables identical at every
+    [jobs] value. *)
 
 val table1 : context -> string
 (** Benchmark overview: instances and cyclic counts per source. *)
@@ -57,5 +68,10 @@ val table6 : context -> string
 val ablation : ?budget_seconds:float -> context -> string
 (** Design-choice ablations: DetKDecomp failure memoisation on/off and
     BalSep with/without the subedge fallback. *)
+
+val solver_seconds : context -> float
+(** Total solver time measured across the analysis (the sequential-
+    equivalent cost); divide by the wall-clock time of {!prepare} to
+    estimate the pool speedup. *)
 
 val run_all : ?seed:int -> ?scale:float -> ?budget_seconds:float -> unit -> string

@@ -12,28 +12,60 @@ type verdict =
 
 let default_budget () = Kit.Deadline.none
 
+let solve_with alg ~deadline h ~k =
+  match alg with
+  | Bal_sep_alg -> Bal_sep.solve ~deadline h ~k
+  | Local_bip_alg ->
+      let { Local_bip.outcome; exact } = Local_bip.solve ~deadline h ~k in
+      { Bal_sep.outcome; exact }
+  | Global_bip_alg ->
+      let { Global_bip.outcome; exact } = Global_bip.solve ~deadline h ~k in
+      { Bal_sep.outcome; exact }
+
+let decide alg ~deadline h ~k =
+  let { Bal_sep.outcome; exact } = solve_with alg ~deadline h ~k in
+  match outcome with
+  | Detk.Decomposition d -> Some (Yes (d, alg))
+  | Detk.No_decomposition when exact -> Some (No alg)
+  | Detk.No_decomposition | Detk.Timeout -> None
+
+let order = [ Bal_sep_alg; Local_bip_alg; Global_bip_alg ]
+
 let check ?(budget = default_budget) h ~k =
-  let run alg =
-    let { Bal_sep.outcome; exact } =
-      match alg with
-      | Bal_sep_alg -> Bal_sep.solve ~deadline:(budget ()) h ~k
-      | Local_bip_alg ->
-          let { Local_bip.outcome; exact } = Local_bip.solve ~deadline:(budget ()) h ~k in
-          { Bal_sep.outcome; exact }
-      | Global_bip_alg ->
-          let { Global_bip.outcome; exact } = Global_bip.solve ~deadline:(budget ()) h ~k in
-          { Bal_sep.outcome; exact }
-    in
-    match outcome with
-    | Detk.Decomposition d -> Some (Yes (d, alg))
-    | Detk.No_decomposition when exact -> Some (No alg)
-    | Detk.No_decomposition | Detk.Timeout -> None
-  in
   let rec first = function
     | [] -> All_timeout
-    | alg :: rest -> ( match run alg with Some v -> v | None -> first rest)
+    | alg :: rest -> (
+        match decide alg ~deadline:(budget ()) h ~k with
+        | Some v -> v
+        | None -> first rest)
   in
-  first [ Bal_sep_alg; Local_bip_alg; Global_bip_alg ]
+  first order
+
+let race ?(budget = default_budget) h ~k =
+  let flag = Kit.Deadline.new_cancel () in
+  let run alg =
+    let deadline = Kit.Deadline.with_cancel flag (budget ()) in
+    let v = decide alg ~deadline h ~k in
+    (* First exact verdict wins: abort the siblings at their next
+       Deadline.check. Losers surface as timeouts, exactly as if their
+       budget had run out. *)
+    if v <> None then Kit.Deadline.cancel flag;
+    v
+  in
+  let results =
+    Kit.Pool.run_result ~jobs:(List.length order) run (Array.of_list order)
+  in
+  (* Reduce in the fixed algorithm order, not arrival order, so that ties
+     between near-simultaneous finishers resolve deterministically. *)
+  let rec pick i =
+    if i >= Array.length results then All_timeout
+    else
+      match results.(i) with
+      | Ok (Some v) -> v
+      | Ok None -> pick (i + 1)
+      | Error e -> raise e
+  in
+  pick 0
 
 let ghw_improvement ?budget h ~hw =
   if hw <= 2 then `Not_improvable (* hw <= 2 implies ghw = hw, §6.4 *)

@@ -22,6 +22,18 @@ val check :
     algorithm (default: none). Inexact "no" answers (truncated subedge
     sets) are treated as timeouts so that [No] is always trustworthy. *)
 
+val race :
+  ?budget:(unit -> Kit.Deadline.t) ->
+  Hg.Hypergraph.t ->
+  k:int ->
+  verdict
+(** Like {!check}, but the paper's actual protocol: all three algorithms
+    run concurrently on separate domains, and the first exact verdict
+    cancels the others cooperatively. The yes/no/timeout classification
+    agrees with {!check} (every exact answer is sound); the reported
+    winning algorithm and the witness decomposition may differ, since they
+    depend on which algorithm finishes first. *)
+
 val ghw_improvement :
   ?budget:(unit -> Kit.Deadline.t) ->
   Hg.Hypergraph.t ->

@@ -214,10 +214,16 @@ let parse text =
       try Ok (of_named_edges pairs) with Invalid_argument m -> Error m)
 
 let parse_file path =
-  try
-    let ic = open_in path in
-    let n = in_channel_length ic in
-    let s = really_input_string ic n in
-    close_in ic;
-    parse s
-  with Sys_error m -> Error m
+  match open_in_bin path with
+  | exception Sys_error m -> Error m
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          (* The file can shrink between the length query and the read
+             (truncation mid-read): surface that as an error, not an
+             escaped End_of_file. *)
+          match really_input_string ic (in_channel_length ic) with
+          | s -> parse s
+          | exception End_of_file -> Error (path ^ ": truncated file")
+          | exception Sys_error m -> Error m)

@@ -75,3 +75,5 @@ val parse : string -> (t, string) result
     line breaks are flexible; [%] starts a comment line. *)
 
 val parse_file : string -> (t, string) result
+(** All read failures — missing file, I/O error, file truncated while
+    being read — are reported as [Error]; the channel is always closed. *)

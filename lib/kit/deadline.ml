@@ -1,34 +1,59 @@
 exception Timed_out
 
+type cancel = bool Atomic.t
+
 type kind =
   | No_limit
   | Wall of float (* absolute deadline *)
-  | Fuel of int ref
+  | Fuel of int Atomic.t
 
-type t = { kind : kind; started : float; mutable ticks : int }
+type t = { kind : kind; started : float; cancel : cancel }
 
 let now () = Unix.gettimeofday ()
 
-let none = { kind = No_limit; started = 0.0; ticks = 0 }
+(* Wall-clock polling is amortised over a domain-local tick counter (one
+   counter per domain, shared by every deadline that domain checks) so that
+   a deadline value can be handed to several domains without races. *)
+let ticks_key = Domain.DLS.new_key (fun () -> ref 0)
 
-let of_seconds s = { kind = Wall (now () +. s); started = now (); ticks = 0 }
+let none = { kind = No_limit; started = 0.0; cancel = Atomic.make false }
 
-let of_fuel n = { kind = Fuel (ref n); started = now (); ticks = 0 }
+let of_seconds s =
+  let t0 = now () in
+  { kind = Wall (t0 +. s); started = t0; cancel = Atomic.make false }
+
+let of_fuel n =
+  { kind = Fuel (Atomic.make n); started = now (); cancel = Atomic.make false }
+
+let new_cancel () : cancel = Atomic.make false
+
+let cancel c = Atomic.set c true
+
+let is_cancelled (c : cancel) = Atomic.get c
+
+let with_cancel c t = { t with cancel = c }
+
+let cancelled t = Atomic.get t.cancel
 
 let expired t =
+  Atomic.get t.cancel
+  ||
   match t.kind with
   | No_limit -> false
-  | Wall d -> now () > d
-  | Fuel r -> !r <= 0
+  | Wall d -> now () >= d
+  | Fuel r -> Atomic.get r <= 0
 
 let check t =
+  if Atomic.get t.cancel then raise Timed_out;
   match t.kind with
   | No_limit -> ()
   | Fuel r ->
-      decr r;
-      if !r <= 0 then raise Timed_out
+      (* The budget admits n checks: the caller seeing the old value 1 (the
+         nth) raises, as do all later callers (old value <= 0). *)
+      if Atomic.fetch_and_add r (-1) <= 1 then raise Timed_out
   | Wall d ->
-      t.ticks <- t.ticks + 1;
-      if t.ticks land 1023 = 0 && now () > d then raise Timed_out
+      let ticks = Domain.DLS.get ticks_key in
+      incr ticks;
+      if !ticks land 1023 = 0 && now () >= d then raise Timed_out
 
 let elapsed t = if t.started = 0.0 then 0.0 else now () -. t.started

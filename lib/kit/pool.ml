@@ -1,0 +1,41 @@
+let default_jobs () =
+  match Sys.getenv_opt "HB_JOBS" with
+  | Some v -> (
+      match int_of_string_opt v with
+      | Some j when j >= 1 -> j
+      | Some _ | None -> Domain.recommended_domain_count ())
+  | None -> Domain.recommended_domain_count ()
+
+(* Work-stealing is overkill for our coarse, independent tasks: a shared
+   atomic next-task counter keeps all domains busy until the array is
+   drained, and writing results by index preserves input order exactly. *)
+let run_result ~jobs f tasks =
+  let n = Array.length tasks in
+  let results = Array.make n (Error Exit) in
+  let step i = results.(i) <- (try Ok (f tasks.(i)) with e -> Error e) in
+  let jobs = Stdlib.max 1 (Stdlib.min jobs n) in
+  if jobs <= 1 then
+    for i = 0 to n - 1 do
+      step i
+    done
+  else begin
+    let next = Atomic.make 0 in
+    let rec worker () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        step i;
+        worker ()
+      end
+    in
+    let domains = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join domains
+  end;
+  results
+
+let run ~jobs f tasks =
+  Array.map
+    (function Ok v -> v | Error e -> raise e)
+    (run_result ~jobs f tasks)
+
+let map_list ~jobs f l = Array.to_list (run ~jobs f (Array.of_list l))

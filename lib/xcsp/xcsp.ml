@@ -147,13 +147,16 @@ let parse src =
       | None -> Error "XCSP: no root element")
 
 let parse_file path =
-  try
-    let ic = open_in path in
-    let n = in_channel_length ic in
-    let s = really_input_string ic n in
-    close_in ic;
-    parse s
-  with Sys_error m -> Error m
+  match open_in_bin path with
+  | exception Sys_error m -> Error m
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          match really_input_string ic (in_channel_length ic) with
+          | s -> parse s
+          | exception End_of_file -> Error (path ^ ": truncated file")
+          | exception Sys_error m -> Error m)
 
 let to_hypergraph inst =
   if inst.scopes = [] then Error "XCSP: no constraints"

@@ -60,7 +60,55 @@ let load_missing () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "missing dir should fail"
 
+let save_creates_parents () =
+  let base = Filename.temp_file "hb" "" in
+  Sys.remove base;
+  (* Two levels of missing parents below a missing base directory. *)
+  let dir = Filename.concat (Filename.concat base "nested") "repo" in
+  let instances = List.filteri (fun i _ -> i < 3) (build ()) in
+  B.Repository.save ~dir instances;
+  (match B.Repository.load ~dir with
+  | Error m -> Alcotest.fail m
+  | Ok loaded ->
+      Alcotest.(check int) "count" (List.length instances) (List.length loaded));
+  Sys.readdir dir |> Array.iter (fun f -> Sys.remove (Filename.concat dir f));
+  Sys.rmdir dir;
+  Sys.rmdir (Filename.concat base "nested");
+  Sys.rmdir base
+
 let fast_budget () = Kit.Deadline.of_seconds 0.2
+
+(* A deterministic budget: with fuel instead of wall clock, verdicts are
+   bit-identical however the instances are spread over domains. *)
+let fuel_budget () = Kit.Deadline.of_fuel 20_000
+
+let analysis_parallel_matches_sequential () =
+  let instances = build () in
+  let seq =
+    B.Analysis.analyze ~budget:fuel_budget ~max_k:4 ~jobs:1 instances
+  in
+  let par =
+    B.Analysis.analyze ~budget:fuel_budget ~max_k:4 ~jobs:4 instances
+  in
+  Alcotest.(check int) "same record count" (List.length seq) (List.length par);
+  List.iter2
+    (fun (a : B.Analysis.record) (b : B.Analysis.record) ->
+      let name = a.B.Analysis.instance.B.Instance.name in
+      Alcotest.(check string) "same order" name b.B.Analysis.instance.B.Instance.name;
+      Alcotest.(check bool) (name ^ " same hw status") true
+        (a.B.Analysis.hw = b.B.Analysis.hw);
+      let runs (r : B.Analysis.record) =
+        List.map (fun (x : B.Analysis.hw_run) -> (x.k, x.outcome)) r.B.Analysis.hw_runs
+      in
+      Alcotest.(check bool) (name ^ " same run verdicts") true (runs a = runs b))
+    seq par;
+  (* And downstream: the ghd comparison on those records agrees too. *)
+  let ghd jobs records =
+    List.map
+      (fun (g : B.Analysis.ghd_record) -> (g.B.Analysis.name, g.B.Analysis.combined))
+      (B.Analysis.ghd_comparison ~budget:fuel_budget ~ks:[ 2; 3; 4 ] ~jobs records)
+  in
+  Alcotest.(check bool) "ghd comparison agrees" true (ghd 1 seq = ghd 4 par)
 
 let analysis_statuses () =
   let instances = build () in
@@ -131,7 +179,11 @@ let pearson_sanity () =
     (B.Stats.pearson xs [| 5.0; 5.0; 5.0; 5.0 |])
 
 let experiments_render () =
-  let ctx = Experiments.prepare ~seed:7 ~scale:0.05 ~budget_seconds:0.2 ~max_k:4 () in
+  (* jobs:2 renders through the domain pool; the artefact shape checks
+     below are jobs-independent. *)
+  let ctx =
+    Experiments.prepare ~seed:7 ~scale:0.05 ~budget_seconds:0.2 ~max_k:4 ~jobs:2 ()
+  in
   let checks =
     [
       (Experiments.table1 ctx, "Table 1");
@@ -163,12 +215,15 @@ let () =
           Alcotest.test_case "deterministic" `Quick repository_deterministic;
           Alcotest.test_case "scale" `Quick repository_scale;
           Alcotest.test_case "save/load" `Quick save_load_roundtrip;
+          Alcotest.test_case "save creates parents" `Quick save_creates_parents;
           Alcotest.test_case "load missing" `Quick load_missing;
         ] );
       ( "analysis",
         [
           Alcotest.test_case "statuses" `Slow analysis_statuses;
           Alcotest.test_case "witnesses valid" `Slow analysis_witnesses_valid;
+          Alcotest.test_case "parallel = sequential" `Slow
+            analysis_parallel_matches_sequential;
         ] );
       ( "stats",
         [

@@ -114,6 +114,29 @@ let timeout_path () =
   | Detk.Decomposition _ | Detk.No_decomposition ->
       Alcotest.fail "expected a timeout with tiny fuel"
 
+let timeout_wall () =
+  (* A wall budget that is already exhausted must abort the search once the
+     amortised clock poll fires — never leak a partial decomposition. *)
+  let h = grid 5 5 in
+  match Detk.solve ~deadline:(Kit.Deadline.of_seconds 0.0) h ~k:2 with
+  | Detk.Timeout -> ()
+  | Detk.Decomposition _ | Detk.No_decomposition ->
+      Alcotest.fail "expected a timeout with a zero wall budget"
+
+let timeout_mid_search_levels () =
+  (* Expiring at several fuel levels mid-search: the outcome is always one
+     of the three constructors, and a yes is always a full decomposition. *)
+  let h = grid 4 4 in
+  List.iter
+    (fun fuel ->
+      match Detk.solve ~deadline:(Kit.Deadline.of_fuel fuel) h ~k:3 with
+      | Detk.Timeout | Detk.No_decomposition -> ()
+      | Detk.Decomposition d ->
+          Alcotest.(check bool)
+            (Printf.sprintf "fuel %d yields a valid HD" fuel)
+            true (Decomp.is_valid_hd h d))
+    [ 1; 10; 100; 1000 ]
+
 let memoization_consistency () =
   (* With and without memoisation the verdict must coincide. *)
   let h = grid 3 3 in
@@ -183,6 +206,8 @@ let () =
       ( "robustness",
         [
           Alcotest.test_case "timeout" `Quick timeout_path;
+          Alcotest.test_case "wall timeout" `Quick timeout_wall;
+          Alcotest.test_case "timeout mid-search" `Quick timeout_mid_search_levels;
           Alcotest.test_case "memoization" `Quick memoization_consistency;
         ] );
       ( "properties",

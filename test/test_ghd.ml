@@ -167,6 +167,47 @@ let portfolio_timeout () =
   | Ghd.Portfolio.All_timeout -> ()
   | _ -> Alcotest.fail "expected all-timeout with tiny fuel"
 
+let balsep_timeout_propagates () =
+  (* A fuel budget expiring mid-search must surface as Timeout (exact =
+     false), never as a partial decomposition or an unproven "no". *)
+  let a = Ghd.Bal_sep.solve ~deadline:(Kit.Deadline.of_fuel 5) fano ~k:2 in
+  (match a.Ghd.Bal_sep.outcome with
+  | Detk.Timeout -> ()
+  | Detk.Decomposition _ | Detk.No_decomposition ->
+      Alcotest.fail "expected a timeout with tiny fuel");
+  Alcotest.(check bool) "timeout is inexact" false a.Ghd.Bal_sep.exact
+
+let verdict_kind = function
+  | Ghd.Portfolio.Yes _ -> `Yes
+  | Ghd.Portfolio.No _ -> `No
+  | Ghd.Portfolio.All_timeout -> `Timeout
+
+let race_agrees_with_check () =
+  List.iter
+    (fun (name, h, k) ->
+      let c = verdict_kind (Ghd.Portfolio.check h ~k) in
+      let r = verdict_kind (Ghd.Portfolio.race h ~k) in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s k=%d: race = check" name k)
+        true (c = r))
+    [
+      ("triangle", triangle, 1); ("triangle", triangle, 2);
+      ("fano", fano, 2); ("fano", fano, 3);
+      ("C7", cycle 7, 2); ("wide-overlap", wide_overlap, 2);
+    ]
+
+let race_yes_is_valid () =
+  match Ghd.Portfolio.race triangle ~k:2 with
+  | Ghd.Portfolio.Yes (d, _) ->
+      Alcotest.(check bool) "valid" true (Decomp.is_valid_ghd triangle d)
+  | _ -> Alcotest.fail "expected yes"
+
+let race_timeout () =
+  let budget () = Kit.Deadline.of_fuel 10 in
+  match Ghd.Portfolio.race ~budget fano ~k:2 with
+  | Ghd.Portfolio.All_timeout -> ()
+  | _ -> Alcotest.fail "expected all-timeout with tiny fuel"
+
 let portfolio_improvement () =
   (* hw(fano) = 3 and ghw(fano) = 3: no improvement possible. *)
   (match Ghd.Portfolio.ghw_improvement fano ~hw:3 with
@@ -281,6 +322,11 @@ let () =
           Alcotest.test_case "yes" `Quick portfolio_yes;
           Alcotest.test_case "no" `Quick portfolio_no;
           Alcotest.test_case "timeout" `Quick portfolio_timeout;
+          Alcotest.test_case "balsep timeout propagates" `Quick
+            balsep_timeout_propagates;
+          Alcotest.test_case "race = check" `Quick race_agrees_with_check;
+          Alcotest.test_case "race yes valid" `Quick race_yes_is_valid;
+          Alcotest.test_case "race timeout" `Quick race_timeout;
           Alcotest.test_case "improvement" `Quick portfolio_improvement;
         ] );
       ( "properties",

@@ -91,6 +91,32 @@ let parse_errors () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "trailing should fail"
 
+let parse_file_robust () =
+  let path = Filename.temp_file "hb" ".hg" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  let write s =
+    let oc = open_out_bin path in
+    output_string oc s;
+    close_out oc
+  in
+  let text = H.to_string fano in
+  write text;
+  (match H.parse_file path with
+  | Ok h -> Alcotest.(check bool) "roundtrip" true (H.equal_structure fano h)
+  | Error m -> Alcotest.fail m);
+  (* Truncate mid-edge (right after the last '('): always Error, never an
+     escaped exception, and the channel must not leak — exercised well
+     past the typical 1024-fd limit. *)
+  write (String.sub text 0 (String.rindex text '(' + 1));
+  for _ = 1 to 1100 do
+    match H.parse_file path with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail "truncated file should not parse"
+  done;
+  match H.parse_file (path ^ ".does-not-exist") with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "missing file should fail"
+
 (* --- components --------------------------------------------------------- *)
 
 let components_empty_separator () =
@@ -253,6 +279,7 @@ let () =
           Alcotest.test_case "roundtrip" `Quick roundtrip;
           Alcotest.test_case "flexible input" `Quick parse_flexible;
           Alcotest.test_case "errors" `Quick parse_errors;
+          Alcotest.test_case "file robustness" `Quick parse_file_robust;
         ] );
       ( "components",
         [

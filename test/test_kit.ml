@@ -188,6 +188,89 @@ let deadline_none () =
   for _ = 1 to 10_000 do Kit.Deadline.check Kit.Deadline.none done;
   Alcotest.(check bool) "never expires" false (Kit.Deadline.expired Kit.Deadline.none)
 
+let deadline_wall_coherent () =
+  let d = Kit.Deadline.of_seconds 60.0 in
+  Alcotest.(check bool) "fresh budget alive" false (Kit.Deadline.expired d);
+  Alcotest.(check bool) "elapsed sane" true (Kit.Deadline.elapsed d < 1.0);
+  (* started and the wall deadline come from a single clock reading, so a
+     zero-second budget is expired from the very start. *)
+  Alcotest.(check bool) "zero budget expired" true
+    (Kit.Deadline.expired (Kit.Deadline.of_seconds 0.0))
+
+let deadline_fuel_atomic () =
+  (* Four domains hammer one fuel deadline: exactly n - 1 checks succeed
+     in total before the n-th raises, whatever the interleaving. *)
+  let d = Kit.Deadline.of_fuel 100 in
+  let ok = Atomic.make 0 in
+  let worker () =
+    for _ = 1 to 100 do
+      match Kit.Deadline.check d with
+      | () -> Atomic.incr ok
+      | exception Kit.Deadline.Timed_out -> ()
+    done
+  in
+  let domains = Array.init 4 (fun _ -> Domain.spawn worker) in
+  Array.iter Domain.join domains;
+  Alcotest.(check int) "successful checks" 99 (Atomic.get ok);
+  Alcotest.(check bool) "expired afterwards" true (Kit.Deadline.expired d)
+
+let deadline_cancel () =
+  let c = Kit.Deadline.new_cancel () in
+  let d = Kit.Deadline.with_cancel c (Kit.Deadline.of_seconds 3600.0) in
+  Kit.Deadline.check d;
+  Alcotest.(check bool) "not yet cancelled" false (Kit.Deadline.cancelled d);
+  Kit.Deadline.cancel c;
+  Alcotest.(check bool) "flag set" true (Kit.Deadline.is_cancelled c);
+  Alcotest.(check bool) "deadline cancelled" true (Kit.Deadline.cancelled d);
+  Alcotest.(check bool) "expired" true (Kit.Deadline.expired d);
+  Alcotest.check_raises "check raises" Kit.Deadline.Timed_out (fun () ->
+      Kit.Deadline.check d);
+  (* with_cancel over [none] is a pure cancellation token. *)
+  Alcotest.check_raises "token raises" Kit.Deadline.Timed_out (fun () ->
+      Kit.Deadline.check (Kit.Deadline.with_cancel c Kit.Deadline.none))
+
+let deadline_cancel_across_domains () =
+  (* One domain spins on a no-budget deadline; the main domain aborts it
+     through the shared flag. *)
+  let c = Kit.Deadline.new_cancel () in
+  let d = Kit.Deadline.with_cancel c Kit.Deadline.none in
+  let spinner =
+    Domain.spawn (fun () ->
+        let rec spin () =
+          match Kit.Deadline.check d with
+          | () -> spin ()
+          | exception Kit.Deadline.Timed_out -> `Cancelled
+        in
+        spin ())
+  in
+  Kit.Deadline.cancel c;
+  Alcotest.(check bool) "sibling aborted" true (Domain.join spinner = `Cancelled)
+
+let pool_matches_sequential () =
+  let tasks = Array.init 100 (fun i -> i) in
+  let f x = x * x in
+  let seq = Kit.Pool.run ~jobs:1 f tasks in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (array int))
+        (Printf.sprintf "jobs=%d" jobs)
+        seq
+        (Kit.Pool.run ~jobs f tasks))
+    [ 2; 3; 7 ]
+
+let pool_captures_exceptions () =
+  let f x = if x mod 2 = 0 then failwith "even" else x in
+  let results = Kit.Pool.run_result ~jobs:3 f [| 1; 2; 3; 4 |] in
+  (match results with
+  | [| Ok 1; Error (Failure _); Ok 3; Error (Failure _) |] -> ()
+  | _ -> Alcotest.fail "per-task results mangled");
+  Alcotest.check_raises "run re-raises the first failure" (Failure "even")
+    (fun () -> ignore (Kit.Pool.run ~jobs:2 f [| 1; 2; 3; 4 |]))
+
+let pool_empty_and_default () =
+  Alcotest.(check (array int)) "empty" [||] (Kit.Pool.run ~jobs:8 (fun x -> x) [||]);
+  Alcotest.(check bool) "default jobs positive" true (Kit.Pool.default_jobs () >= 1)
+
 let () =
   let qt = QCheck_alcotest.to_alcotest in
   Alcotest.run "kit"
@@ -223,5 +306,16 @@ let () =
         [
           Alcotest.test_case "fuel" `Quick deadline_fuel;
           Alcotest.test_case "none" `Quick deadline_none;
+          Alcotest.test_case "wall coherent" `Quick deadline_wall_coherent;
+          Alcotest.test_case "fuel is atomic" `Quick deadline_fuel_atomic;
+          Alcotest.test_case "cancel flag" `Quick deadline_cancel;
+          Alcotest.test_case "cancel across domains" `Quick
+            deadline_cancel_across_domains;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "parallel = sequential" `Quick pool_matches_sequential;
+          Alcotest.test_case "exceptions captured" `Quick pool_captures_exceptions;
+          Alcotest.test_case "empty and default" `Quick pool_empty_and_default;
         ] );
     ]
