@@ -109,6 +109,11 @@ let () =
      else Printf.sprintf "%.2fs" budget_seconds)
     jobs;
   if needs_ctx then begin
+    (* Metrics stay on for the analysis + tables and are switched off
+       before the micro benches: bechamel's iteration counts are
+       nondeterministic and would pollute the (fuel-reproducible)
+       counters reported below. *)
+    Kit.Metrics.enabled := true;
     let t0 = Unix.gettimeofday () in
     let ctx = Experiments.prepare ~seed ~scale ~budget_seconds ?budget ~jobs () in
     let wall = Unix.gettimeofday () -. t0 in
@@ -129,6 +134,15 @@ let () =
     emit "table5" Experiments.table5;
     emit "table6" Experiments.table6;
     if wants "ablation" then
-      print_endline (Experiments.ablation ~budget_seconds ctx)
+      print_endline (Experiments.ablation ?budget ~budget_seconds ctx);
+    let snap = Kit.Metrics.snapshot () in
+    print_endline (Experiments.metrics_summary snap);
+    let path = "BENCH_metrics.json" in
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> output_string oc (Kit.Metrics.to_json snap));
+    Printf.printf "Wrote %s\n" path;
+    Kit.Metrics.enabled := false
   end;
   if wants "micro" then micro ()

@@ -34,6 +34,39 @@ let jobs_arg =
           "Number of domains for parallel work (default: \\$(b,HB_JOBS) or \
            all cores). 1 forces sequential execution.")
 
+let stats_arg =
+  Arg.(
+    value & flag
+    & info [ "stats" ] ~doc:"Print search metrics (Kit.Metrics) after the run.")
+
+let stats_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "stats-json" ] ~docv:"FILE"
+        ~doc:"Write search metrics as JSON to $(docv).")
+
+(* Enable the metrics registry around [f] when either output was requested,
+   then render the table and/or write the JSON file. *)
+let with_stats ~stats ~stats_json f =
+  if not (stats || stats_json <> None) then f ()
+  else begin
+    Kit.Metrics.enabled := true;
+    let r = f () in
+    let snap = Kit.Metrics.snapshot () in
+    Kit.Metrics.enabled := false;
+    if stats then print_string (Kit.Metrics.to_table snap);
+    (match stats_json with
+    | Some path ->
+        let oc = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () -> output_string oc (Kit.Metrics.to_json snap));
+        Printf.printf "wrote metrics to %s\n" path
+    | None -> ());
+    r
+  end
+
 let load_hypergraph path =
   if Filename.check_suffix path ".xml" then Xcsp3.Xcsp.read_file path
   else Hg.Hypergraph.parse_file path
@@ -124,26 +157,27 @@ let list_cmd =
 (* --- analyze ----------------------------------------------------------------- *)
 
 let analyze_cmd =
-  let run path timeout max_k =
+  let run path timeout max_k stats stats_json =
     let* h = load_hypergraph path in
-    let deadline () = Kit.Deadline.of_seconds timeout in
-    let p = Hg.Properties.profile ~deadline:(deadline ()) h in
-    Format.printf "%a@." Hg.Properties.pp_profile p;
-    Printf.printf "acyclic (GYO): %b\n" (Hg.Gyo.is_acyclic h);
-    let tw_ub, _ = Hg.Primal.upper_bound h in
-    Printf.printf "primal treewidth: %d <= tw <= %d\n" (Hg.Primal.lower_bound h)
-      tw_ub;
-    let rec levels k =
-      if k > max_k then Printf.printf "hw > %d (gave up at cap)\n" max_k
-      else
-        match Detk.solve ~deadline:(deadline ()) h ~k with
-        | Detk.Decomposition _ -> Printf.printf "hw = %d\n" k
-        | Detk.No_decomposition -> levels (k + 1)
-        | Detk.Timeout ->
-            Printf.printf "hw >= %d (timeout at k = %d)\n" k k
-    in
-    levels 1;
-    `Ok ()
+    with_stats ~stats ~stats_json (fun () ->
+        let deadline () = Kit.Deadline.of_seconds timeout in
+        let p = Hg.Properties.profile ~deadline:(deadline ()) h in
+        Format.printf "%a@." Hg.Properties.pp_profile p;
+        Printf.printf "acyclic (GYO): %b\n" (Hg.Gyo.is_acyclic h);
+        let tw_ub, _ = Hg.Primal.upper_bound h in
+        Printf.printf "primal treewidth: %d <= tw <= %d\n"
+          (Hg.Primal.lower_bound h) tw_ub;
+        let rec levels k =
+          if k > max_k then Printf.printf "hw > %d (gave up at cap)\n" max_k
+          else
+            match Detk.solve ~deadline:(deadline ()) h ~k with
+            | Detk.Decomposition _ -> Printf.printf "hw = %d\n" k
+            | Detk.No_decomposition -> levels (k + 1)
+            | Detk.Timeout ->
+                Printf.printf "hw >= %d (timeout at k = %d)\n" k k
+        in
+        levels 1;
+        `Ok ())
   in
   let path =
     Arg.(
@@ -156,7 +190,8 @@ let analyze_cmd =
   in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Structural properties and hypertree width.")
-    Term.(ret (const run $ path $ timeout_arg $ max_k))
+    Term.(
+      ret (const run $ path $ timeout_arg $ max_k $ stats_arg $ stats_json_arg))
 
 (* --- decompose --------------------------------------------------------------- *)
 
@@ -166,8 +201,9 @@ let method_conv =
       ("balsep", `Balsep); ("portfolio", `Portfolio) ]
 
 let decompose_cmd =
-  let run path k meth timeout jobs dot save =
+  let run path k meth timeout jobs dot save stats stats_json =
     let* h = load_hypergraph path in
+    with_stats ~stats ~stats_json @@ fun () ->
     let deadline () = Kit.Deadline.of_seconds timeout in
     let outcome =
       match meth with
@@ -229,7 +265,9 @@ let decompose_cmd =
   Cmd.v
     (Cmd.info "decompose" ~doc:"Compute an HD or GHD of width at most k.")
     Term.(
-      ret (const run $ path $ k_arg $ meth $ timeout_arg $ jobs_arg $ dot $ save))
+      ret
+        (const run $ path $ k_arg $ meth $ timeout_arg $ jobs_arg $ dot $ save
+       $ stats_arg $ stats_json_arg))
 
 (* --- validate ------------------------------------------------------------------ *)
 
@@ -266,8 +304,9 @@ let validate_cmd =
 (* --- improve ------------------------------------------------------------------ *)
 
 let improve_cmd =
-  let run path k timeout frac =
+  let run path k timeout frac stats stats_json =
     let* h = load_hypergraph path in
+    with_stats ~stats ~stats_json @@ fun () ->
     let deadline () = Kit.Deadline.of_seconds timeout in
     (match Detk.solve ~deadline:(deadline ()) h ~k with
     | Detk.Decomposition d ->
@@ -294,7 +333,10 @@ let improve_cmd =
   in
   Cmd.v
     (Cmd.info "improve" ~doc:"Fractionally improve an HD (paper §6.5).")
-    Term.(ret (const run $ path $ k_arg $ timeout_arg $ frac))
+    Term.(
+      ret
+        (const run $ path $ k_arg $ timeout_arg $ frac $ stats_arg
+       $ stats_json_arg))
 
 (* --- convert ------------------------------------------------------------------- *)
 

@@ -10,6 +10,7 @@ type record = {
   hw_runs : hw_run list;
   hw : hw_status;
   hd : Decomp.t option;
+  stats : Kit.Metrics.snapshot;
 }
 
 let default_budget () = Kit.Deadline.of_seconds 1.0
@@ -51,8 +52,12 @@ let analyze ?(budget = default_budget) ?(max_k = 8) ?jobs instances =
               levels (k + 1) ({ k; outcome = `Timeout; seconds } :: acc) true
         end
       in
-      let hw_runs, hw, hd = levels 1 [] false in
-      { instance = inst; profile; hw_runs; hw; hd })
+      (* [local_delta] works because the pool runs each instance wholly on
+         one domain, so this domain's store only moves for our own work. *)
+      let (hw_runs, hw, hd), stats =
+        Kit.Metrics.local_delta (fun () -> levels 1 [] false)
+      in
+      { instance = inst; profile; hw_runs; hw; hd; stats })
     instances
 
 let hw_bound r =
@@ -71,6 +76,7 @@ type ghd_record = {
   runs : ghd_run list;
   combined : verdict;
   combined_seconds : float;
+  stats : Kit.Metrics.snapshot;
 }
 
 let ghd_comparison ?(budget = default_budget) ?(ks = [ 3; 4; 5; 6 ]) ?jobs records =
@@ -108,10 +114,11 @@ let ghd_comparison ?(budget = default_budget) ?(ks = [ 3; 4; 5; 6 ]) ?jobs recor
             in
             { algorithm = alg; outcome = v; seconds }
           in
-          let runs =
-            List.map run
-              [ Ghd.Portfolio.Bal_sep_alg; Ghd.Portfolio.Local_bip_alg;
-                Ghd.Portfolio.Global_bip_alg ]
+          let runs, stats =
+            Kit.Metrics.local_delta (fun () ->
+                List.map run
+                  [ Ghd.Portfolio.Bal_sep_alg; Ghd.Portfolio.Local_bip_alg;
+                    Ghd.Portfolio.Global_bip_alg ])
           in
           let decided =
             List.filter (fun x -> x.outcome <> `Timeout) runs
@@ -130,6 +137,7 @@ let ghd_comparison ?(budget = default_budget) ?(ks = [ 3; 4; 5; 6 ]) ?jobs recor
               runs;
               combined;
               combined_seconds;
+              stats;
             }
       | _ -> None)
     records

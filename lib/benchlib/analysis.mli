@@ -21,6 +21,10 @@ type record = {
   hw_runs : hw_run list;
   hw : hw_status;
   hd : Decomp.t option;  (** witness for Exact/Upper *)
+  stats : Kit.Metrics.snapshot;
+      (** this instance's search-effort delta ({!Kit.Metrics.local_delta}
+          around the k-ladder); {!Kit.Metrics.empty} unless metrics were
+          enabled *)
 }
 
 val analyze :
@@ -53,6 +57,9 @@ type ghd_record = {
   runs : ghd_run list;  (** one per algorithm *)
   combined : verdict;  (** first definitive answer across algorithms *)
   combined_seconds : float;  (** time of the fastest deciding algorithm *)
+  stats : Kit.Metrics.snapshot;
+      (** search-effort delta over the three algorithm runs;
+          {!Kit.Metrics.empty} unless metrics were enabled *)
 }
 
 val ghd_comparison :

@@ -1,6 +1,14 @@
 module Bitset = Kit.Bitset
 module Deadline = Kit.Deadline
+module Metrics = Kit.Metrics
 module Hypergraph = Hg.Hypergraph
+
+(* Search observability (see Kit.Metrics; recorded only when enabled). *)
+let m_subproblems = Metrics.counter "detk.subproblems"
+let m_covers = Metrics.counter "detk.cover_combinations"
+let m_memo_hits = Metrics.counter "detk.memo_hits"
+let m_memo_misses = Metrics.counter "detk.memo_misses"
+let m_bag_rejections = Metrics.counter "detk.bag_filter_rejections"
 
 type candidate = {
   label : string;
@@ -50,13 +58,18 @@ let solve_gen ?(deadline = Deadline.none) ?(memoize = true) ?extra
   let rec decompose comp conn =
     Deadline.check deadline;
     let key = (comp, conn) in
-    if memoize && Cache.mem failed key then None
+    if memoize && Cache.mem failed key then begin
+      Metrics.incr m_memo_hits;
+      None
+    end
     else begin
+      if memoize then Metrics.incr m_memo_misses;
       let result = attempt comp conn in
       if result = None && memoize then Cache.replace failed key ();
       result
     end
   and attempt comp conn =
+    Metrics.incr m_subproblems;
     let comp_vertices = Hypergraph.vertices_of_edges h comp in
     let scope = Bitset.union comp_vertices conn in
     let try_with cands =
@@ -79,9 +92,13 @@ let solve_gen ?(deadline = Deadline.none) ?(memoize = true) ?extra
         suffix.(i) <- Bitset.union suffix.(i + 1) relevant.(i).vertices
       done;
       let evaluate lambda covered =
+        Metrics.incr m_covers;
         let bag = Bitset.inter covered scope in
         if not (Bitset.intersects bag comp_vertices) then None
-        else if not (bag_filter bag) then None
+        else if not (bag_filter bag) then begin
+          Metrics.incr m_bag_rejections;
+          None
+        end
         else begin
           let comps = Hg.Components.components h ~within:comp bag in
           let total = Bitset.cardinal comp in

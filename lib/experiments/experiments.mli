@@ -13,6 +13,10 @@ type context = {
   records : Benchlib.Analysis.record list;
   ghd : Benchlib.Analysis.ghd_record list;
   frac : Benchlib.Analysis.frac_record list;
+  stats : Kit.Metrics.snapshot;
+      (** global metrics snapshot taken when [prepare] finished — the
+          accumulated search effort of the whole analysis pass
+          ({!Kit.Metrics.empty} unless [Kit.Metrics.enabled] was set) *)
 }
 
 val prepare :
@@ -65,9 +69,16 @@ val table5 : context -> string
 val table6 : context -> string
 (** FracImproveHD improvement buckets. *)
 
-val ablation : ?budget_seconds:float -> context -> string
+val ablation :
+  ?budget:(unit -> Kit.Deadline.t) -> ?budget_seconds:float -> context -> string
 (** Design-choice ablations: DetKDecomp failure memoisation on/off and
-    BalSep with/without the subedge fallback. *)
+    BalSep with/without the subedge fallback. [budget] overrides the
+    wall-clock [budget_seconds] with an arbitrary deadline factory (pass a
+    [Kit.Deadline.of_fuel] thunk to keep the whole bench deterministic). *)
+
+val metrics_summary : Kit.Metrics.snapshot -> string
+(** Render every non-zero metric of a snapshot together with the paper
+    artefact it supports (the mapping is documented in EXPERIMENTS.md). *)
 
 val solver_seconds : context -> float
 (** Total solver time measured across the analysis (the sequential-

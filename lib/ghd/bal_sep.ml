@@ -1,6 +1,13 @@
 module Bitset = Kit.Bitset
 module Deadline = Kit.Deadline
+module Metrics = Kit.Metrics
 module Hypergraph = Hg.Hypergraph
+
+(* Search observability (see Kit.Metrics; recorded only when enabled). *)
+let m_separators = Metrics.counter "balsep.separators_tried"
+let m_balance_rejections = Metrics.counter "balsep.balance_rejections"
+let m_special_edges = Metrics.counter "balsep.special_edges"
+let m_subedge_phases = Metrics.counter "balsep.subedge_phases"
 
 type answer = {
   outcome : Detk.outcome;
@@ -107,6 +114,7 @@ let solve ?(deadline = Deadline.none) ?(memoize = true) ?(use_subedges = true)
   in
   let next_sid = ref 0 in
   let fresh_special verts =
+    Metrics.incr m_special_edges;
     let s = { sid = !next_sid; verts } in
     incr next_sid;
     s
@@ -181,6 +189,7 @@ let solve ?(deadline = Deadline.none) ?(memoize = true) ?(use_subedges = true)
       in
       let try_separator lambda =
         Deadline.check deadline;
+        Metrics.incr m_separators;
         (* Restrict the bag to the vertices of this extended subhypergraph:
            separator edges may reach into sibling components, and those
            foreign vertices must not enter bags here or connectedness of
@@ -203,7 +212,10 @@ let solve ?(deadline = Deadline.none) ?(memoize = true) ?(use_subedges = true)
             (fun (es, sps) -> Bitset.cardinal es + List.length sps <= bound)
             comps
         in
-        if not balanced then None
+        if not balanced then begin
+          Metrics.incr m_balance_rejections;
+          None
+        end
         else begin
           let s = fresh_special bag in
           let rec solve_children = function
@@ -272,6 +284,7 @@ let solve ?(deadline = Deadline.none) ?(memoize = true) ?(use_subedges = true)
       | None ->
           if not use_subedges then None
           else begin
+            Metrics.incr m_subedge_phases;
             let subs = subedges () in
             if Array.length subs = 0 then None
             else

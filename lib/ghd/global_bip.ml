@@ -1,5 +1,10 @@
 module Hypergraph = Hg.Hypergraph
 
+(* Total cover-candidate pool handed to the search: original edges plus
+   the whole f(H,k) set (Kit.Metrics; recorded only when enabled). *)
+let m_candidates = Kit.Metrics.counter "globalbip.candidates"
+let m_solves = Kit.Metrics.counter "globalbip.solves"
+
 type answer = {
   outcome : Detk.outcome;
   exact : bool;
@@ -27,6 +32,8 @@ let solve ?deadline ?expand_limit ?max_subedges ?c h ~k =
       Subedges.f_global ?deadline ?expand_limit ?max_subedges ?c h ~k
     in
     let candidates = Detk.candidates_of_edges h @ subs in
+    Kit.Metrics.incr m_solves;
+    Kit.Metrics.add m_candidates (List.length candidates);
     (complete, Detk.solve_gen ?deadline ~candidates h ~k)
   with
   | _, Detk.Decomposition d ->

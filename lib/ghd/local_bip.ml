@@ -1,5 +1,10 @@
 module Bitset = Kit.Bitset
 
+(* Calls into the per-component extra-candidate oracle f_u(H,k), split by
+   cache outcome (Kit.Metrics; recorded only when enabled). *)
+let m_extra_calls = Kit.Metrics.counter "localbip.extra_calls"
+let m_extra_cache_hits = Kit.Metrics.counter "localbip.extra_cache_hits"
+
 type answer = {
   outcome : Detk.outcome;
   exact : bool;
@@ -10,9 +15,12 @@ let solve ?deadline ?expand_limit ?max_subedges h ~k =
   (* The local subedge set depends only on the component, so cache it. *)
   let cache : (int list, Detk.candidate list) Hashtbl.t = Hashtbl.create 32 in
   let extra ~comp ~conn:_ =
+    Kit.Metrics.incr m_extra_calls;
     let key = Bitset.to_list comp in
     match Hashtbl.find_opt cache key with
-    | Some cs -> cs
+    | Some cs ->
+        Kit.Metrics.incr m_extra_cache_hits;
+        cs
     | None ->
         let { Subedges.candidates; complete } =
           Subedges.f_local ?deadline ?expand_limit ?max_subedges h ~k ~comp

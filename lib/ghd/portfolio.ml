@@ -10,6 +10,26 @@ type verdict =
   | No of algorithm
   | All_timeout
 
+(* Winner identity per portfolio run, and — in [race] — how long losers
+   take to notice the winner's cancellation (Kit.Metrics; recorded only
+   when enabled). *)
+let m_win_balsep = Kit.Metrics.counter "portfolio.wins.balsep"
+let m_win_localbip = Kit.Metrics.counter "portfolio.wins.localbip"
+let m_win_globalbip = Kit.Metrics.counter "portfolio.wins.globalbip"
+let m_all_timeout = Kit.Metrics.counter "portfolio.all_timeout"
+let m_cancel_latency = Kit.Metrics.timer "portfolio.cancel_latency"
+
+let record_verdict v =
+  (match v with
+  | Yes (_, alg) | No alg ->
+      Kit.Metrics.incr
+        (match alg with
+        | Bal_sep_alg -> m_win_balsep
+        | Local_bip_alg -> m_win_localbip
+        | Global_bip_alg -> m_win_globalbip)
+  | All_timeout -> Kit.Metrics.incr m_all_timeout);
+  v
+
 let default_budget () = Kit.Deadline.none
 
 let solve_with alg ~deadline h ~k =
@@ -39,17 +59,29 @@ let check ?(budget = default_budget) h ~k =
         | Some v -> v
         | None -> first rest)
   in
-  first order
+  record_verdict (first order)
 
 let race ?(budget = default_budget) h ~k =
   let flag = Kit.Deadline.new_cancel () in
+  (* Wall-clock instant the winner pulled the flag: written before the
+     cancel itself, so any loser that observed a cancelled flag also sees
+     a valid timestamp and can report how long cancellation took to land. *)
+  let cancel_at = Atomic.make neg_infinity in
   let run alg =
     let deadline = Kit.Deadline.with_cancel flag (budget ()) in
     let v = decide alg ~deadline h ~k in
     (* First exact verdict wins: abort the siblings at their next
        Deadline.check. Losers surface as timeouts, exactly as if their
        budget had run out. *)
-    if v <> None then Kit.Deadline.cancel flag;
+    if v <> None then begin
+      Atomic.set cancel_at (Unix.gettimeofday ());
+      Kit.Deadline.cancel flag
+    end
+    else begin
+      let t0 = Atomic.get cancel_at in
+      if Kit.Deadline.is_cancelled flag && t0 > neg_infinity then
+        Kit.Metrics.add_seconds m_cancel_latency (Unix.gettimeofday () -. t0)
+    end;
     v
   in
   let results =
@@ -65,7 +97,7 @@ let race ?(budget = default_budget) h ~k =
       | Ok None -> pick (i + 1)
       | Error e -> raise e
   in
-  pick 0
+  record_verdict (pick 0)
 
 let ghw_improvement ?budget h ~hw =
   if hw <= 2 then `Not_improvable (* hw <= 2 implies ghw = hw, §6.4 *)

@@ -1,6 +1,14 @@
 module Bitset = Kit.Bitset
 module Deadline = Kit.Deadline
+module Metrics = Kit.Metrics
 module Hypergraph = Hg.Hypergraph
+
+(* Search observability: size of each generated f(H,k) candidate pool
+   (Kit.Metrics; recorded only when enabled). *)
+let m_generated = Metrics.counter "subedges.generated"
+let m_truncated = Metrics.counter "subedges.truncated"
+let m_pool_size =
+  Metrics.histogram "subedges.pool_size" ~buckets:[| 0; 10; 100; 1000; 10000 |]
 
 type result = {
   candidates : Detk.candidate list;
@@ -111,6 +119,9 @@ let generate ?(deadline = Deadline.none) ?(expand_limit = 10)
       unions 1 (j + 1) inters.(j)
     done
   done;
+  Metrics.add m_generated !count;
+  Metrics.observe m_pool_size !count;
+  if !truncated then Metrics.incr m_truncated;
   { candidates = List.rev !out; complete = not !truncated }
 
 let f_global ?deadline ?expand_limit ?max_subedges ?c h ~k =

@@ -1,0 +1,311 @@
+(* Per-domain accumulation, merged on read. Each metric owns a fixed
+   range of cells (ints for counts and bucket cells, floats for timer
+   seconds); each domain lazily allocates a flat store of those cells via
+   Domain.DLS and registers it in a global list, so recording is an
+   unsynchronised array write and reading sums over all stores. Stores of
+   terminated domains stay registered — their counts must keep being
+   visible to later snapshots (Pool joins its workers, so their writes
+   are ordered before any subsequent read). *)
+
+type kind = Counter | Timer | Hist of int array
+
+type meta = {
+  name : string;
+  kind : kind;
+  slot : int;  (* first int cell *)
+  fslot : int;  (* float cell for timers, -1 otherwise *)
+}
+
+type counter = meta
+type timer = meta
+type histogram = meta
+
+let enabled = ref false
+
+let mutex = Mutex.create ()
+let by_name : (string, meta) Hashtbl.t = Hashtbl.create 64
+let metas : meta list ref = ref [] (* reverse registration order *)
+let next_slot = ref 0
+let next_fslot = ref 0
+
+type store = { mutable ints : int array; mutable floats : float array }
+
+let stores : store list ref = ref []
+
+let locked f =
+  Mutex.lock mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mutex) f
+
+let store_key =
+  Domain.DLS.new_key (fun () ->
+      let s = { ints = Array.make 128 0; floats = Array.make 16 0.0 } in
+      locked (fun () -> stores := s :: !stores);
+      s)
+
+let int_cells = function
+  | Counter | Timer -> 1
+  | Hist edges -> Array.length edges + 1
+
+let kind_label = function
+  | Counter -> "counter"
+  | Timer -> "timer"
+  | Hist _ -> "histogram"
+
+let register name kind =
+  locked (fun () ->
+      match Hashtbl.find_opt by_name name with
+      | Some m ->
+          let compatible =
+            match (m.kind, kind) with
+            | Counter, Counter | Timer, Timer -> true
+            | Hist a, Hist b -> a = b
+            | _ -> false
+          in
+          if not compatible then
+            invalid_arg
+              (Printf.sprintf "Metrics: %S is already registered as a %s" name
+                 (kind_label m.kind));
+          m
+      | None ->
+          let fslot = match kind with Timer -> !next_fslot | _ -> -1 in
+          let m = { name; kind; slot = !next_slot; fslot } in
+          next_slot := !next_slot + int_cells kind;
+          if fslot >= 0 then incr next_fslot;
+          Hashtbl.add by_name name m;
+          metas := m :: !metas;
+          m)
+
+let counter name = register name Counter
+let timer name = register name Timer
+
+let histogram name ~buckets =
+  if Array.length buckets = 0 then
+    invalid_arg "Metrics.histogram: empty buckets";
+  Array.iteri
+    (fun i e ->
+      if i > 0 && e <= buckets.(i - 1) then
+        invalid_arg "Metrics.histogram: buckets must be strictly increasing")
+    buckets;
+  register name (Hist (Array.copy buckets))
+
+(* --- recording (hot path) -------------------------------------------------- *)
+
+let grow_ints s n =
+  let len = Stdlib.max n (2 * Array.length s.ints) in
+  let a = Array.make len 0 in
+  Array.blit s.ints 0 a 0 (Array.length s.ints);
+  s.ints <- a
+
+let grow_floats s n =
+  let len = Stdlib.max n (2 * Array.length s.floats) in
+  let a = Array.make len 0.0 in
+  Array.blit s.floats 0 a 0 (Array.length s.floats);
+  s.floats <- a
+
+let add c n =
+  if !enabled then begin
+    let s = Domain.DLS.get store_key in
+    if c.slot >= Array.length s.ints then grow_ints s (c.slot + 1);
+    s.ints.(c.slot) <- s.ints.(c.slot) + n
+  end
+
+let incr c = add c 1
+
+let add_seconds t secs =
+  if !enabled then begin
+    let s = Domain.DLS.get store_key in
+    if t.slot >= Array.length s.ints then grow_ints s (t.slot + 1);
+    if t.fslot >= Array.length s.floats then grow_floats s (t.fslot + 1);
+    s.ints.(t.slot) <- s.ints.(t.slot) + 1;
+    s.floats.(t.fslot) <- s.floats.(t.fslot) +. secs
+  end
+
+let span t f =
+  if not !enabled then f ()
+  else begin
+    let t0 = Unix.gettimeofday () in
+    Fun.protect ~finally:(fun () -> add_seconds t (Unix.gettimeofday () -. t0)) f
+  end
+
+let observe h v =
+  if !enabled then
+    match h.kind with
+    | Hist edges ->
+        let s = Domain.DLS.get store_key in
+        let n = Array.length edges in
+        if h.slot + n >= Array.length s.ints then grow_ints s (h.slot + n + 1);
+        let i = ref 0 in
+        while !i < n && v > edges.(!i) do Stdlib.incr i done;
+        s.ints.(h.slot + !i) <- s.ints.(h.slot + !i) + 1
+    | Counter | Timer -> ()
+
+(* --- reading ---------------------------------------------------------------- *)
+
+type snapshot = {
+  counters : (string * int) list;
+  timers : (string * (int * float)) list;
+  histograms : (string * (int array * int array)) list;
+}
+
+let empty = { counters = []; timers = []; histograms = [] }
+
+let build_snapshot ~keep_zero metas iget fget =
+  let sorted l = List.sort (fun (a, _) (b, _) -> String.compare a b) l in
+  let cs = ref [] and ts = ref [] and hs = ref [] in
+  List.iter
+    (fun m ->
+      match m.kind with
+      | Counter ->
+          let v = iget m.slot in
+          if keep_zero || v <> 0 then cs := (m.name, v) :: !cs
+      | Timer ->
+          let n = iget m.slot in
+          if keep_zero || n <> 0 then ts := (m.name, (n, fget m.fslot)) :: !ts
+      | Hist edges ->
+          let counts =
+            Array.init (Array.length edges + 1) (fun i -> iget (m.slot + i))
+          in
+          if keep_zero || Array.exists (( <> ) 0) counts then
+            hs := (m.name, (Array.copy edges, counts)) :: !hs)
+    metas;
+  { counters = sorted !cs; timers = sorted !ts; histograms = sorted !hs }
+
+let snapshot () =
+  let metas, stores = locked (fun () -> (!metas, !stores)) in
+  let iget slot =
+    List.fold_left
+      (fun acc s -> acc + if slot < Array.length s.ints then s.ints.(slot) else 0)
+      0 stores
+  in
+  let fget fslot =
+    List.fold_left
+      (fun acc s ->
+        acc +. if fslot < Array.length s.floats then s.floats.(fslot) else 0.0)
+      0.0 stores
+  in
+  build_snapshot ~keep_zero:true metas iget fget
+
+let local_delta f =
+  if not !enabled then (f (), empty)
+  else begin
+    let s = Domain.DLS.get store_key in
+    let i0 = Array.copy s.ints and f0 = Array.copy s.floats in
+    let r = f () in
+    let metas = locked (fun () -> !metas) in
+    (* Same store record: growth replaces the arrays in place, never the
+       record registered for this domain. *)
+    let iget slot =
+      (if slot < Array.length s.ints then s.ints.(slot) else 0)
+      - if slot < Array.length i0 then i0.(slot) else 0
+    in
+    let fget fslot =
+      (if fslot < Array.length s.floats then s.floats.(fslot) else 0.0)
+      -. if fslot < Array.length f0 then f0.(fslot) else 0.0
+    in
+    (r, build_snapshot ~keep_zero:false metas iget fget)
+  end
+
+let reset () =
+  locked (fun () ->
+      List.iter
+        (fun s ->
+          Array.fill s.ints 0 (Array.length s.ints) 0;
+          Array.fill s.floats 0 (Array.length s.floats) 0.0)
+        !stores)
+
+(* --- accessors and rendering ------------------------------------------------ *)
+
+let get snap name = Option.value ~default:0 (List.assoc_opt name snap.counters)
+
+let get_timer snap name =
+  Option.value ~default:(0, 0.0) (List.assoc_opt name snap.timers)
+
+let get_histogram snap name = List.assoc_opt name snap.histograms
+
+let json_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let json_int_array a =
+  "[" ^ String.concat "," (List.map string_of_int (Array.to_list a)) ^ "]"
+
+let to_json snap =
+  let buf = Buffer.create 1024 in
+  let obj body = "{" ^ String.concat "," body ^ "}" in
+  Buffer.add_string buf "{\n  \"counters\": ";
+  Buffer.add_string buf
+    (obj
+       (List.map
+          (fun (n, v) -> Printf.sprintf "%s: %d" (json_string n) v)
+          snap.counters));
+  Buffer.add_string buf ",\n  \"timers\": ";
+  Buffer.add_string buf
+    (obj
+       (List.map
+          (fun (n, (c, s)) ->
+            Printf.sprintf "%s: {\"count\": %d, \"seconds\": %.6f}"
+              (json_string n) c s)
+          snap.timers));
+  Buffer.add_string buf ",\n  \"histograms\": ";
+  Buffer.add_string buf
+    (obj
+       (List.map
+          (fun (n, (edges, counts)) ->
+            Printf.sprintf "%s: {\"edges\": %s, \"counts\": %s}" (json_string n)
+              (json_int_array edges) (json_int_array counts))
+          snap.histograms));
+  Buffer.add_string buf "\n}\n";
+  Buffer.contents buf
+
+let to_table snap =
+  let buf = Buffer.create 1024 in
+  let counters = List.filter (fun (_, v) -> v <> 0) snap.counters in
+  let timers = List.filter (fun (_, (c, _)) -> c <> 0) snap.timers in
+  let hists =
+    List.filter (fun (_, (_, counts)) -> Array.exists (( <> ) 0) counts)
+      snap.histograms
+  in
+  if counters = [] && timers = [] && hists = [] then
+    Buffer.add_string buf "Metrics: nothing recorded (enable Kit.Metrics first)\n"
+  else begin
+    if counters <> [] then begin
+      Buffer.add_string buf (Printf.sprintf "%-36s %12s\n" "counter" "value");
+      List.iter
+        (fun (n, v) -> Buffer.add_string buf (Printf.sprintf "%-36s %12d\n" n v))
+        counters
+    end;
+    if timers <> [] then begin
+      Buffer.add_string buf
+        (Printf.sprintf "%-36s %12s %12s\n" "timer" "spans" "seconds");
+      List.iter
+        (fun (n, (c, s)) ->
+          Buffer.add_string buf (Printf.sprintf "%-36s %12d %12.4f\n" n c s))
+        timers
+    end;
+    List.iter
+      (fun (n, (edges, counts)) ->
+        Buffer.add_string buf (Printf.sprintf "%-36s" n);
+        Array.iteri
+          (fun i c ->
+            if i < Array.length edges then
+              Buffer.add_string buf (Printf.sprintf " <=%d:%d" edges.(i) c)
+            else
+              Buffer.add_string buf
+                (Printf.sprintf " >%d:%d" edges.(Array.length edges - 1) c))
+          counts;
+        Buffer.add_char buf '\n')
+      hists
+  end;
+  Buffer.contents buf

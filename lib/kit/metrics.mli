@@ -1,0 +1,107 @@
+(** Search observability: named counters, span timers and histograms.
+
+    The registry is designed for the decomposition search cores, which run
+    concurrently on OCaml domains (see {!Pool}): every domain accumulates
+    into its own store (via [Domain.DLS]) with no synchronisation on the
+    hot path, and {!snapshot} merges all stores on read. Because merging
+    is a commutative sum, counter values are identical whatever the
+    domain interleaving — with a deterministic budget
+    ({!Deadline.of_fuel}) the counters are bit-identical at every
+    [HB_JOBS] value.
+
+    Instrumentation is off by default. When [enabled] is [false] every
+    recording operation returns immediately without allocating, so
+    instrumented hot paths cost one load and one branch. Flip [enabled]
+    before the run (and before spawning domains) to record.
+
+    Metrics are registered once, by name, at module-initialisation time
+    of the instrumented libraries; registering the same name twice
+    returns the same metric (the kinds must agree). *)
+
+val enabled : bool ref
+(** Master switch. Set it from the main domain while no instrumented
+    search is running; concurrent readers see the update at their next
+    recording call. *)
+
+(** {1 Metrics} *)
+
+type counter
+
+val counter : string -> counter
+(** [counter name] registers (or finds) the counter [name]. Use
+    dotted lower-case names, e.g. ["detk.subproblems"]. *)
+
+val incr : counter -> unit
+
+val add : counter -> int -> unit
+
+type timer
+
+val timer : string -> timer
+
+val span : timer -> (unit -> 'a) -> 'a
+(** [span t f] runs [f] and accumulates its wall-clock duration (and one
+    span count) into [t] — also when [f] raises. Spans may nest, across
+    the same or different timers; each span records its full duration. *)
+
+val add_seconds : timer -> float -> unit
+(** Record an externally measured duration as one span. *)
+
+type histogram
+
+val histogram : string -> buckets:int array -> histogram
+(** [histogram name ~buckets] has [Array.length buckets + 1] cells:
+    cell [i] counts observations [<= buckets.(i)] (and greater than the
+    previous edge); the last cell counts overflows. [buckets] must be
+    strictly increasing. *)
+
+val observe : histogram -> int -> unit
+
+(** {1 Reading} *)
+
+type snapshot = {
+  counters : (string * int) list;  (** sorted by name *)
+  timers : (string * (int * float)) list;
+      (** name -> (spans, total seconds), sorted by name *)
+  histograms : (string * (int array * int array)) list;
+      (** name -> (upper bucket edges, counts); [counts] has one more
+          cell than the edges (the overflow bucket). Sorted by name. *)
+}
+
+val empty : snapshot
+
+val snapshot : unit -> snapshot
+(** Merge all per-domain stores. Every registered metric appears, also
+    at value zero. Safe to call concurrently with recording domains (the
+    result is then a consistent-enough monitoring view); call it after
+    {!Pool} runs have joined for exact totals. *)
+
+val local_delta : (unit -> 'a) -> 'a * snapshot
+(** [local_delta f] runs [f] and returns what the *current domain*
+    recorded during the call. [f] must not spawn domains that record on
+    its behalf. Zero entries are pruned, so the delta of an
+    uninstrumented call is {!empty}. When [enabled] is false the delta
+    is {!empty}. *)
+
+val reset : unit -> unit
+(** Zero every store (including those of terminated domains). Call
+    between runs, while no instrumented search is executing. The
+    registry of names survives a reset. *)
+
+(** {1 Accessors and rendering} *)
+
+val get : snapshot -> string -> int
+(** Counter value, 0 when absent. *)
+
+val get_timer : snapshot -> string -> int * float
+(** (spans, seconds), (0, 0.) when absent. *)
+
+val get_histogram : snapshot -> string -> (int array * int array) option
+
+val to_json : snapshot -> string
+(** Machine-readable rendering:
+    [{"counters":{...},"timers":{name:{"count":..,"seconds":..}},
+      "histograms":{name:{"edges":[..],"counts":[..]}}}]. *)
+
+val to_table : snapshot -> string
+(** Human-readable table of all non-zero metrics. *)

@@ -12,6 +12,11 @@ type result = Optimal of solution | Infeasible | Unbounded
 
 let eps = 1e-9
 
+(* Simplex effort per fractional-cover LP (Kit.Metrics; recorded only when
+   enabled). *)
+let m_pivots = Kit.Metrics.counter "lp.pivots"
+let m_solves = Kit.Metrics.counter "lp.solves"
+
 (* Tableau layout: columns are [structural vars | slack/surplus | artificials],
    one artificial per row, plus the right-hand side held separately.
    The initial basis consists of the artificials, so phase 1 always has a
@@ -69,6 +74,7 @@ let build_tableau n rows =
   { m; cols; total; t; rhs; basis; art0 = cols }
 
 let pivot tab ~row ~col =
+  Kit.Metrics.incr m_pivots;
   let { t; rhs; m; total; basis; _ } = tab in
   let p = t.(row).(col) in
   for j = 0 to total - 1 do
@@ -151,6 +157,7 @@ let objective_value c tab =
   !v
 
 let solve { minimize; objective; rows } =
+  Kit.Metrics.incr m_solves;
   let n = Array.length objective in
   if rows = [] then
     (* Unconstrained non-negative variables. *)

@@ -178,6 +178,107 @@ let pearson_sanity () =
   Alcotest.(check (float 1e-9)) "constant" 0.0
     (B.Stats.pearson xs [| 5.0; 5.0; 5.0; 5.0 |])
 
+let pearson_degenerate () =
+  (* Pinned: fewer than two points (or zero variance, above) yields 0,
+     not NaN — figure5 renders these cells as 0.00. *)
+  Alcotest.(check (float 1e-9)) "empty" 0.0 (B.Stats.pearson [||] [||]);
+  Alcotest.(check (float 1e-9)) "single" 0.0 (B.Stats.pearson [| 3.0 |] [| 7.0 |])
+
+let property_histogram_pinning () =
+  (* Pinned against Table 2's row labels 0,1,...,5,">5": value 5 lands in
+     the "5" cell, 6 is the first ">5" value, None rows are skipped
+     entirely (VC-dim when its computation was cut off), and negative
+     values clamp to the 0 cell. *)
+  let record ~degree ~vc_dim : B.Analysis.record =
+    let hg = Hg.Hypergraph.of_int_edges [ [ 0; 1 ] ] in
+    {
+      B.Analysis.instance =
+        B.Instance.make ~name:"pin" ~group:(List.hd B.Group.all) ~source:"test" hg;
+      profile =
+        {
+          Hg.Properties.vertices = 2; edges = 1; arity = 2; degree;
+          bip = 0; bmip3 = 0; bmip4 = 0; vc_dim;
+        };
+      hw_runs = [];
+      hw = B.Analysis.Open_above 0;
+      hd = None;
+      stats = Kit.Metrics.empty;
+    }
+  in
+  let records =
+    [
+      record ~degree:0 ~vc_dim:(Some 0);
+      record ~degree:1 ~vc_dim:None;
+      record ~degree:5 ~vc_dim:(Some 5);
+      record ~degree:6 ~vc_dim:(Some 6);
+      record ~degree:100 ~vc_dim:(Some 100);
+      record ~degree:(-3) ~vc_dim:(Some (-3));
+    ]
+  in
+  let deg =
+    B.Stats.property_histogram
+      (fun r -> Some r.B.Analysis.profile.Hg.Properties.degree)
+      records
+  in
+  Alcotest.(check (array int))
+    "degree buckets: 5 stays in '5', 6 and 100 in '>5', -3 clamps to '0'"
+    [| 2; 1; 0; 0; 0; 1; 2 |] deg;
+  let vc =
+    B.Stats.property_histogram
+      (fun r -> r.B.Analysis.profile.Hg.Properties.vc_dim)
+      records
+  in
+  Alcotest.(check (array int)) "vc buckets skip the None record"
+    [| 2; 0; 0; 0; 0; 1; 2 |] vc;
+  Alcotest.(check int) "vc histogram sums to the Some count" 5
+    (Array.fold_left ( + ) 0 vc)
+
+(* The tentpole's determinism claim, end to end: under a fuel budget the
+   whole metrics snapshot — every counter and histogram — is identical
+   whether the analysis ran on 1 domain or 4. Timers are excluded: spans
+   measure wall time, which is never deterministic. *)
+let metrics_jobs_parity () =
+  let instances = build () in
+  let snapshot_of jobs =
+    Kit.Metrics.reset ();
+    Kit.Metrics.enabled := true;
+    let records =
+      Fun.protect
+        ~finally:(fun () -> Kit.Metrics.enabled := false)
+        (fun () -> B.Analysis.analyze ~budget:fuel_budget ~max_k:4 ~jobs instances)
+    in
+    let snap = Kit.Metrics.snapshot () in
+    Kit.Metrics.reset ();
+    (records, snap)
+  in
+  let records1, snap1 = snapshot_of 1 in
+  let records4, snap4 = snapshot_of 4 in
+  Alcotest.(check bool) "counters identical at jobs=1 and jobs=4" true
+    (snap1.Kit.Metrics.counters = snap4.Kit.Metrics.counters);
+  Alcotest.(check bool) "histograms identical at jobs=1 and jobs=4" true
+    (snap1.Kit.Metrics.histograms = snap4.Kit.Metrics.histograms);
+  Alcotest.(check bool) "search did real work" true
+    (Kit.Metrics.get snap1 "detk.subproblems" > 0);
+  (* Per-record deltas are deterministic too: each instance runs wholly on
+     one domain, so its local_delta is the same at any pool width. *)
+  List.iter2
+    (fun (a : B.Analysis.record) (b : B.Analysis.record) ->
+      Alcotest.(check bool)
+        (a.B.Analysis.instance.B.Instance.name ^ " same per-instance counters")
+        true
+        (a.B.Analysis.stats.Kit.Metrics.counters
+        = b.B.Analysis.stats.Kit.Metrics.counters))
+    records1 records4;
+  (* And the per-record deltas of one run sum back to its global total. *)
+  let summed name =
+    List.fold_left
+      (fun acc (r : B.Analysis.record) -> acc + Kit.Metrics.get r.B.Analysis.stats name)
+      0 records1
+  in
+  Alcotest.(check int) "per-record deltas sum to the global counter"
+    (Kit.Metrics.get snap1 "detk.subproblems")
+    (summed "detk.subproblems")
+
 let experiments_render () =
   (* jobs:2 renders through the domain pool; the artefact shape checks
      below are jobs-independent. *)
@@ -229,7 +330,12 @@ let () =
         [
           Alcotest.test_case "histograms" `Quick stats_histograms;
           Alcotest.test_case "pearson" `Quick pearson_sanity;
+          Alcotest.test_case "pearson degenerate" `Quick pearson_degenerate;
+          Alcotest.test_case "property histogram pinning" `Quick
+            property_histogram_pinning;
         ] );
+      ( "metrics",
+        [ Alcotest.test_case "jobs parity" `Slow metrics_jobs_parity ] );
       ( "experiments",
         [ Alcotest.test_case "render all artefacts" `Slow experiments_render ] );
     ]

@@ -271,6 +271,116 @@ let pool_empty_and_default () =
   Alcotest.(check (array int)) "empty" [||] (Kit.Pool.run ~jobs:8 (fun x -> x) [||]);
   Alcotest.(check bool) "default jobs positive" true (Kit.Pool.default_jobs () >= 1)
 
+(* Every metrics test flips the global [enabled] switch, so restore it (and
+   zero the registry) on all exits. *)
+let with_metrics f =
+  Kit.Metrics.reset ();
+  Kit.Metrics.enabled := true;
+  Fun.protect
+    ~finally:(fun () ->
+      Kit.Metrics.enabled := false;
+      Kit.Metrics.reset ())
+    f
+
+let metrics_merge_across_domains () =
+  with_metrics (fun () ->
+      let c = Kit.Metrics.counter "test.merge" in
+      let worker () =
+        for _ = 1 to 1000 do
+          Kit.Metrics.incr c
+        done;
+        Kit.Metrics.add c 5
+      in
+      let ds = List.init 4 (fun _ -> Domain.spawn worker) in
+      Kit.Metrics.incr c;
+      List.iter Domain.join ds;
+      let snap = Kit.Metrics.snapshot () in
+      Alcotest.(check int)
+        "4 x 1005 from domains + 1 from main" 4021
+        (Kit.Metrics.get snap "test.merge"))
+
+let metrics_span_nesting () =
+  with_metrics (fun () ->
+      let outer = Kit.Metrics.timer "test.outer" in
+      let inner = Kit.Metrics.timer "test.inner" in
+      let r =
+        Kit.Metrics.span outer (fun () ->
+            Kit.Metrics.span inner (fun () -> ());
+            Kit.Metrics.span inner (fun () -> ());
+            17)
+      in
+      Alcotest.(check int) "span is transparent" 17 r;
+      (* A span that raises must still record its time. *)
+      (try Kit.Metrics.span outer (fun () -> failwith "boom") with
+      | Failure _ -> ());
+      let snap = Kit.Metrics.snapshot () in
+      let n_outer, s_outer = Kit.Metrics.get_timer snap "test.outer" in
+      let n_inner, s_inner = Kit.Metrics.get_timer snap "test.inner" in
+      Alcotest.(check int) "outer spans (incl. raising one)" 2 n_outer;
+      Alcotest.(check int) "inner spans" 2 n_inner;
+      Alcotest.(check bool) "outer covers inner" true (s_outer >= s_inner);
+      Alcotest.(check bool) "times non-negative" true (s_inner >= 0.0))
+
+let metrics_reset () =
+  with_metrics (fun () ->
+      let c = Kit.Metrics.counter "test.reset" in
+      let h = Kit.Metrics.histogram "test.reset_hist" ~buckets:[| 1; 2 |] in
+      Kit.Metrics.add c 42;
+      Kit.Metrics.observe h 1;
+      Alcotest.(check int)
+        "before reset" 42
+        (Kit.Metrics.get (Kit.Metrics.snapshot ()) "test.reset");
+      Kit.Metrics.reset ();
+      let snap = Kit.Metrics.snapshot () in
+      Alcotest.(check int) "counter zeroed" 0 (Kit.Metrics.get snap "test.reset");
+      (match Kit.Metrics.get_histogram snap "test.reset_hist" with
+      | Some (_, counts) ->
+          Alcotest.(check int) "histogram zeroed" 0 (Array.fold_left ( + ) 0 counts)
+      | None -> Alcotest.fail "histogram vanished from registry");
+      (* The interned handle survives a reset and keeps counting. *)
+      Kit.Metrics.incr c;
+      Alcotest.(check int)
+        "counts again after reset" 1
+        (Kit.Metrics.get (Kit.Metrics.snapshot ()) "test.reset"))
+
+let metrics_disabled_fast_path () =
+  (* With the registry disabled, the record calls must not allocate: the
+     hot loops of Detk run with metrics compiled in unconditionally. The
+     threshold leaves slack for the Gc.minor_words probe itself. *)
+  Kit.Metrics.reset ();
+  let c = Kit.Metrics.counter "test.disabled" in
+  let t = Kit.Metrics.timer "test.disabled_t" in
+  Alcotest.(check bool) "disabled by default" false !Kit.Metrics.enabled;
+  let w0 = Gc.minor_words () in
+  for _ = 1 to 10_000 do
+    Kit.Metrics.incr c;
+    Kit.Metrics.add c 3
+  done;
+  let w1 = Gc.minor_words () in
+  Alcotest.(check bool)
+    (Printf.sprintf "counter path allocation-free (%.0f words)" (w1 -. w0))
+    true
+    (w1 -. w0 < 256.0);
+  ignore (Kit.Metrics.span t (fun () -> 1));
+  Alcotest.(check int)
+    "nothing recorded while disabled" 0
+    (Kit.Metrics.get (Kit.Metrics.snapshot ()) "test.disabled")
+
+let metrics_local_delta () =
+  with_metrics (fun () ->
+      let c = Kit.Metrics.counter "test.delta" in
+      Kit.Metrics.add c 7;
+      let r, d =
+        Kit.Metrics.local_delta (fun () ->
+            Kit.Metrics.add c 3;
+            "done")
+      in
+      Alcotest.(check string) "result passthrough" "done" r;
+      Alcotest.(check int) "delta sees only the inner add" 3
+        (Kit.Metrics.get d "test.delta");
+      Alcotest.(check int) "global total keeps both" 10
+        (Kit.Metrics.get (Kit.Metrics.snapshot ()) "test.delta"))
+
 let () =
   let qt = QCheck_alcotest.to_alcotest in
   Alcotest.run "kit"
@@ -317,5 +427,15 @@ let () =
           Alcotest.test_case "parallel = sequential" `Quick pool_matches_sequential;
           Alcotest.test_case "exceptions captured" `Quick pool_captures_exceptions;
           Alcotest.test_case "empty and default" `Quick pool_empty_and_default;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "merge across domains" `Quick
+            metrics_merge_across_domains;
+          Alcotest.test_case "span nesting" `Quick metrics_span_nesting;
+          Alcotest.test_case "reset" `Quick metrics_reset;
+          Alcotest.test_case "disabled fast path" `Quick
+            metrics_disabled_fast_path;
+          Alcotest.test_case "local delta" `Quick metrics_local_delta;
         ] );
     ]

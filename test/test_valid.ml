@@ -1,0 +1,287 @@
+(* Property-based validation of every decomposition algorithm: ~200 seeded
+   random hypergraphs, every Decomposition answer is re-checked against the
+   formal HD/GHD conditions, exact "no" answers from Detk are cross-checked
+   against an independent brute-force normal-form search on small
+   instances, and the exact verdicts of the different GHD algorithms must
+   agree with each other and with the HD solver. *)
+
+module Bitset = Kit.Bitset
+module Hypergraph = Hg.Hypergraph
+
+let ks = [ 1; 2; 3 ]
+
+(* Fuel, not wall clock: verdicts (and therefore this test) are
+   bit-reproducible. The GHD solvers may time out on the larger draws —
+   timeouts are skipped, never counted as verdicts. *)
+let ghd_fuel () = Kit.Deadline.of_fuel 50_000
+
+(* --- the instance corpus ---------------------------------------------------- *)
+
+let corpus =
+  lazy
+    (let out = ref [] in
+     let push name h = out := (name, h) :: !out in
+     let rng = Kit.Rng.create 20190607 in
+     (* 60 small random CQs. *)
+     for i = 1 to 60 do
+       let n_vertices = 4 + Kit.Rng.int rng 6 in
+       let n_edges = 2 + Kit.Rng.int rng 5 in
+       let max_arity = 3 + Kit.Rng.int rng 2 in
+       push
+         (Printf.sprintf "cq-small-%d" i)
+         (Gen.Random_cq.random rng ~n_vertices ~n_edges ~max_arity)
+     done;
+     (* 30 chains and 30 stars: known acyclic, so hw = 1 exactly. *)
+     for i = 1 to 30 do
+       push
+         (Printf.sprintf "chain-%d" i)
+         (Gen.Random_cq.chain rng ~n_edges:(2 + Kit.Rng.int rng 6)
+            ~arity:(2 + Kit.Rng.int rng 3))
+     done;
+     for i = 1 to 30 do
+       push
+         (Printf.sprintf "star-%d" i)
+         (Gen.Random_cq.star rng ~n_edges:(2 + Kit.Rng.int rng 6)
+            ~arity:(2 + Kit.Rng.int rng 3))
+     done;
+     (* 40 small CSPs: heavy vertex reuse, high degrees. *)
+     for i = 1 to 40 do
+       let n_variables = 5 + Kit.Rng.int rng 6 in
+       let n_constraints = 4 + Kit.Rng.int rng 5 in
+       push
+         (Printf.sprintf "csp-small-%d" i)
+         (Gen.Random_csp.random rng ~n_variables ~n_constraints ~max_arity:3)
+     done;
+     (* 40 bigger CQs: these exercise the k = 2, 3 levels properly. *)
+     for i = 1 to 40 do
+       let n_vertices = 8 + Kit.Rng.int rng 7 in
+       let n_edges = 5 + Kit.Rng.int rng 5 in
+       push
+         (Printf.sprintf "cq-big-%d" i)
+         (Gen.Random_cq.random rng ~n_vertices ~n_edges ~max_arity:4)
+     done;
+     List.rev !out)
+
+(* --- independent brute-force Check(HD, k) ----------------------------------- *)
+
+(* Naive implementation of the GLS normal-form characterisation: a width-k
+   HD of a [comp] of edges with connector [conn] exists iff some λ of at
+   most k full edges covers [conn] and, with the bag clipped to the
+   subproblem's own vertices, every remaining component (all strictly
+   smaller) recursively decomposes. No memoisation, no pruning, no shared
+   code with Detk beyond the component computation. *)
+let brute_force_hd h ~k =
+  let n_edges = h.Hypergraph.n_edges in
+  let edge_sets = Array.init n_edges (Hypergraph.edge h) in
+  let rec subsets i size acc =
+    if size = 0 then [ acc ]
+    else if i >= n_edges then []
+    else subsets (i + 1) (size - 1) (i :: acc) @ subsets (i + 1) size acc
+  in
+  let lambdas =
+    List.concat_map (fun size -> subsets 0 size []) (List.init k (fun i -> i + 1))
+  in
+  let rec decomposable comp conn =
+    if Bitset.is_empty comp then true
+    else
+      let comp_vertices = Hypergraph.vertices_of_edges h comp in
+      let scope = Bitset.union comp_vertices conn in
+      List.exists
+        (fun lambda ->
+          let cover =
+            List.fold_left
+              (fun acc e -> Bitset.union acc edge_sets.(e))
+              (Bitset.empty h.Hypergraph.n_vertices)
+              lambda
+          in
+          Bitset.subset conn cover
+          &&
+          let bag = Bitset.inter cover scope in
+          Bitset.intersects bag comp_vertices
+          &&
+          let comps = Hg.Components.components h ~within:comp bag in
+          List.for_all
+            (fun c -> Bitset.cardinal c < Bitset.cardinal comp)
+            comps
+          && List.for_all
+               (fun c ->
+                 decomposable c
+                   (Bitset.inter bag (Hypergraph.vertices_of_edges h c)))
+               comps)
+        lambdas
+  in
+  decomposable (Hypergraph.all_edges h) (Bitset.empty h.Hypergraph.n_vertices)
+
+(* --- validation ------------------------------------------------------------- *)
+
+let check_decomposition ~name ~algo ~kind ~k h d =
+  let violations =
+    match kind with
+    | `Hd -> Decomp.check_hd h d
+    | `Ghd -> Decomp.check_ghd h d
+  in
+  (match violations with
+  | [] -> ()
+  | vs ->
+      Alcotest.failf "%s: %s produced an invalid %s at k=%d (%d violations)"
+        name algo
+        (match kind with `Hd -> "HD" | `Ghd -> "GHD")
+        k (List.length vs));
+  if Decomp.width d > k then
+    Alcotest.failf "%s: %s returned width %d > k=%d" name algo
+      (Decomp.width d) k
+
+let hd_validation () =
+  let validated = ref 0 in
+  List.iter
+    (fun (name, h) ->
+      let first_yes = ref None in
+      List.iter
+        (fun k ->
+          match Detk.solve h ~k with
+          | Detk.Decomposition d ->
+              check_decomposition ~name ~algo:"Detk" ~kind:`Hd ~k h d;
+              incr validated;
+              if !first_yes = None then first_yes := Some k
+          | Detk.No_decomposition ->
+              (* Monotonicity: no "no" above an established "yes". *)
+              (match !first_yes with
+              | Some k0 ->
+                  Alcotest.failf "%s: Detk said yes at k=%d but no at k=%d"
+                    name k0 k
+              | None -> ());
+              if h.Hypergraph.n_edges <= 6 && brute_force_hd h ~k then
+                Alcotest.failf
+                  "%s: Detk says no HD of width <= %d, brute force finds one"
+                  name k
+          | Detk.Timeout -> Alcotest.failf "%s: unbounded Detk timed out" name)
+        ks;
+      (* Brute-force agreement in the other direction on tiny instances. *)
+      if h.Hypergraph.n_edges <= 6 then
+        List.iter
+          (fun k ->
+            let brute = brute_force_hd h ~k in
+            let solver =
+              match Detk.solve h ~k with
+              | Detk.Decomposition _ -> true
+              | Detk.No_decomposition -> false
+              | Detk.Timeout -> brute
+            in
+            if brute <> solver then
+              Alcotest.failf "%s: brute force %b, Detk %b at k=%d" name brute
+                solver k)
+          ks;
+      (* Chains and stars are acyclic by construction. *)
+      if
+        String.length name >= 5
+        && (String.sub name 0 5 = "chain" || String.sub name 0 4 = "star")
+      then
+        match Detk.solve h ~k:1 with
+        | Detk.Decomposition _ -> ()
+        | _ -> Alcotest.failf "%s: acyclic instance not hw = 1" name)
+    (Lazy.force corpus);
+  Alcotest.(check bool)
+    (Printf.sprintf "validated %d HDs (want >= 200)" !validated)
+    true (!validated >= 200)
+
+let ghd_validation () =
+  let validated = ref 0 in
+  List.iter
+    (fun (name, h) ->
+      List.iter
+        (fun k ->
+          (* hw from the exact solver, for cross-checks below. *)
+          let hd_yes =
+            match Detk.solve h ~k with
+            | Detk.Decomposition _ -> Some true
+            | Detk.No_decomposition -> Some false
+            | Detk.Timeout -> None
+          in
+          let verdicts = ref [] in
+          let consider algo (outcome : Detk.outcome) exact =
+            match outcome with
+            | Detk.Decomposition d ->
+                check_decomposition ~name ~algo ~kind:`Ghd ~k h d;
+                incr validated;
+                verdicts := (algo, true) :: !verdicts
+            | Detk.No_decomposition when exact ->
+                verdicts := (algo, false) :: !verdicts
+            | Detk.No_decomposition | Detk.Timeout -> ()
+          in
+          (let a = Ghd.Bal_sep.solve ~deadline:(ghd_fuel ()) h ~k in
+           consider "BalSep" a.Ghd.Bal_sep.outcome a.Ghd.Bal_sep.exact);
+          (let a = Ghd.Global_bip.solve ~deadline:(ghd_fuel ()) h ~k in
+           consider "GlobalBIP" a.Ghd.Global_bip.outcome a.Ghd.Global_bip.exact);
+          (let a = Ghd.Local_bip.solve ~deadline:(ghd_fuel ()) h ~k in
+           consider "LocalBIP" a.Ghd.Local_bip.outcome a.Ghd.Local_bip.exact);
+          (* All exact GHD verdicts must agree. *)
+          (match !verdicts with
+          | [] -> ()
+          | (a0, v0) :: rest ->
+              List.iter
+                (fun (a, v) ->
+                  if v <> v0 then
+                    Alcotest.failf "%s k=%d: %s says %b but %s says %b" name k
+                      a v a0 v0)
+                rest);
+          (* ghw <= hw: an HD of width k is a GHD of width k, so an exact
+             GHD "no" contradicts an HD "yes". *)
+          match (hd_yes, !verdicts) with
+          | Some true, (algo, false) :: _ ->
+              Alcotest.failf
+                "%s k=%d: Detk finds an HD but %s denies any GHD" name k algo
+          | _ -> ())
+        ks)
+    (Lazy.force corpus);
+  Alcotest.(check bool)
+    (Printf.sprintf "validated %d GHDs (want > 0)" !validated)
+    true (!validated > 0)
+
+(* Failure memoisation must not change any verdict: same classification
+   with the cache on and off. Unbounded runs on small repository
+   instances, so fuel accounting differences cannot masquerade as
+   verdict differences. *)
+let memoize_parity () =
+  let instances =
+    Benchlib.Repository.build ~seed:2019 ~scale:0.05 ()
+    |> List.filter (fun i -> i.Benchlib.Instance.hg.Hypergraph.n_edges <= 12)
+  in
+  let compared = ref 0 in
+  List.iter
+    (fun (inst : Benchlib.Instance.t) ->
+      let h = inst.Benchlib.Instance.hg in
+      List.iter
+        (fun k ->
+          let classify memoize =
+            match Detk.solve ~memoize h ~k with
+            | Detk.Decomposition d ->
+                check_decomposition ~name:inst.Benchlib.Instance.name
+                  ~algo:
+                    (if memoize then "Detk(memo)" else "Detk(no-memo)")
+                  ~kind:`Hd ~k h d;
+                `Yes
+            | Detk.No_decomposition -> `No
+            | Detk.Timeout -> `Timeout
+          in
+          incr compared;
+          if classify true <> classify false then
+            Alcotest.failf "%s k=%d: memoize on/off verdicts differ"
+              inst.Benchlib.Instance.name k)
+        ks)
+    instances;
+  Alcotest.(check bool)
+    (Printf.sprintf "compared %d runs (want > 0)" !compared)
+    true (!compared > 0)
+
+let () =
+  Alcotest.run "valid"
+    [
+      ( "decompositions",
+        [
+          Alcotest.test_case "HD solver vs checker and brute force" `Slow
+            hd_validation;
+          Alcotest.test_case "GHD solvers vs checker and each other" `Slow
+            ghd_validation;
+          Alcotest.test_case "memoize on/off parity" `Slow memoize_parity;
+        ] );
+    ]
