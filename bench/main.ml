@@ -9,6 +9,13 @@
      HB_FUEL    per-run fuel budget, overrides HB_BUDGET when > 0
      HB_SEED    repository seed                (default 2019)
      HB_JOBS    analysis domain-pool width     (default: all cores)
+     HB_JOURNAL campaign journal path          (default BENCH_journal.jsonl;
+                empty disables journaling)
+     HB_RESUME  when 1, resume from HB_JOURNAL instead of starting over
+     HB_RETRIES per-instance retries with doubling budget (default 0)
+     HB_MEM_MB  soft memory budget per process; excess -> out_of_memory
+     HB_FAULT   fault-injection spec (see Kit.Fault), e.g.
+                crash@instance.cq-rand-002:1
 
    HB_JOBS spreads the per-instance analysis over a fixed-size domain
    pool; results are collected in instance order, so tables and row
@@ -114,8 +121,35 @@ let () =
        nondeterministic and would pollute the (fuel-reproducible)
        counters reported below. *)
     Kit.Metrics.enabled := true;
+    let journal =
+      match Sys.getenv_opt "HB_JOURNAL" with
+      | Some "" -> None
+      | Some p -> Some p
+      | None -> Some "BENCH_journal.jsonl"
+    in
+    let resume = Sys.getenv_opt "HB_RESUME" = Some "1" in
+    (* Retries escalate the budget (2^attempt), matching the CLI. *)
+    let budget_for =
+      if fuel > 0 then
+        Some (fun ~attempt () -> Kit.Deadline.of_fuel (fuel * (1 lsl attempt)))
+      else
+        Some
+          (fun ~attempt () ->
+            Kit.Deadline.of_seconds
+              (budget_seconds *. float_of_int (1 lsl attempt)))
+    in
     let t0 = Unix.gettimeofday () in
-    let ctx = Experiments.prepare ~seed ~scale ~budget_seconds ?budget ~jobs () in
+    let campaign =
+      match
+        Experiments.prepare_campaign ~seed ~scale ~budget_seconds ?budget
+          ?budget_for ~jobs ?journal ~resume ()
+      with
+      | Ok c -> c
+      | Error m ->
+          Printf.eprintf "campaign failed: %s\n%!" m;
+          exit 6
+    in
+    let ctx = campaign.Experiments.context in
     let wall = Unix.gettimeofday () -. t0 in
     let solver = Experiments.solver_seconds ctx in
     Printf.printf
@@ -123,6 +157,7 @@ let () =
       (List.length ctx.Experiments.instances)
       wall jobs solver
       (if wall > 0.0 then solver /. wall else 1.0);
+    print_endline (Experiments.campaign_summary campaign);
     let emit name render = if wants name then print_endline (render ctx) in
     emit "table1" Experiments.table1;
     emit "table2" Experiments.table2;

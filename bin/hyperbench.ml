@@ -6,7 +6,35 @@
 
 open Cmdliner
 
-let ( let* ) r f = match r with Error m -> `Error (false, m) | Ok v -> f v
+(* Distinct exit codes per failure category, so scripts and CI can tell a
+   malformed input from a decomposition or journal problem without parsing
+   stderr (1 and 123-125 belong to cmdliner). *)
+let exit_hypergraph = 2
+let exit_xcsp = 3
+let exit_sql = 4
+let exit_decomp = 5
+let exit_repo = 6
+let exit_uncaught = 125
+
+(* Commands are [int Term.t]s under [Cmd.eval']: a failed step prints one
+   diagnostic line on stderr and becomes the command's exit code. *)
+let ( let* ) r f =
+  match r with
+  | Error (code, m) ->
+      Printf.eprintf "hyperbench: %s\n%!" m;
+      code
+  | Ok v -> f v
+
+let tag code = Result.map_error (fun m -> (code, m))
+
+(* Diagnostics lead with the file (parse errors already carry "line N:",
+   giving file:line); Sys_error messages name the file themselves. *)
+let with_path path =
+  Result.map_error (fun m ->
+      if String.length m >= String.length path
+         && String.sub m 0 (String.length path) = path
+      then m
+      else path ^ ": " ^ m)
 
 (* --- shared arguments ----------------------------------------------------- *)
 
@@ -68,8 +96,9 @@ let with_stats ~stats ~stats_json f =
   end
 
 let load_hypergraph path =
-  if Filename.check_suffix path ".xml" then Xcsp3.Xcsp.read_file path
-  else Hg.Hypergraph.parse_file path
+  if Filename.check_suffix path ".xml" then
+    tag exit_xcsp (with_path path (Xcsp3.Xcsp.read_file path))
+  else tag exit_hypergraph (with_path path (Hg.Hypergraph.parse_file path))
 
 (* All whole-file reads go through here: the channel is closed on every
    path, and truncation mid-read surfaces as [Error] instead of an escaped
@@ -86,6 +115,19 @@ let read_file path =
           | exception End_of_file -> Error (path ^ ": truncated file")
           | exception Sys_error m -> Error m)
 
+(* Tolerant repository load: corrupt entries become stderr warnings, not
+   failures — a damaged instance must not take the rest of the repository
+   (or a whole campaign) down with it. *)
+let load_repository ~dir =
+  match Benchlib.Repository.load ~dir with
+  | Error m -> Error (exit_repo, m)
+  | Ok { Benchlib.Repository.instances; skipped } ->
+      List.iter
+        (fun (label, msg) ->
+          Printf.eprintf "warning: skipped %s: %s\n%!" label msg)
+        skipped;
+      Ok instances
+
 (* --- build ----------------------------------------------------------------- *)
 
 let build_cmd =
@@ -93,7 +135,7 @@ let build_cmd =
     let instances = Benchlib.Repository.build ~seed ~scale () in
     Benchlib.Repository.save ~dir instances;
     Printf.printf "wrote %d instances to %s\n" (List.length instances) dir;
-    `Ok ()
+    0
   in
   let seed =
     Arg.(value & opt int 2019 & info [ "seed" ] ~docv:"SEED" ~doc:"Generator seed.")
@@ -104,13 +146,13 @@ let build_cmd =
   in
   Cmd.v
     (Cmd.info "build" ~doc:"Generate the benchmark repository on disk.")
-    Term.(ret (const run $ dir_arg $ seed $ scale))
+    Term.(const run $ dir_arg $ seed $ scale)
 
 (* --- list ------------------------------------------------------------------ *)
 
 let list_cmd =
   let run dir group source =
-    let* instances = Benchlib.Repository.load ~dir in
+    let* instances = load_repository ~dir in
     let instances =
       match group with
       | None -> instances
@@ -135,7 +177,7 @@ let list_cmd =
           i.Benchlib.Instance.source h.Hg.Hypergraph.n_vertices
           h.Hg.Hypergraph.n_edges (Hg.Hypergraph.arity h))
       instances;
-    `Ok ()
+    0
   in
   let group =
     Arg.(
@@ -152,7 +194,7 @@ let list_cmd =
   in
   Cmd.v
     (Cmd.info "list" ~doc:"List repository instances.")
-    Term.(ret (const run $ dir_arg $ group $ source))
+    Term.(const run $ dir_arg $ group $ source)
 
 (* --- analyze ----------------------------------------------------------------- *)
 
@@ -177,7 +219,7 @@ let analyze_cmd =
                 Printf.printf "hw >= %d (timeout at k = %d)\n" k k
         in
         levels 1;
-        `Ok ())
+        0)
   in
   let path =
     Arg.(
@@ -190,8 +232,7 @@ let analyze_cmd =
   in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Structural properties and hypertree width.")
-    Term.(
-      ret (const run $ path $ timeout_arg $ max_k $ stats_arg $ stats_json_arg))
+    Term.(const run $ path $ timeout_arg $ max_k $ stats_arg $ stats_json_arg)
 
 (* --- decompose --------------------------------------------------------------- *)
 
@@ -241,7 +282,7 @@ let decompose_cmd =
         else Format.printf "%a" (fun fmt -> Decomp.pp h fmt) d
     | Detk.No_decomposition -> Printf.printf "width <= %d: NO\n" k
     | Detk.Timeout -> Printf.printf "width <= %d: TIMEOUT\n" k);
-    `Ok ()
+    0
   in
   let path =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Hypergraph file.")
@@ -265,17 +306,16 @@ let decompose_cmd =
   Cmd.v
     (Cmd.info "decompose" ~doc:"Compute an HD or GHD of width at most k.")
     Term.(
-      ret
-        (const run $ path $ k_arg $ meth $ timeout_arg $ jobs_arg $ dot $ save
-       $ stats_arg $ stats_json_arg))
+      const run $ path $ k_arg $ meth $ timeout_arg $ jobs_arg $ dot $ save
+      $ stats_arg $ stats_json_arg)
 
 (* --- validate ------------------------------------------------------------------ *)
 
 let validate_cmd =
   let run hg_path decomp_path strict =
     let* h = load_hypergraph hg_path in
-    let* text = read_file decomp_path in
-    let* d = Decomp_io.of_text h text in
+    let* text = tag exit_decomp (read_file decomp_path) in
+    let* d = tag exit_decomp (with_path decomp_path (Decomp_io.of_text h text)) in
     let violations = if strict then Decomp.check_hd h d else Decomp.check_ghd h d in
     (match violations with
     | [] ->
@@ -285,7 +325,7 @@ let validate_cmd =
     | vs ->
         Printf.printf "INVALID: %d violation(s)\n" (List.length vs);
         List.iter (fun v -> Format.printf "  %a@." (Decomp.pp_violation h) v) vs);
-    `Ok ()
+    0
   in
   let hg_path =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"HYPERGRAPH" ~doc:"Hypergraph file.")
@@ -299,7 +339,7 @@ let validate_cmd =
   Cmd.v
     (Cmd.info "validate"
        ~doc:"Check a stored decomposition against a hypergraph (the upper bounds are more reliable than lower bounds, section 2).")
-    Term.(ret (const run $ hg_path $ decomp_path $ strict))
+    Term.(const run $ hg_path $ decomp_path $ strict)
 
 (* --- improve ------------------------------------------------------------------ *)
 
@@ -323,7 +363,7 @@ let improve_cmd =
         end
     | Detk.No_decomposition -> Printf.printf "no HD of width <= %d\n" k
     | Detk.Timeout -> Printf.printf "timeout\n");
-    `Ok ()
+    0
   in
   let path =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Hypergraph file.")
@@ -334,9 +374,8 @@ let improve_cmd =
   Cmd.v
     (Cmd.info "improve" ~doc:"Fractionally improve an HD (paper §6.5).")
     Term.(
-      ret
-        (const run $ path $ k_arg $ timeout_arg $ frac $ stats_arg
-       $ stats_json_arg))
+      const run $ path $ k_arg $ timeout_arg $ frac $ stats_arg
+      $ stats_json_arg)
 
 (* --- convert ------------------------------------------------------------------- *)
 
@@ -367,13 +406,15 @@ let read_schema_file path =
 
 let convert_sql_cmd =
   let run path schema_path =
-    let* sql = read_file path in
+    let* sql = tag exit_sql (read_file path) in
     let* schema =
       match schema_path with
       | None -> Ok Sql.Schema.empty
-      | Some p -> read_schema_file p
+      | Some p -> tag exit_sql (with_path p (read_schema_file p))
     in
-    let* results = Sql.Convert.sql_to_hypergraphs ~schema sql in
+    let* results =
+      tag exit_sql (with_path path (Sql.Convert.sql_to_hypergraphs ~schema sql))
+    in
     List.iter
       (fun (id, conv) ->
         Printf.printf "%% query %s\n" id;
@@ -382,7 +423,7 @@ let convert_sql_cmd =
         | Some h -> print_string (Hg.Hypergraph.to_string h)
         | None -> print_endline "% (no hypergraph)")
       results;
-    `Ok ()
+    0
   in
   let path =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"SQL file.")
@@ -395,26 +436,26 @@ let convert_sql_cmd =
   in
   Cmd.v
     (Cmd.info "convert-sql" ~doc:"SQL query to hypergraph(s) (paper §5.2-5.4).")
-    Term.(ret (const run $ path $ schema))
+    Term.(const run $ path $ schema)
 
 let convert_xcsp_cmd =
   let run path =
-    let* h = Xcsp3.Xcsp.read_file path in
+    let* h = tag exit_xcsp (with_path path (Xcsp3.Xcsp.read_file path)) in
     print_string (Hg.Hypergraph.to_string h);
-    `Ok ()
+    0
   in
   let path =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"XCSP XML file.")
   in
   Cmd.v
     (Cmd.info "convert-xcsp" ~doc:"XCSP instance to hypergraph (paper §5.5).")
-    Term.(ret (const run $ path))
+    Term.(const run $ path)
 
 (* --- stats ---------------------------------------------------------------------- *)
 
 let stats_cmd =
   let run dir =
-    let* instances = Benchlib.Repository.load ~dir in
+    let* instances = load_repository ~dir in
     Printf.printf "%-16s %10s %12s %10s %8s\n" "group" "instances" "max edges"
       "max vert" "arity";
     List.iter
@@ -428,21 +469,154 @@ let stats_cmd =
             (stat Hg.Hypergraph.arity)
         end)
       (Benchlib.Repository.by_group instances);
-    `Ok ()
+    0
   in
   Cmd.v
     (Cmd.info "stats" ~doc:"Summary statistics of a repository.")
-    Term.(ret (const run $ dir_arg))
+    Term.(const run $ dir_arg)
+
+(* --- campaign ------------------------------------------------------------------- *)
+
+let campaign_cmd =
+  let run seed scale timeout fuel max_k jobs journal resume retries mem_limit
+      tables stats stats_json =
+    (* --resume FILE implies journaling to that same file. *)
+    let journal = match resume with Some p -> Some p | None -> journal in
+    (* Retries escalate the budget: attempt i gets 2^i times the base, so
+       a genuinely-too-tight budget can succeed on retry while a
+       deterministic crash just fails identically and gets recorded. *)
+    let budget, budget_for =
+      match fuel with
+      | Some f ->
+          ( (fun () -> Kit.Deadline.of_fuel f),
+            fun ~attempt () -> Kit.Deadline.of_fuel (f * (1 lsl attempt)) )
+      | None ->
+          ( (fun () -> Kit.Deadline.of_seconds timeout),
+            fun ~attempt () ->
+              Kit.Deadline.of_seconds (timeout *. float_of_int (1 lsl attempt))
+          )
+    in
+    with_stats ~stats ~stats_json @@ fun () ->
+    let* c =
+      tag exit_repo
+        (Experiments.prepare_campaign ~seed ~scale ~budget ~budget_for
+           ?retries ?mem_mb:mem_limit ~max_k ~jobs ?journal
+           ~resume:(resume <> None) ())
+    in
+    print_string (Experiments.campaign_summary c);
+    (match journal with
+    | Some path -> Printf.printf "journal: %s\n" path
+    | None -> ());
+    if tables then begin
+      let ctx = c.Experiments.context in
+      print_newline ();
+      List.iter
+        (fun render -> print_string (render ctx ^ "\n"))
+        [
+          Experiments.table1; Experiments.table2; Experiments.figure3;
+          Experiments.figure4; Experiments.figure5; Experiments.table3;
+          Experiments.table4; Experiments.table5; Experiments.table6;
+        ]
+    end;
+    0
+  in
+  let seed =
+    Arg.(value & opt int 2019 & info [ "seed" ] ~docv:"SEED" ~doc:"Generator seed.")
+  in
+  let scale =
+    Arg.(
+      value & opt float 0.2
+      & info [ "scale" ] ~docv:"S" ~doc:"Repository scale factor.")
+  in
+  let fuel =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "fuel" ] ~docv:"N"
+          ~doc:
+            "Deterministic per-run budget in solver steps (overrides \
+             $(b,--timeout); same results at any $(b,--jobs)).")
+  in
+  let max_k =
+    Arg.(value & opt int 8 & info [ "max-k" ] ~docv:"K" ~doc:"Largest k to try.")
+  in
+  let journal =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"FILE"
+          ~doc:
+            "Write a crash-safe JSONL journal: one line per finished \
+             instance, flushed immediately.")
+  in
+  let resume =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "resume" ] ~docv:"FILE"
+          ~doc:
+            "Resume from journal $(docv): recorded instances are not \
+             rerun, and new outcomes are appended to the same journal.")
+  in
+  let retries =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Retry a failed instance up to $(docv) times with doubling \
+             budget (default: $(b,HB_RETRIES) or 0).")
+  in
+  let mem_limit =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "mem-limit" ] ~docv:"MB"
+          ~doc:
+            "Soft memory budget: record out_of_memory for the running \
+             instance when the live heap exceeds $(docv) MB (default: \
+             $(b,HB_MEM_MB); 0 disables).")
+  in
+  let tables =
+    Arg.(
+      value & flag
+      & info [ "tables" ] ~doc:"Also print every table and figure.")
+  in
+  Cmd.v
+    (Cmd.info "campaign"
+       ~doc:
+         "Fault-tolerant full analysis: per-instance crash containment, \
+          outcome journal, checkpoint/resume and retry with escalating \
+          budgets.")
+    Term.(
+      const run $ seed $ scale $ timeout_arg $ fuel $ max_k $ jobs_arg
+      $ journal $ resume $ retries $ mem_limit $ tables $ stats_arg
+      $ stats_json_arg)
 
 let () =
   let info =
     Cmd.info "hyperbench" ~version:"1.0"
       ~doc:"HyperBench: hypergraph benchmark and decomposition tool"
   in
+  (* A typo'd HB_FAULT spec must not silently run fault-free. *)
+  (match Kit.Fault.config_error () with
+  | Some m ->
+      Printf.eprintf "hyperbench: bad HB_FAULT spec: %s\n%!" m;
+      exit 1
+  | None -> ());
+  let cli =
+    Cmd.group info
+      [
+        build_cmd; list_cmd; analyze_cmd; decompose_cmd; validate_cmd;
+        improve_cmd; convert_sql_cmd; convert_xcsp_cmd; stats_cmd;
+        campaign_cmd;
+      ]
+  in
+  (* Last-resort containment: anything that escapes a command becomes one
+     diagnostic line and a distinct exit code, never an abort trace. *)
   exit
-    (Cmd.eval
-       (Cmd.group info
-          [
-            build_cmd; list_cmd; analyze_cmd; decompose_cmd; validate_cmd;
-            improve_cmd; convert_sql_cmd; convert_xcsp_cmd; stats_cmd;
-          ]))
+    (try Cmd.eval' cli
+     with e ->
+       Printf.eprintf "hyperbench: uncaught exception: %s\n%!"
+         (Printexc.to_string e);
+       exit_uncaught)

@@ -28,36 +28,75 @@ let pool_map ?jobs f xs =
   let jobs = match jobs with Some j -> j | None -> Kit.Pool.default_jobs () in
   Kit.Pool.map_list ~jobs f xs
 
+let analyze_one ~budget ~max_k (inst : Instance.t) =
+  let h = inst.Instance.hg in
+  let profile = Hg.Properties.profile ~deadline:(budget ()) h in
+  let rec levels k acc had_timeout =
+    if k > max_k then (List.rev acc, Open_above max_k, None)
+    else begin
+      let outcome, seconds =
+        timed (fun () -> Detk.solve ~deadline:(budget ()) h ~k)
+      in
+      match outcome with
+      | Detk.Decomposition d ->
+          let run = { k; outcome = `Yes; seconds } in
+          let status = if had_timeout then Upper k else Exact k in
+          (List.rev (run :: acc), status, Some d)
+      | Detk.No_decomposition ->
+          levels (k + 1) ({ k; outcome = `No; seconds } :: acc) had_timeout
+      | Detk.Timeout ->
+          levels (k + 1) ({ k; outcome = `Timeout; seconds } :: acc) true
+    end
+  in
+  (* [local_delta] works because the pool runs each instance wholly on
+     one domain, so this domain's store only moves for our own work. *)
+  let (hw_runs, hw, hd), stats =
+    Kit.Metrics.local_delta (fun () -> levels 1 [] false)
+  in
+  { instance = inst; profile; hw_runs; hw; hd; stats }
+
 let analyze ?(budget = default_budget) ?(max_k = 8) ?jobs instances =
+  pool_map ?jobs (analyze_one ~budget ~max_k) instances
+
+type task = {
+  task_instance : Instance.t;
+  attempts : int;
+  result : record Kit.Outcome.t;
+}
+
+let default_retries () =
+  match Sys.getenv_opt "HB_RETRIES" with
+  | Some v -> (
+      match int_of_string_opt v with Some r when r >= 0 -> r | _ -> 0)
+  | None -> 0
+
+let analyze_outcomes ?(budget = default_budget) ?budget_for ?retries ?mem_mb
+    ?(max_k = 8) ?jobs ?on_done instances =
+  let retries = match retries with Some r -> r | None -> default_retries () in
+  let budget_for =
+    match budget_for with Some bf -> bf | None -> fun ~attempt:_ -> budget
+  in
   pool_map ?jobs
     (fun (inst : Instance.t) ->
-      let h = inst.Instance.hg in
-      let profile =
-        Hg.Properties.profile ~deadline:(budget ()) h
+      (* Attempt 0 runs on the base budget; each retry escalates through
+         [budget_for], so a transient fault or a too-tight budget gets a
+         second chance while a deterministic crash fails the same way and
+         is recorded after the last attempt. *)
+      let rec attempt i =
+        let budget = budget_for ~attempt:i in
+        let result =
+          Kit.Guard.run ?mem_mb (fun () ->
+              Kit.Fault.hit ("instance." ^ inst.Instance.name);
+              analyze_one ~budget ~max_k inst)
+        in
+        match result with
+        | Kit.Outcome.Ok _ -> { task_instance = inst; attempts = i + 1; result }
+        | _ when i < retries -> attempt (i + 1)
+        | _ -> { task_instance = inst; attempts = i + 1; result }
       in
-      let rec levels k acc had_timeout =
-        if k > max_k then (List.rev acc, Open_above max_k, None)
-        else begin
-          let outcome, seconds =
-            timed (fun () -> Detk.solve ~deadline:(budget ()) h ~k)
-          in
-          match outcome with
-          | Detk.Decomposition d ->
-              let run = { k; outcome = `Yes; seconds } in
-              let status = if had_timeout then Upper k else Exact k in
-              (List.rev (run :: acc), status, Some d)
-          | Detk.No_decomposition ->
-              levels (k + 1) ({ k; outcome = `No; seconds } :: acc) had_timeout
-          | Detk.Timeout ->
-              levels (k + 1) ({ k; outcome = `Timeout; seconds } :: acc) true
-        end
-      in
-      (* [local_delta] works because the pool runs each instance wholly on
-         one domain, so this domain's store only moves for our own work. *)
-      let (hw_runs, hw, hd), stats =
-        Kit.Metrics.local_delta (fun () -> levels 1 [] false)
-      in
-      { instance = inst; profile; hw_runs; hw; hd; stats })
+      let t = attempt 0 in
+      (match on_done with Some f -> f t | None -> ());
+      t)
     instances
 
 let hw_bound r =

@@ -44,6 +44,45 @@ val analyze :
 val hw_bound : record -> int option
 (** The k with a yes answer (Exact or Upper), if any. *)
 
+type task = {
+  task_instance : Instance.t;
+  attempts : int;  (** 1 + retries actually used *)
+  result : record Kit.Outcome.t;
+}
+(** One instance's guarded campaign outcome. *)
+
+val analyze_outcomes :
+  ?budget:(unit -> Kit.Deadline.t) ->
+  ?budget_for:(attempt:int -> unit -> Kit.Deadline.t) ->
+  ?retries:int ->
+  ?mem_mb:int ->
+  ?max_k:int ->
+  ?jobs:int ->
+  ?on_done:(task -> unit) ->
+  Instance.t list ->
+  task list
+(** Campaign-grade {!analyze}: each instance runs inside
+    {!Kit.Guard.run}, so a crash, leaked timeout, stack overflow or
+    (soft) allocation failure on one instance becomes that instance's
+    recorded outcome instead of destroying the run. Guarantees, in
+    addition to {!analyze}'s ordering/determinism:
+
+    - a non-[Ok] outcome is retried up to [retries] times (default: the
+      [HB_RETRIES] environment knob, else 0), each attempt drawing its
+      deadlines from [budget_for ~attempt] — pass an escalating factory
+      (e.g. doubling fuel per attempt) to give hard instances more
+      budget on retry; the default reuses [budget] unchanged;
+    - [mem_mb] (default [HB_MEM_MB]) arms {!Kit.Guard}'s soft memory
+      budget for each attempt;
+    - [on_done] is called exactly once per instance, on the worker
+      domain that finished it and in completion order — this is the
+      journal append hook, invoked as soon as the outcome exists so a
+      later kill loses at most the in-flight instances;
+    - the fault-injection site ["instance.<name>"] is hit at the start
+      of every attempt, so tests can fail a chosen instance
+      deterministically at any [jobs] value (and observe a retry
+      succeed, since the site counter advances per attempt). *)
+
 type ghd_run = {
   algorithm : Ghd.Portfolio.algorithm;
   outcome : verdict;

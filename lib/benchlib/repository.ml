@@ -124,6 +124,17 @@ let save ~dir instances =
             (fun f -> output_string f (Hg.Hypergraph.to_string i.Instance.hg)))
         instances)
 
+type loaded = {
+  instances : Instance.t list;
+  skipped : (string * string) list;
+}
+
+let m_load_skipped = Kit.Metrics.counter "repository.load_skipped"
+
+(* A corrupt entry — torn index line, unknown group, unparseable or
+   truncated .hg file — must never abort a campaign that the other few
+   thousand instances could still serve. Each one becomes a warning and a
+   metrics tick; only a missing/unreadable index is fatal. *)
 let load ~dir =
   let index = Filename.concat dir "index.tsv" in
   if not (Sys.file_exists index) then
@@ -143,21 +154,34 @@ let load ~dir =
           in
           lines [])
     in
-    let rec build acc = function
-      | [] -> Ok (List.rev acc)
+    let skip acc label msg rest build =
+      Kit.Metrics.incr m_load_skipped;
+      build ((label, msg) :: acc) rest
+    in
+    let rec build instances skipped = function
+      | [] -> { instances = List.rev instances; skipped = List.rev skipped }
       | line :: rest -> (
           match String.split_on_char '\t' line with
           | [ name; group_id; source ] -> (
               match Group.of_id group_id with
-              | None -> Error (Printf.sprintf "unknown group %s" group_id)
+              | None ->
+                  skip skipped name
+                    (Printf.sprintf "unknown group %s" group_id)
+                    rest (build instances)
               | Some group -> (
                   match
-                    Hg.Hypergraph.parse_file (Filename.concat dir (safe_filename name ^ ".hg"))
+                    Hg.Hypergraph.parse_file
+                      (Filename.concat dir (safe_filename name ^ ".hg"))
                   with
-                  | Error m -> Error (Printf.sprintf "%s: %s" name m)
+                  | Error m -> skip skipped name m rest (build instances)
                   | Ok hg ->
-                      build (Instance.make ~name ~group ~source hg :: acc) rest))
-          | _ -> Error (Printf.sprintf "bad index line: %s" line))
+                      build
+                        (Instance.make ~name ~group ~source hg :: instances)
+                        skipped rest))
+          | _ ->
+              skip skipped "index.tsv"
+                (Printf.sprintf "bad index line: %s" line)
+                rest (build instances))
     in
-    build [] rows
+    Ok (build [] [] rows)
   end

@@ -33,4 +33,16 @@ val save : dir:string -> Instance.t list -> unit
     channels are closed even when writing fails partway.
     @raise Sys_error on I/O failure. *)
 
-val load : dir:string -> (Instance.t list, string) result
+type loaded = {
+  instances : Instance.t list;  (** every entry that loaded cleanly *)
+  skipped : (string * string) list;
+      (** corrupt entries, as [(label, reason)] in index order; [label]
+          is the instance name, or ["index.tsv"] for a torn index line *)
+}
+
+val load : dir:string -> (loaded, string) result
+(** Tolerant load: a corrupt or unparseable entry (torn index line,
+    unknown group id, missing/truncated/malformed [.hg] file) is skipped
+    and reported in [skipped] — and counted in the
+    ["repository.load_skipped"] metric — rather than aborting the load.
+    [Error] is reserved for a missing or unreadable [index.tsv]. *)

@@ -526,6 +526,321 @@ let metrics_summary (snap : Kit.Metrics.snapshot) =
     snap.Kit.Metrics.histograms;
   Buffer.contents buf
 
+(* --- fault-tolerant campaigns ---------------------------------------------- *)
+
+module Journal = Journal
+module J = Kit.Json
+
+let ( let* ) = Option.bind
+
+let field name conv j = Option.bind (J.member name j) conv
+
+let verdict_to_string = function `Yes -> "yes" | `No -> "no" | `Timeout -> "timeout"
+
+let verdict_of_string = function
+  | "yes" -> Some `Yes
+  | "no" -> Some `No
+  | "timeout" -> Some `Timeout
+  | _ -> None
+
+let profile_to_json (p : Hg.Properties.profile) =
+  J.Obj
+    [
+      ("vertices", J.Int p.Hg.Properties.vertices);
+      ("edges", J.Int p.edges);
+      ("arity", J.Int p.arity);
+      ("degree", J.Int p.degree);
+      ("bip", J.Int p.bip);
+      ("bmip3", J.Int p.bmip3);
+      ("bmip4", J.Int p.bmip4);
+      ("vc_dim", match p.vc_dim with Some v -> J.Int v | None -> J.Null);
+    ]
+
+let profile_of_json j : Hg.Properties.profile option =
+  let* vertices = field "vertices" J.to_int j in
+  let* edges = field "edges" J.to_int j in
+  let* arity = field "arity" J.to_int j in
+  let* degree = field "degree" J.to_int j in
+  let* bip = field "bip" J.to_int j in
+  let* bmip3 = field "bmip3" J.to_int j in
+  let* bmip4 = field "bmip4" J.to_int j in
+  let vc_dim = field "vc_dim" J.to_int j in
+  Some { Hg.Properties.vertices; edges; arity; degree; bip; bmip3; bmip4; vc_dim }
+
+let record_to_json (r : Analysis.record) =
+  let h = r.Analysis.instance.Instance.hg in
+  J.Obj
+    [
+      ("profile", profile_to_json r.Analysis.profile);
+      ( "hw_runs",
+        J.List
+          (List.map
+             (fun (x : Analysis.hw_run) ->
+               J.Obj
+                 [
+                   ("k", J.Int x.k);
+                   ("v", J.String (verdict_to_string x.outcome));
+                   ("s", J.Float x.seconds);
+                 ])
+             r.Analysis.hw_runs) );
+      ( "hw",
+        let status, k =
+          match r.Analysis.hw with
+          | Analysis.Exact k -> ("exact", k)
+          | Analysis.Upper k -> ("upper", k)
+          | Analysis.Open_above k -> ("open_above", k)
+        in
+        J.Obj [ ("status", J.String status); ("k", J.Int k) ] );
+      ( "hd",
+        match r.Analysis.hd with
+        | Some d -> J.String (Decomp_io.to_text h d)
+        | None -> J.Null );
+    ]
+
+(* [stats] is deliberately not journaled: per-instance search counters are
+   empty unless metrics were enabled, and a resumed instance did no new
+   search — so a rebuilt record carries [Kit.Metrics.empty]. *)
+let record_of_json (inst : Instance.t) j : Analysis.record option =
+  let* profile = field "profile" profile_of_json j in
+  let* runs = field "hw_runs" J.to_list j in
+  let* hw_runs =
+    List.fold_right
+      (fun rj acc ->
+        let* acc = acc in
+        let* k = field "k" J.to_int rj in
+        let* v = field "v" J.string_value rj in
+        let* outcome = verdict_of_string v in
+        let* seconds = field "s" J.to_float rj in
+        Some ({ Analysis.k; outcome; seconds } :: acc))
+      runs (Some [])
+  in
+  let* hwj = J.member "hw" j in
+  let* status = field "status" J.string_value hwj in
+  let* k = field "k" J.to_int hwj in
+  let* hw =
+    match status with
+    | "exact" -> Some (Analysis.Exact k)
+    | "upper" -> Some (Analysis.Upper k)
+    | "open_above" -> Some (Analysis.Open_above k)
+    | _ -> None
+  in
+  let* hd =
+    match J.member "hd" j with
+    | Some J.Null | None -> Some None
+    | Some v -> (
+        let* text = J.string_value v in
+        match Decomp_io.of_text inst.Instance.hg text with
+        | Ok d -> Some (Some d)
+        | Error _ -> None)
+  in
+  Some
+    {
+      Analysis.instance = inst;
+      profile;
+      hw_runs;
+      hw;
+      hd;
+      stats = Kit.Metrics.empty;
+    }
+
+let task_to_json (t : Analysis.task) =
+  let base =
+    [
+      ("instance", J.String t.Analysis.task_instance.Instance.name);
+      ("attempts", J.Int t.Analysis.attempts);
+      ("outcome", J.String (Kit.Outcome.label t.Analysis.result));
+    ]
+  in
+  let detail =
+    match Kit.Outcome.detail t.Analysis.result with
+    | "" -> []
+    | d -> [ ("detail", J.String d) ]
+  in
+  let record =
+    match t.Analysis.result with
+    | Kit.Outcome.Ok r -> [ ("record", record_to_json r) ]
+    | _ -> []
+  in
+  J.Obj (base @ detail @ record)
+
+let task_of_json ~find j : Analysis.task option =
+  let* name = field "instance" J.string_value j in
+  let* inst = find name in
+  let attempts = Option.value (field "attempts" J.to_int j) ~default:1 in
+  let* label = field "outcome" J.string_value j in
+  let* result =
+    if label = "ok" then
+      let* rj = J.member "record" j in
+      let* r = record_of_json inst rj in
+      Some (Kit.Outcome.Ok r)
+    else
+      let detail = Option.value (field "detail" J.string_value j) ~default:"" in
+      Kit.Outcome.of_label label ~detail
+  in
+  Some { Analysis.task_instance = inst; attempts; result }
+
+let journal_header ~seed ~scale ~max_k =
+  J.Obj
+    [
+      ("format", J.String "hyperbench-journal");
+      ("version", J.Int 1);
+      ("seed", J.Int seed);
+      ("scale", J.Float scale);
+      ("max_k", J.Int max_k);
+    ]
+
+(* Resuming under different generator parameters would silently mix two
+   incomparable campaigns, so every identity field must agree. *)
+let header_compatible expected actual =
+  List.for_all
+    (fun n -> J.member n expected = J.member n actual)
+    [ "format"; "version"; "seed"; "scale"; "max_k" ]
+
+type campaign = {
+  context : context;
+  tasks : Analysis.task list;
+  resumed : int;
+  journal_corrupt : int;
+}
+
+let prepare_campaign ?(seed = 2019) ?(scale = 1.0) ?(budget_seconds = 1.0)
+    ?budget ?budget_for ?retries ?mem_mb ?(max_k = 8) ?jobs ?journal
+    ?(resume = false) () =
+  let budget =
+    match budget with
+    | Some b -> b
+    | None -> fun () -> Kit.Deadline.of_seconds budget_seconds
+  in
+  let instances = Repository.build ~seed ~scale () in
+  let find name = Repository.find instances name in
+  let header = journal_header ~seed ~scale ~max_k in
+  let resume_data =
+    match journal with
+    | Some path when resume && Sys.file_exists path -> (
+        match Journal.read ~path with
+        | Error m -> Error (Printf.sprintf "%s: %s" path m)
+        | Ok { Journal.header = None; entries = []; corrupt } -> Ok ([], corrupt)
+        | Ok { Journal.header = Some h; entries; corrupt }
+          when header_compatible header h ->
+            (* An entry that no longer decodes (hand-edited, or torn in a
+               way that still parses as JSON) is dropped and its instance
+               simply reruns. *)
+            let tasks, bad =
+              List.fold_left
+                (fun (ts, bad) e ->
+                  match task_of_json ~find e with
+                  | Some t -> (t :: ts, bad)
+                  | None -> (ts, bad + 1))
+                ([], 0) entries
+            in
+            Ok (List.rev tasks, corrupt + bad)
+        | Ok _ ->
+            Error
+              (Printf.sprintf
+                 "%s: journal belongs to a different campaign \
+                  (seed/scale/max_k mismatch)"
+                 path))
+    | _ -> Ok ([], 0)
+  in
+  match resume_data with
+  | Error _ as e -> e
+  | Ok (resumed_tasks, journal_corrupt) ->
+      let done_names = Hashtbl.create 64 in
+      List.iter
+        (fun (t : Analysis.task) ->
+          Hashtbl.replace done_names t.Analysis.task_instance.Instance.name ())
+        resumed_tasks;
+      let todo =
+        List.filter
+          (fun (i : Instance.t) -> not (Hashtbl.mem done_names i.Instance.name))
+          instances
+      in
+      (* (Re)write the journal: fresh runs get header-only; resumes get the
+         surviving entries back, which also truncates any torn tail. *)
+      let writer =
+        Option.map
+          (fun path ->
+            Journal.start ~path ~header
+              ~entries:(List.map task_to_json resumed_tasks))
+          journal
+      in
+      let on_done =
+        Option.map (fun w t -> Journal.append w (task_to_json t)) writer
+      in
+      let tasks_run =
+        Analysis.analyze_outcomes ~budget ?budget_for ?retries ?mem_mb ~max_k
+          ?jobs ?on_done todo
+      in
+      Option.iter Journal.close writer;
+      (* Stitch resumed and fresh tasks back into instance order so every
+         downstream table is independent of what was resumed. *)
+      let by_name = Hashtbl.create 64 in
+      List.iter
+        (fun (t : Analysis.task) ->
+          Hashtbl.replace by_name t.Analysis.task_instance.Instance.name t)
+        (resumed_tasks @ tasks_run);
+      let tasks =
+        List.filter_map
+          (fun (i : Instance.t) -> Hashtbl.find_opt by_name i.Instance.name)
+          instances
+      in
+      let records =
+        List.filter_map (fun t -> Kit.Outcome.get t.Analysis.result) tasks
+      in
+      let ghd = Analysis.ghd_comparison ~budget ?jobs records in
+      let frac = Analysis.fractional ~budget ?jobs records in
+      Ok
+        {
+          context =
+            { instances; records; ghd; frac; stats = Kit.Metrics.snapshot () };
+          tasks;
+          resumed = List.length resumed_tasks;
+          journal_corrupt;
+        }
+
+let campaign_summary c =
+  let buf = Buffer.create 256 in
+  let count label =
+    List.length
+      (List.filter
+         (fun (t : Analysis.task) -> Kit.Outcome.label t.Analysis.result = label)
+         c.tasks)
+  in
+  let retried =
+    List.length
+      (List.filter (fun (t : Analysis.task) -> t.Analysis.attempts > 1) c.tasks)
+  in
+  Buffer.add_string buf "Campaign summary\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  instances %d | ok %d | timeout %d | out_of_memory %d | \
+        stack_overflow %d | crash %d\n"
+       (List.length c.tasks) (count "ok") (count "timeout")
+       (count "out_of_memory") (count "stack_overflow") (count "crash"));
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  resumed from journal %d | retried %d | corrupt journal lines %d\n"
+       c.resumed retried c.journal_corrupt);
+  List.iter
+    (fun (t : Analysis.task) ->
+      if not (Kit.Outcome.is_ok t.Analysis.result) then begin
+        let first_line s =
+          match String.index_opt s '\n' with
+          | Some i -> String.sub s 0 i
+          | None -> s
+        in
+        Buffer.add_string buf
+          (Printf.sprintf "  %s: %s after %d attempt(s)%s\n"
+             t.Analysis.task_instance.Instance.name
+             (Kit.Outcome.label t.Analysis.result)
+             t.Analysis.attempts
+             (match Kit.Outcome.detail t.Analysis.result with
+             | "" -> ""
+             | d -> " - " ^ first_line d))
+      end)
+    c.tasks;
+  Buffer.contents buf
+
 let run_all ?seed ?scale ?budget_seconds () =
   let ctx = prepare ?seed ?scale ?budget_seconds () in
   String.concat "\n"

@@ -86,3 +86,59 @@ val solver_seconds : context -> float
     estimate the pool speedup. *)
 
 val run_all : ?seed:int -> ?scale:float -> ?budget_seconds:float -> unit -> string
+
+(** {1 Fault-tolerant campaigns} *)
+
+module Journal : module type of Journal
+(** The append-only JSONL journal backing checkpoint/resume. *)
+
+type campaign = {
+  context : context;  (** tables/figures render from this as usual *)
+  tasks : Benchlib.Analysis.task list;
+      (** one per repository instance, in instance order — resumed or
+          freshly run, [Ok] or failed *)
+  resumed : int;  (** instances skipped because the journal had them *)
+  journal_corrupt : int;
+      (** journal lines dropped on resume (torn tail, bad JSON, or
+          entries that no longer decode) — their instances rerun *)
+}
+
+val prepare_campaign :
+  ?seed:int ->
+  ?scale:float ->
+  ?budget_seconds:float ->
+  ?budget:(unit -> Kit.Deadline.t) ->
+  ?budget_for:(attempt:int -> unit -> Kit.Deadline.t) ->
+  ?retries:int ->
+  ?mem_mb:int ->
+  ?max_k:int ->
+  ?jobs:int ->
+  ?journal:string ->
+  ?resume:bool ->
+  unit ->
+  (campaign, string) result
+(** {!prepare}, hardened for long campaigns. Every instance runs inside
+    {!Kit.Guard.run} (via {!Benchlib.Analysis.analyze_outcomes}): a
+    crash, stack overflow, [HB_MEM_MB] trip or leaked timeout becomes
+    that instance's recorded outcome and the campaign continues.
+    [retries] / [budget_for] / [mem_mb] are forwarded there.
+
+    [journal] names a JSONL file that receives the header up front and
+    one entry per instance the moment its outcome exists, so a killed
+    process loses at most the in-flight instances. With [resume:true]
+    and an existing journal, recorded instances are not rerun: their
+    [Ok] records (including measured seconds) are rebuilt from the
+    journal, so the final tables equal those of the uninterrupted run.
+    A journal written under different [seed]/[scale]/[max_k] is
+    rejected ([Error]), since mixing two campaigns would corrupt every
+    aggregate; corrupt journal lines are skipped, counted, and their
+    instances simply rerun.
+
+    The ghd/fractional passes run on the stitched record list each
+    time — under a fuel budget their verdicts are deterministic, so
+    resume reproduces them exactly. *)
+
+val campaign_summary : campaign -> string
+(** Deterministic one-screen digest: outcome counts, resume/retry
+    counts, and one line per failed instance (label, attempts, first
+    line of the crash detail). *)

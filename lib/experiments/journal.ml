@@ -1,0 +1,85 @@
+type t = { oc : out_channel; lock : Mutex.t; mutable closed : bool }
+
+let m_appended = Kit.Metrics.counter "journal.appended"
+let m_corrupt = Kit.Metrics.counter "journal.corrupt"
+
+let fsync oc =
+  flush oc;
+  (* Not every filesystem supports fsync (e.g. some tmpfs setups); losing
+     durability there is acceptable, losing the campaign is not. *)
+  try Unix.fsync (Unix.descr_of_out_channel oc) with Unix.Unix_error _ -> ()
+
+let start ~path ~header ~entries =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  (try
+     output_string oc (Kit.Json.to_string header);
+     output_char oc '\n';
+     List.iter
+       (fun e ->
+         output_string oc (Kit.Json.to_string e);
+         output_char oc '\n')
+       entries;
+     fsync oc;
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     raise e);
+  Sys.rename tmp path;
+  let oc = open_out_gen [ Open_wronly; Open_append ] 0o644 path in
+  { oc; lock = Mutex.create (); closed = false }
+
+let append t entry =
+  let line = Kit.Json.to_string entry in
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      output_string t.oc line;
+      output_char t.oc '\n';
+      flush t.oc);
+  Kit.Metrics.incr m_appended
+
+let close t =
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      if not t.closed then begin
+        t.closed <- true;
+        fsync t.oc;
+        close_out_noerr t.oc
+      end)
+
+type contents = {
+  header : Kit.Json.t option;
+  entries : Kit.Json.t list;
+  corrupt : int;
+}
+
+let read ~path =
+  match open_in_bin path with
+  | exception Sys_error m -> Error m
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let rec lines acc =
+            match input_line ic with
+            | l -> lines (l :: acc)
+            | exception End_of_file -> List.rev acc
+          in
+          let rec go header entries corrupt = function
+            | [] -> Ok { header; entries = List.rev entries; corrupt }
+            | line :: rest -> (
+                if String.trim line = "" then go header entries corrupt rest
+                else
+                  match Kit.Json.of_string line with
+                  | Error _ ->
+                      Kit.Metrics.incr m_corrupt;
+                      go header entries (corrupt + 1) rest
+                  | Ok v ->
+                      if header = None then go (Some v) entries corrupt rest
+                      else go header (v :: entries) corrupt rest)
+          in
+          go None [] 0 (lines []))

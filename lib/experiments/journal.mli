@@ -1,0 +1,48 @@
+(** Append-only JSONL campaign journal.
+
+    One header line (run parameters) followed by one JSON object per
+    completed instance. The format is crash-safe by construction:
+
+    - {!start} writes the header — and, on resume, the already-valid
+      entries — to a temporary file, fsyncs it and renames it into
+      place, so a kill mid-(re)write can never leave a half-written
+      header behind, and a torn trailing line from a previous crash is
+      truncated away;
+    - {!append} writes one complete line under a mutex and flushes it,
+      so concurrent worker domains never interleave bytes and a kill
+      loses at most the entries still in flight.
+
+    The payload is {!Kit.Json.t}; the record schema lives in
+    {!Experiments}. *)
+
+type t
+(** An open journal writer. Safe to share across domains. *)
+
+val start : path:string -> header:Kit.Json.t -> entries:Kit.Json.t list -> t
+(** Atomically (re)write [path] to contain [header] then [entries], one
+    compact JSON value per line, and return a writer positioned to
+    append. Pass [entries = []] to begin a fresh journal; pass the
+    surviving entries of {!read} to continue one.
+    @raise Sys_error on I/O failure. *)
+
+val append : t -> Kit.Json.t -> unit
+(** Append one entry line and flush. Mutex-protected; callable from any
+    domain (this is the [on_done] hook of
+    {!Benchlib.Analysis.analyze_outcomes}). Counted in the
+    ["journal.appended"] metric. *)
+
+val close : t -> unit
+(** Fsync and close. Idempotent. *)
+
+type contents = {
+  header : Kit.Json.t option;  (** [None] only for an empty file *)
+  entries : Kit.Json.t list;  (** valid entry lines, in file order *)
+  corrupt : int;
+      (** unparseable lines skipped — normally 0 or, after a kill mid-
+          append, 1 (the torn final line); counted in the
+          ["journal.corrupt"] metric *)
+}
+
+val read : path:string -> (contents, string) result
+(** Parse a journal back. Corrupt lines are skipped and counted, never
+    fatal; [Error] means the file itself could not be read. *)

@@ -17,6 +17,7 @@ let m_win_balsep = Kit.Metrics.counter "portfolio.wins.balsep"
 let m_win_localbip = Kit.Metrics.counter "portfolio.wins.localbip"
 let m_win_globalbip = Kit.Metrics.counter "portfolio.wins.globalbip"
 let m_all_timeout = Kit.Metrics.counter "portfolio.all_timeout"
+let m_member_crash = Kit.Metrics.counter "portfolio.member_crash"
 let m_cancel_latency = Kit.Metrics.timer "portfolio.cancel_latency"
 
 let record_verdict v =
@@ -42,12 +43,33 @@ let solve_with alg ~deadline h ~k =
       let { Global_bip.outcome; exact } = Global_bip.solve ~deadline h ~k in
       { Bal_sep.outcome; exact }
 
+let fault_site alg =
+  match alg with
+  | Bal_sep_alg -> "portfolio.balsep"
+  | Local_bip_alg -> "portfolio.localbip"
+  | Global_bip_alg -> "portfolio.globalbip"
+
+(* Each member runs inside a Guard boundary: a member that crashes (or is
+   killed by the fault harness, or trips the memory budget) records one
+   portfolio.member_crash and simply contributes no verdict — the
+   survivors still race to an answer, matching the paper's "first answer
+   wins, losers are discarded" protocol under partial failure. *)
 let decide alg ~deadline h ~k =
-  let { Bal_sep.outcome; exact } = solve_with alg ~deadline h ~k in
-  match outcome with
-  | Detk.Decomposition d -> Some (Yes (d, alg))
-  | Detk.No_decomposition when exact -> Some (No alg)
-  | Detk.No_decomposition | Detk.Timeout -> None
+  match
+    Kit.Guard.run (fun () ->
+        Kit.Fault.hit (fault_site alg);
+        solve_with alg ~deadline h ~k)
+  with
+  | Kit.Outcome.Ok { Bal_sep.outcome; exact } -> (
+      match outcome with
+      | Detk.Decomposition d -> Some (Yes (d, alg))
+      | Detk.No_decomposition when exact -> Some (No alg)
+      | Detk.No_decomposition | Detk.Timeout -> None)
+  | Kit.Outcome.Timeout -> None
+  | Kit.Outcome.Out_of_memory | Kit.Outcome.Stack_overflow
+  | Kit.Outcome.Crash _ ->
+      Kit.Metrics.incr m_member_crash;
+      None
 
 let order = [ Bal_sep_alg; Local_bip_alg; Global_bip_alg ]
 
@@ -88,14 +110,18 @@ let race ?(budget = default_budget) h ~k =
     Kit.Pool.run_result ~jobs:(List.length order) run (Array.of_list order)
   in
   (* Reduce in the fixed algorithm order, not arrival order, so that ties
-     between near-simultaneous finishers resolve deterministically. *)
+     between near-simultaneous finishers resolve deterministically. A
+     member slot that somehow failed outside the Guard boundary counts as
+     a crashed member, never as a reason to abort the race. *)
   let rec pick i =
     if i >= Array.length results then All_timeout
     else
       match results.(i) with
       | Ok (Some v) -> v
       | Ok None -> pick (i + 1)
-      | Error e -> raise e
+      | Error _ ->
+          Kit.Metrics.incr m_member_crash;
+          pick (i + 1)
   in
   record_verdict (pick 0)
 

@@ -20,7 +20,14 @@ val check :
   verdict
 (** Check(GHD,k) with the portfolio. [budget] produces a fresh deadline per
     algorithm (default: none). Inexact "no" answers (truncated subedge
-    sets) are treated as timeouts so that [No] is always trustworthy. *)
+    sets) are treated as timeouts so that [No] is always trustworthy.
+
+    Containment: every member runs inside {!Kit.Guard.run}, so a member
+    that crashes, overflows its stack or trips the [HB_MEM_MB] budget is
+    recorded in the ["portfolio.member_crash"] metric and contributes no
+    verdict — the remaining members still decide. The fault-injection
+    sites ["portfolio.balsep"], ["portfolio.localbip"] and
+    ["portfolio.globalbip"] let tests kill one member deliberately. *)
 
 val race :
   ?budget:(unit -> Kit.Deadline.t) ->

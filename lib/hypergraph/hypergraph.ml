@@ -143,7 +143,15 @@ let is_ident_char c =
 let parse text =
   let pos = ref 0 in
   let len = String.length text in
-  let error msg = Error (Printf.sprintf "parse error at offset %d: %s" !pos msg) in
+  let error msg =
+    (* Count lines up to the failure point so diagnostics can be shown as
+       file:line by the CLI. *)
+    let line = ref 1 in
+    for i = 0 to Stdlib.min (!pos - 1) (len - 1) do
+      if text.[i] = '\n' then incr line
+    done;
+    Error (Printf.sprintf "line %d: parse error at offset %d: %s" !line !pos msg)
+  in
   let skip_ws () =
     let continue = ref true in
     while !continue do
@@ -224,6 +232,14 @@ let parse_file path =
              (truncation mid-read): surface that as an error, not an
              escaped End_of_file. *)
           match really_input_string ic (in_channel_length ic) with
-          | s -> parse s
+          | s ->
+              (* Fault site "hypergraph.parse": the harness can truncate
+                 the stream mid-read, as a shrinking or torn file would. *)
+              let s =
+                match Kit.Fault.cut "hypergraph.parse" with
+                | Some keep when keep < String.length s -> String.sub s 0 keep
+                | Some _ | None -> s
+              in
+              parse s
           | exception End_of_file -> Error (path ^ ": truncated file")
           | exception Sys_error m -> Error m)

@@ -44,6 +44,9 @@ let expired t =
   | Fuel r -> Atomic.get r <= 0
 
 let check t =
+  (* Fault-injection site: "force a raise at the Nth deadline poll" lets
+     tests crash a search at an arbitrary depth. Free when disarmed. *)
+  if Fault.armed () then Fault.hit "deadline.poll";
   if Atomic.get t.cancel then raise Timed_out;
   match t.kind with
   | No_limit -> ()

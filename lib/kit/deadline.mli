@@ -52,7 +52,13 @@ val check : t -> unit
 (** @raise Timed_out when the budget is exhausted or the deadline is
     cancelled. Cheap: one atomic read per call; the wall clock is
     consulted only every 1024 calls (per domain), so wall expiry is
-    detected up to 1023 checks late. *)
+    detected up to 1023 checks late.
+
+    [check] is also the {!Fault} site ["deadline.poll"]: when the
+    fault-injection harness is armed it may raise {!Fault.Injected} (or
+    simulate allocation failure) at a chosen poll, which containment
+    tests use to crash a search at arbitrary depth. Disarmed — the
+    production state — this costs one atomic load. *)
 
 val expired : t -> bool
 (** Non-raising variant of {!check}. Uses the same expiry condition

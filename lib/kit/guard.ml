@@ -1,0 +1,34 @@
+let mem_budget_mb () =
+  match Sys.getenv_opt "HB_MEM_MB" with
+  | Some v -> (
+      match int_of_string_opt v with Some m when m >= 1 -> Some m | _ -> None)
+  | None -> None
+
+let words_per_mb = 1024 * 1024 / (Sys.word_size / 8)
+
+let with_mem_alarm mb f =
+  match mb with
+  | None | Some 0 -> f ()
+  | Some mb ->
+      let limit_words = mb * words_per_mb in
+      let alarm =
+        Gc.create_alarm (fun () ->
+            (* Runs at the end of a major cycle, on the heap-owning side of
+               the allocation that finished it; raising here surfaces at
+               that allocation point, which is exactly an OOM would. *)
+            if (Gc.quick_stat ()).Gc.heap_words > limit_words then
+              raise Out_of_memory)
+      in
+      Fun.protect ~finally:(fun () -> Gc.delete_alarm alarm) f
+
+let run ?mem_mb f =
+  let mem_mb = match mem_mb with Some _ as m -> m | None -> mem_budget_mb () in
+  match with_mem_alarm mem_mb f with
+  | v -> Outcome.Ok v
+  | exception e ->
+      let backtrace = Printexc.get_backtrace () in
+      let outcome = Outcome.classify e ~backtrace in
+      (* After an OOM the dead task's heap is garbage but still mapped;
+         compact so the survivors don't inherit its footprint. *)
+      (match outcome with Outcome.Out_of_memory -> Gc.compact () | _ -> ());
+      outcome

@@ -41,7 +41,8 @@ let save_load_roundtrip () =
   B.Repository.save ~dir instances;
   (match B.Repository.load ~dir with
   | Error m -> Alcotest.fail m
-  | Ok loaded ->
+  | Ok { B.Repository.instances = loaded; skipped } ->
+      Alcotest.(check int) "nothing skipped" 0 (List.length skipped);
       Alcotest.(check int) "count" (List.length instances) (List.length loaded);
       List.iter2
         (fun a b ->
@@ -60,6 +61,38 @@ let load_missing () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "missing dir should fail"
 
+(* Satellite (b): corrupt entries are skipped with a warning, never a
+   load-aborting error — the healthy rest of the repository still loads. *)
+let load_tolerates_corruption () =
+  let dir = Filename.temp_file "hb" "" in
+  Sys.remove dir;
+  let instances = List.filteri (fun i _ -> i < 4) (build ()) in
+  B.Repository.save ~dir instances;
+  let first = (List.hd instances).B.Instance.name in
+  (* Truncate one .hg file mid-edge, then append an unknown-group entry
+     and a torn line to the index. *)
+  let oc = open_out (Filename.concat dir (first ^ ".hg")) in
+  output_string oc "e0(v0,";
+  close_out oc;
+  let oc =
+    open_out_gen [ Open_append ] 0o644 (Filename.concat dir "index.tsv")
+  in
+  output_string oc "ghost\tno-such-group\tsrc\ntorn line without tabs\n";
+  close_out oc;
+  (match B.Repository.load ~dir with
+  | Error m -> Alcotest.fail m
+  | Ok { B.Repository.instances = loaded; skipped } ->
+      Alcotest.(check int) "healthy entries survive"
+        (List.length instances - 1)
+        (List.length loaded);
+      Alcotest.(check int) "one warning per corruption" 3 (List.length skipped);
+      Alcotest.(check bool) "truncated file reported by name" true
+        (List.mem_assoc first skipped);
+      Alcotest.(check bool) "torn index line reported" true
+        (List.mem_assoc "index.tsv" skipped));
+  Sys.readdir dir |> Array.iter (fun f -> Sys.remove (Filename.concat dir f));
+  Sys.rmdir dir
+
 let save_creates_parents () =
   let base = Filename.temp_file "hb" "" in
   Sys.remove base;
@@ -70,7 +103,8 @@ let save_creates_parents () =
   (match B.Repository.load ~dir with
   | Error m -> Alcotest.fail m
   | Ok loaded ->
-      Alcotest.(check int) "count" (List.length instances) (List.length loaded));
+      Alcotest.(check int) "count" (List.length instances)
+        (List.length loaded.B.Repository.instances));
   Sys.readdir dir |> Array.iter (fun f -> Sys.remove (Filename.concat dir f));
   Sys.rmdir dir;
   Sys.rmdir (Filename.concat base "nested");
@@ -318,6 +352,8 @@ let () =
           Alcotest.test_case "save/load" `Quick save_load_roundtrip;
           Alcotest.test_case "save creates parents" `Quick save_creates_parents;
           Alcotest.test_case "load missing" `Quick load_missing;
+          Alcotest.test_case "load tolerates corruption" `Quick
+            load_tolerates_corruption;
         ] );
       ( "analysis",
         [

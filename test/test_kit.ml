@@ -381,6 +381,231 @@ let metrics_local_delta () =
       Alcotest.(check int) "global total keeps both" 10
         (Kit.Metrics.get (Kit.Metrics.snapshot ()) "test.delta"))
 
+(* --- outcome / guard --------------------------------------------------------- *)
+
+let outcome_classify () =
+  let t = Kit.Outcome.classify Kit.Deadline.Timed_out ~backtrace:"" in
+  Alcotest.(check bool) "timeout" true (t = Kit.Outcome.Timeout);
+  Alcotest.(check bool) "oom" true
+    (Kit.Outcome.classify Stdlib.Out_of_memory ~backtrace:""
+    = Kit.Outcome.Out_of_memory);
+  Alcotest.(check bool) "stack overflow" true
+    (Kit.Outcome.classify Stdlib.Stack_overflow ~backtrace:""
+    = Kit.Outcome.Stack_overflow);
+  (match Kit.Outcome.classify (Failure "boom") ~backtrace:"bt" with
+  | Kit.Outcome.Crash s ->
+      Alcotest.(check bool) "crash carries message and backtrace" true
+        (String.length s > 4 && String.sub s 0 (String.length s) <> ""
+        && s <> "boom" (* backtrace appended *))
+  | _ -> Alcotest.fail "Failure should classify as Crash")
+
+let outcome_labels_roundtrip () =
+  let failures : unit Kit.Outcome.t list =
+    [
+      Kit.Outcome.Timeout; Kit.Outcome.Out_of_memory;
+      Kit.Outcome.Stack_overflow; Kit.Outcome.Crash "why";
+    ]
+  in
+  List.iter
+    (fun o ->
+      match
+        Kit.Outcome.of_label (Kit.Outcome.label o)
+          ~detail:(Kit.Outcome.detail o)
+      with
+      | Some o' ->
+          Alcotest.(check bool) (Kit.Outcome.label o ^ " round-trips") true
+            (o = o')
+      | None -> Alcotest.failf "label %s did not decode" (Kit.Outcome.label o))
+    failures;
+  Alcotest.(check bool) "ok is not reconstructible" true
+    (Kit.Outcome.of_label "ok" ~detail:"" = (None : unit Kit.Outcome.t option));
+  Alcotest.(check bool) "unknown label rejected" true
+    (Kit.Outcome.of_label "exploded" ~detail:""
+    = (None : unit Kit.Outcome.t option))
+
+let guard_containment () =
+  Alcotest.(check bool) "ok" true
+    (Kit.Guard.run (fun () -> 42) = Kit.Outcome.Ok 42);
+  Alcotest.(check bool) "leaked deadline" true
+    (Kit.Guard.run (fun () -> raise Kit.Deadline.Timed_out)
+    = Kit.Outcome.Timeout);
+  Alcotest.(check bool) "stack overflow" true
+    (Kit.Guard.run (fun () -> raise Stdlib.Stack_overflow)
+    = Kit.Outcome.Stack_overflow);
+  Alcotest.(check bool) "out of memory" true
+    (Kit.Guard.run (fun () -> raise Stdlib.Out_of_memory)
+    = Kit.Outcome.Out_of_memory);
+  (match Kit.Guard.run (fun () -> failwith "boom") with
+  | Kit.Outcome.Crash _ -> ()
+  | _ -> Alcotest.fail "failure should be a crash");
+  (* The guard frame must keep the caller alive: run again after each. *)
+  Alcotest.(check bool) "still alive" true
+    (Kit.Guard.run (fun () -> "fine") = Kit.Outcome.Ok "fine")
+
+let guard_mem_budget () =
+  (* Allocate far past a tiny soft budget: the Gc alarm must turn it into
+     Out_of_memory instead of eating the machine. If the alarm never
+     fires the loop terminates and the test fails on the Ok. *)
+  let r =
+    Kit.Guard.run ~mem_mb:2 (fun () ->
+        let acc = ref [] in
+        for i = 0 to 30_000 do
+          acc := Array.make 128 i :: !acc
+        done;
+        Array.length (List.hd (Sys.opaque_identity !acc)))
+  in
+  (match r with
+  | Kit.Outcome.Out_of_memory -> ()
+  | o -> Alcotest.failf "expected out_of_memory, got %s" (Kit.Outcome.label o));
+  (* mem_mb:0 disables the budget even when HB_MEM_MB is set. *)
+  Alcotest.(check bool) "0 disables" true
+    (Kit.Guard.run ~mem_mb:0 (fun () -> 1) = Kit.Outcome.Ok 1)
+
+(* --- fault injection --------------------------------------------------------- *)
+
+let with_faults spec f =
+  (match Kit.Fault.configure spec with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m);
+  Fun.protect ~finally:Kit.Fault.clear f
+
+let fault_spec_errors () =
+  let bad spec =
+    match Kit.Fault.configure spec with
+    | Error _ -> Alcotest.(check bool) (spec ^ " leaves disarmed") false (Kit.Fault.armed ())
+    | Ok () -> Alcotest.failf "spec %S should not parse" spec
+  in
+  bad "bogus";
+  bad "explode@site:1";
+  bad "crash@site";
+  bad "crash@:1";
+  bad "crash@site:0";
+  bad "crash@site:p2.0";
+  bad "truncate@site:5";
+  bad "crash@ok:1;bogus";
+  Alcotest.(check bool) "empty spec disarms" true
+    (Kit.Fault.configure "" = Ok () && not (Kit.Fault.armed ()))
+
+let fault_nth_hit () =
+  with_faults "crash@t.site:3" (fun () ->
+      Kit.Fault.hit "t.site";
+      Kit.Fault.hit "t.other";
+      Kit.Fault.hit "t.site";
+      (match Kit.Fault.hit "t.site" with
+      | () -> Alcotest.fail "third hit should raise"
+      | exception Kit.Fault.Injected m ->
+          Alcotest.(check bool) "message names site and hit" true
+            (m = "injected crash at t.site (hit 3)"));
+      (* Nth fires exactly once. *)
+      Kit.Fault.hit "t.site")
+
+let fault_oom_kind () =
+  with_faults "oom@t.oom:1" (fun () ->
+      match Kit.Fault.hit "t.oom" with
+      | () -> Alcotest.fail "oom site should raise"
+      | exception Stdlib.Out_of_memory -> ())
+
+let fault_probability_deterministic () =
+  let fired () =
+    List.init 200 (fun i ->
+        match Kit.Fault.hit "t.p" with
+        | () -> (i, false)
+        | exception Kit.Fault.Injected _ -> (i, true))
+  in
+  let a = with_faults "kill@t.p:p0.3:s7" fired in
+  let b = with_faults "kill@t.p:p0.3:s7" fired in
+  let c = with_faults "kill@t.p:p0.3:s8" fired in
+  Alcotest.(check bool) "same seed, same firing pattern" true (a = b);
+  Alcotest.(check bool) "different seed, different pattern" true (a <> c);
+  let n = List.length (List.filter snd a) in
+  Alcotest.(check bool)
+    (Printf.sprintf "rate plausible for p=0.3 (%d/200)" n)
+    true
+    (n > 30 && n < 90)
+
+let fault_truncate () =
+  with_faults "truncate@t.cut:2x5" (fun () ->
+      Alcotest.(check bool) "first hit passes" true (Kit.Fault.cut "t.cut" = None);
+      Alcotest.(check bool) "second hit truncates to 5" true
+        (Kit.Fault.cut "t.cut" = Some 5);
+      Alcotest.(check bool) "third hit passes" true (Kit.Fault.cut "t.cut" = None);
+      (* Non-truncate kinds ignore cut and vice versa. *)
+      Kit.Fault.hit "t.cut")
+
+(* --- json -------------------------------------------------------------------- *)
+
+let json_roundtrip () =
+  let v =
+    Kit.Json.Obj
+      [
+        ("s", Kit.Json.String "a\"b\\c\nd\t009 é");
+        ("i", Kit.Json.Int (-42));
+        ("f", Kit.Json.Float 0.30000000000000004);
+        ("big", Kit.Json.Float 1.5974044799804688e-05);
+        ("t", Kit.Json.Bool true);
+        ("n", Kit.Json.Null);
+        ("l", Kit.Json.List [ Kit.Json.Int 1; Kit.Json.Obj [] ]);
+      ]
+  in
+  let s = Kit.Json.to_string v in
+  Alcotest.(check bool) "single line" true (not (String.contains s '\n'));
+  (match Kit.Json.of_string s with
+  | Ok v' -> Alcotest.(check bool) "round-trips exactly" true (v = v')
+  | Error m -> Alcotest.fail m);
+  (* Unicode escapes, including a surrogate pair. *)
+  (match Kit.Json.of_string {|"é😀"|} with
+  | Ok (Kit.Json.String s) ->
+      Alcotest.(check string) "utf-8 decoding" "\xc3\xa9\xf0\x9f\x98\x80" s
+  | _ -> Alcotest.fail "unicode escape parse failed");
+  List.iter
+    (fun bad ->
+      match Kit.Json.of_string bad with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "%S should not parse" bad)
+    [ "{"; "[1,]"; "{\"a\":}"; "1 2"; "\"unterminated"; "nul"; "" ]
+
+let json_accessors () =
+  let v =
+    match Kit.Json.of_string {|{"a":1,"b":2.5,"c":"x","d":[true,null]}|} with
+    | Ok v -> v
+    | Error m -> Alcotest.fail m
+  in
+  Alcotest.(check bool) "member+int" true
+    (Option.bind (Kit.Json.member "a" v) Kit.Json.to_int = Some 1);
+  Alcotest.(check bool) "int as float" true
+    (Option.bind (Kit.Json.member "a" v) Kit.Json.to_float = Some 1.0);
+  Alcotest.(check bool) "float" true
+    (Option.bind (Kit.Json.member "b" v) Kit.Json.to_float = Some 2.5);
+  Alcotest.(check bool) "non-integral float is not an int" true
+    (Option.bind (Kit.Json.member "b" v) Kit.Json.to_int = None);
+  Alcotest.(check bool) "string" true
+    (Option.bind (Kit.Json.member "c" v) Kit.Json.string_value = Some "x");
+  Alcotest.(check bool) "missing member" true (Kit.Json.member "z" v = None);
+  match Option.bind (Kit.Json.member "d" v) Kit.Json.to_list with
+  | Some [ Kit.Json.Bool true; Kit.Json.Null ] -> ()
+  | _ -> Alcotest.fail "list accessor"
+
+(* --- pool outcomes ----------------------------------------------------------- *)
+
+let pool_run_outcome () =
+  let tasks = Array.init 20 Fun.id in
+  let work x = if x mod 7 = 3 then failwith "boom" else x * x in
+  let check_jobs jobs =
+    let out = Kit.Pool.run_outcome ~jobs work tasks in
+    Alcotest.(check int) "one outcome per task" 20 (Array.length out);
+    Array.iteri
+      (fun i x ->
+        match out.(i) with
+        | Kit.Outcome.Ok v -> Alcotest.(check int) "value in order" (x * x) v
+        | Kit.Outcome.Crash _ ->
+            Alcotest.(check bool) "crash only where injected" true
+              (x mod 7 = 3)
+        | o -> Alcotest.failf "unexpected outcome %s" (Kit.Outcome.label o))
+      tasks
+  in
+  check_jobs 1;
+  check_jobs 4
+
 let () =
   let qt = QCheck_alcotest.to_alcotest in
   Alcotest.run "kit"
@@ -427,6 +652,31 @@ let () =
           Alcotest.test_case "parallel = sequential" `Quick pool_matches_sequential;
           Alcotest.test_case "exceptions captured" `Quick pool_captures_exceptions;
           Alcotest.test_case "empty and default" `Quick pool_empty_and_default;
+          Alcotest.test_case "run_outcome" `Quick pool_run_outcome;
+        ] );
+      ( "outcome",
+        [
+          Alcotest.test_case "classify" `Quick outcome_classify;
+          Alcotest.test_case "labels round-trip" `Quick outcome_labels_roundtrip;
+        ] );
+      ( "guard",
+        [
+          Alcotest.test_case "containment" `Quick guard_containment;
+          Alcotest.test_case "soft memory budget" `Quick guard_mem_budget;
+        ] );
+      ( "fault",
+        [
+          Alcotest.test_case "spec errors" `Quick fault_spec_errors;
+          Alcotest.test_case "nth hit" `Quick fault_nth_hit;
+          Alcotest.test_case "oom kind" `Quick fault_oom_kind;
+          Alcotest.test_case "probability deterministic" `Quick
+            fault_probability_deterministic;
+          Alcotest.test_case "truncate" `Quick fault_truncate;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "round-trip" `Quick json_roundtrip;
+          Alcotest.test_case "accessors" `Quick json_accessors;
         ] );
       ( "metrics",
         [

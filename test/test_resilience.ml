@@ -1,0 +1,413 @@
+(* End-to-end resilience tests for the fault-tolerant campaign runner:
+   seeded fault injection, crash containment in the analysis and the GHD
+   portfolio, and journal-based kill-and-resume.
+
+   Everything runs under a fuel budget, so verdicts, counters and table
+   contents are bit-identical at every jobs value; only measured wall
+   seconds vary, and comparisons strip float literals accordingly. *)
+
+module B = Benchlib
+
+let seed = 7
+let scale = 0.05
+let max_k = 4
+let fuel_budget () = Kit.Deadline.of_fuel 20_000
+
+let build () = B.Repository.build ~seed ~scale ()
+
+let with_faults spec f =
+  (match Kit.Fault.configure spec with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m);
+  Fun.protect ~finally:Kit.Fault.clear f
+
+let with_metrics f =
+  Kit.Metrics.reset ();
+  Kit.Metrics.enabled := true;
+  Fun.protect
+    ~finally:(fun () ->
+      Kit.Metrics.enabled := false;
+      Kit.Metrics.reset ())
+    f
+
+(* The budget- and jobs-independent skeleton of a record: everything
+   except measured seconds (and the witness object identity — its
+   presence is what is pinned). *)
+let skeleton (r : B.Analysis.record) =
+  ( r.B.Analysis.instance.B.Instance.name,
+    r.B.Analysis.profile,
+    List.map (fun (x : B.Analysis.hw_run) -> (x.k, x.outcome)) r.B.Analysis.hw_runs,
+    r.B.Analysis.hw,
+    r.B.Analysis.hd <> None,
+    r.B.Analysis.stats.Kit.Metrics.counters )
+
+let strip_floats s = Str.global_replace (Str.regexp "[0-9]+\\.[0-9]+") "#" s
+
+(* --- fault matrix ------------------------------------------------------------ *)
+
+(* Inject a crash and an OOM at two chosen instances; at jobs 1 and 4 the
+   campaign must record exactly those two failures and every survivor
+   must be bit-identical to the fault-free run — outcomes, profiles and
+   per-instance search counters alike. *)
+let fault_matrix () =
+  with_metrics @@ fun () ->
+  let instances = build () in
+  let name i = (List.nth instances i).B.Instance.name in
+  let crash_at = name 5 and oom_at = name 20 in
+  let baseline =
+    B.Analysis.analyze_outcomes ~budget:fuel_budget ~max_k ~jobs:1 instances
+  in
+  List.iter
+    (fun (t : B.Analysis.task) ->
+      Alcotest.(check bool) "fault-free run is all ok" true
+        (Kit.Outcome.is_ok t.B.Analysis.result))
+    baseline;
+  let spec =
+    Printf.sprintf "crash@instance.%s:1;oom@instance.%s:1" crash_at oom_at
+  in
+  List.iter
+    (fun jobs ->
+      let tasks =
+        with_faults spec (fun () ->
+            B.Analysis.analyze_outcomes ~budget:fuel_budget ~max_k ~jobs
+              instances)
+      in
+      Alcotest.(check int) "one task per instance" (List.length instances)
+        (List.length tasks);
+      let failed =
+        List.filter
+          (fun (t : B.Analysis.task) ->
+            not (Kit.Outcome.is_ok t.B.Analysis.result))
+          tasks
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "exactly the 2 injected failures (jobs=%d)" jobs)
+        2 (List.length failed);
+      List.iter
+        (fun (t : B.Analysis.task) ->
+          let n = t.B.Analysis.task_instance.B.Instance.name in
+          let l = Kit.Outcome.label t.B.Analysis.result in
+          if n = crash_at then Alcotest.(check string) n "crash" l
+          else if n = oom_at then Alcotest.(check string) n "out_of_memory" l
+          else Alcotest.failf "unexpected failure on %s (%s)" n l)
+        failed;
+      (* Survivors are bit-identical to the fault-free run. *)
+      List.iter2
+        (fun (b : B.Analysis.task) (t : B.Analysis.task) ->
+          match (b.B.Analysis.result, t.B.Analysis.result) with
+          | Kit.Outcome.Ok rb, Kit.Outcome.Ok rt ->
+              Alcotest.(check bool)
+                (rb.B.Analysis.instance.B.Instance.name
+                ^ " survivor identical to fault-free run")
+                true
+                (skeleton rb = skeleton rt)
+          | _ -> ())
+        baseline tasks)
+    [ 1; 4 ]
+
+(* A once-only fault plus one retry with the same budget: the retry must
+   succeed and the task end Ok with attempts = 2. *)
+let retry_recovers_transient_fault () =
+  let instances = build () in
+  let victim = (List.nth instances 3).B.Instance.name in
+  let tasks =
+    with_faults
+      (Printf.sprintf "crash@instance.%s:1" victim)
+      (fun () ->
+        B.Analysis.analyze_outcomes ~budget:fuel_budget ~max_k ~jobs:2
+          ~retries:1 instances)
+  in
+  let t =
+    List.find
+      (fun (t : B.Analysis.task) ->
+        t.B.Analysis.task_instance.B.Instance.name = victim)
+      tasks
+  in
+  Alcotest.(check bool) "retry succeeded" true
+    (Kit.Outcome.is_ok t.B.Analysis.result);
+  Alcotest.(check int) "two attempts" 2 t.B.Analysis.attempts;
+  List.iter
+    (fun (t : B.Analysis.task) ->
+      if t.B.Analysis.task_instance.B.Instance.name <> victim then
+        Alcotest.(check int)
+          (t.B.Analysis.task_instance.B.Instance.name ^ " untouched")
+          1 t.B.Analysis.attempts)
+    tasks
+
+(* --- portfolio degradation ---------------------------------------------------- *)
+
+let fano =
+  Hg.Hypergraph.of_int_edges
+    [ [ 0; 1; 2 ]; [ 0; 3; 4 ]; [ 0; 5; 6 ]; [ 1; 3; 5 ]; [ 1; 4; 6 ];
+      [ 2; 3; 6 ]; [ 2; 4; 5 ] ]
+
+(* Killing one member must not change the verdict: the survivors still
+   decide, and the casualty is counted in portfolio.member_crash. *)
+let portfolio_survives_member_kill () =
+  with_metrics @@ fun () ->
+  let budget () = Kit.Deadline.of_fuel 200_000 in
+  let clean = Ghd.Portfolio.check ~budget fano ~k:3 in
+  Alcotest.(check bool) "clean run decides" true (clean <> Ghd.Portfolio.All_timeout);
+  List.iter
+    (fun member ->
+      let v =
+        with_faults
+          (Printf.sprintf "kill@portfolio.%s:1" member)
+          (fun () -> Ghd.Portfolio.check ~budget fano ~k:3)
+      in
+      (* Yes/no must agree with the clean run; the witness/algorithm may
+         legitimately differ. *)
+      let label = function
+        | Ghd.Portfolio.Yes _ -> "yes"
+        | Ghd.Portfolio.No _ -> "no"
+        | Ghd.Portfolio.All_timeout -> "timeout"
+      in
+      Alcotest.(check string)
+        (member ^ " killed, remaining members still decide")
+        (label clean) (label v))
+    [ "balsep"; "localbip"; "globalbip" ];
+  (* The sequential portfolio stops at the first decisive member, so
+     kills aimed at members it never reached cannot fire — but the first
+     member always runs, so at least its kill must be on the books. *)
+  let snap = Kit.Metrics.snapshot () in
+  Alcotest.(check bool) "killed members were counted" true
+    (Kit.Metrics.get snap "portfolio.member_crash" >= 1)
+
+(* Racing domains: every member spawns, so the killed one is always
+   counted — and losing it must not change the verdict or wedge the
+   join. *)
+let portfolio_race_survives_member_kill () =
+  with_metrics @@ fun () ->
+  let budget () = Kit.Deadline.of_fuel 200_000 in
+  let v =
+    with_faults "kill@portfolio.balsep:1" (fun () ->
+        Ghd.Portfolio.race ~budget fano ~k:3)
+  in
+  Alcotest.(check bool) "race still decides" true (v <> Ghd.Portfolio.All_timeout);
+  let snap = Kit.Metrics.snapshot () in
+  Alcotest.(check int) "the kill was counted" 1
+    (Kit.Metrics.get snap "portfolio.member_crash")
+
+(* --- parser truncation -------------------------------------------------------- *)
+
+let truncated_parse_is_an_error () =
+  let dir = Filename.temp_file "hb_trunc" "" in
+  Sys.remove dir;
+  let instances = List.filteri (fun i _ -> i < 3) (build ()) in
+  B.Repository.save ~dir instances;
+  (* Truncate the first instance's file mid-stream via the fault site:
+     the load must skip it with a warning, not crash or mis-parse. *)
+  let r =
+    with_faults "truncate@hypergraph.parse:1x7" (fun () ->
+        B.Repository.load ~dir)
+  in
+  (match r with
+  | Error m -> Alcotest.fail m
+  | Ok { B.Repository.instances = loaded; skipped } ->
+      Alcotest.(check int) "one instance lost" (List.length instances - 1)
+        (List.length loaded);
+      Alcotest.(check int) "one warning" 1 (List.length skipped);
+      (match skipped with
+      | [ (_, msg) ] ->
+          Alcotest.(check bool) "diagnostic carries line info" true
+            (String.length msg >= 4 && String.sub msg 0 4 = "line")
+      | _ -> Alcotest.fail "expected a single skip entry"));
+  Sys.readdir dir |> Array.iter (fun f -> Sys.remove (Filename.concat dir f));
+  Sys.rmdir dir
+
+(* --- journal: kill and resume -------------------------------------------------- *)
+
+let read_lines path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | l -> go (l :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      go [])
+
+let campaign ?journal ?(resume = false) ~jobs () =
+  match
+    Experiments.prepare_campaign ~seed ~scale ~budget:fuel_budget ~max_k ~jobs
+      ?journal ~resume ()
+  with
+  | Ok c -> c
+  | Error m -> Alcotest.fail m
+
+(* Everything the campaign renders, normalised for comparison across a
+   kill/resume boundary: float literals (measured wall seconds) and the
+   summary's resume/retry bookkeeping line are the only parts allowed to
+   differ between an uninterrupted run and a resumed one. *)
+let tables (c : Experiments.campaign) =
+  String.concat "\n"
+    [
+      Experiments.table1 c.Experiments.context;
+      Experiments.table2 c.Experiments.context;
+      Experiments.figure3 c.Experiments.context;
+      Experiments.figure4 c.Experiments.context;
+      Experiments.table3 c.Experiments.context;
+      Experiments.table4 c.Experiments.context;
+      Experiments.table5 c.Experiments.context;
+      Experiments.table6 c.Experiments.context;
+      Experiments.campaign_summary c;
+    ]
+  |> strip_floats
+  |> Str.global_replace (Str.regexp "  resumed from journal[^\n]*\n") ""
+
+(* Kill-and-resume: truncate a finished journal after a prefix of entries
+   plus a torn half-line (what a SIGKILL mid-append leaves behind), then
+   resume. The resumed campaign must (a) rerun only the missing
+   instances, (b) drop the torn line, and (c) reproduce the exact same
+   tables as the uninterrupted run. *)
+let journal_kill_and_resume () =
+  let path = Filename.temp_file "hb_journal" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists path then Sys.remove path;
+      if Sys.file_exists (path ^ ".tmp") then Sys.remove (path ^ ".tmp"))
+    (fun () ->
+      let full = campaign ~journal:path ~jobs:4 () in
+      let reference = tables full in
+      let n = List.length full.Experiments.tasks in
+      let lines = read_lines path in
+      Alcotest.(check int) "journal holds header + one line per instance"
+        (n + 1) (List.length lines);
+      (* Simulate the kill: keep the header and 10 entries, then a torn
+         half-record with no newline. *)
+      let keep = 10 in
+      let oc = open_out_bin path in
+      List.iteri
+        (fun i l -> if i <= keep then Printf.fprintf oc "%s\n" l)
+        lines;
+      output_string oc "{\"instance\":\"torn";
+      close_out oc;
+      let resumed = campaign ~journal:path ~resume:true ~jobs:4 () in
+      Alcotest.(check int) "resumed the recorded prefix" keep
+        resumed.Experiments.resumed;
+      Alcotest.(check int) "torn line detected" 1
+        resumed.Experiments.journal_corrupt;
+      Alcotest.(check string) "tables identical after resume" reference
+        (tables resumed);
+      (* The rewritten journal is complete and clean again. *)
+      let lines = read_lines path in
+      Alcotest.(check int) "journal complete after resume" (n + 1)
+        (List.length lines);
+      let resumed_again = campaign ~journal:path ~resume:true ~jobs:1 () in
+      Alcotest.(check int) "everything resumed, nothing rerun" n
+        resumed_again.Experiments.resumed;
+      Alcotest.(check string) "tables identical on full resume" reference
+        (tables resumed_again))
+
+(* A campaign journaled with injected failures: resume does not rerun the
+   failed instances either (their outcome is recorded), and the summary
+   still reports them. *)
+let journal_records_failures () =
+  let path = Filename.temp_file "hb_journal" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists path then Sys.remove path;
+      if Sys.file_exists (path ^ ".tmp") then Sys.remove (path ^ ".tmp"))
+    (fun () ->
+      let victim = (List.nth (build ()) 4).B.Instance.name in
+      let c =
+        with_faults
+          (Printf.sprintf "crash@instance.%s:1" victim)
+          (fun () -> campaign ~journal:path ~jobs:2 ())
+      in
+      let failed (c : Experiments.campaign) =
+        List.filter_map
+          (fun (t : B.Analysis.task) ->
+            if Kit.Outcome.is_ok t.B.Analysis.result then None
+            else
+              Some
+                ( t.B.Analysis.task_instance.B.Instance.name,
+                  Kit.Outcome.label t.B.Analysis.result ))
+          c.Experiments.tasks
+      in
+      Alcotest.(check bool) "the one injected crash is recorded" true
+        (failed c = [ (victim, "crash") ]);
+      (* No faults armed on resume: the crash must come back from the
+         journal, not from a rerun. *)
+      let resumed = campaign ~journal:path ~resume:true ~jobs:2 () in
+      Alcotest.(check int) "all instances resumed" (List.length c.Experiments.tasks)
+        resumed.Experiments.resumed;
+      Alcotest.(check bool) "failure survives resume" true
+        (failed resumed = [ (victim, "crash") ]);
+      Alcotest.(check string) "tables identical" (tables c) (tables resumed))
+
+(* A journal written under different campaign parameters must be refused,
+   not silently mixed in. *)
+let journal_header_mismatch () =
+  let path = Filename.temp_file "hb_journal" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists path then Sys.remove path;
+      if Sys.file_exists (path ^ ".tmp") then Sys.remove (path ^ ".tmp"))
+    (fun () ->
+      ignore (campaign ~journal:path ~jobs:1 ());
+      match
+        Experiments.prepare_campaign ~seed:(seed + 1) ~scale
+          ~budget:fuel_budget ~max_k ~jobs:1 ~journal:path ~resume:true ()
+      with
+      | Error m ->
+          Alcotest.(check bool) "error names the mismatch" true
+            (String.length m > 0)
+      | Ok _ -> Alcotest.fail "mismatched journal should be rejected")
+
+let journal_read_skips_corruption () =
+  let path = Filename.temp_file "hb_journal" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      let oc = open_out_bin path in
+      output_string oc "{\"format\":\"hyperbench-journal\"}\n";
+      output_string oc "{\"instance\":\"a\"}\n";
+      output_string oc "not json at all\n";
+      output_string oc "{\"instance\":\"b\"}\n";
+      output_string oc "{\"torn";
+      close_out oc;
+      match Experiments.Journal.read ~path with
+      | Error m -> Alcotest.fail m
+      | Ok { Experiments.Journal.header; entries; corrupt } ->
+          Alcotest.(check bool) "header parsed" true (header <> None);
+          Alcotest.(check int) "both valid entries kept" 2
+            (List.length entries);
+          Alcotest.(check int) "both corrupt lines counted" 2 corrupt)
+
+let () =
+  Alcotest.run "resilience"
+    [
+      ( "fault-matrix",
+        [
+          Alcotest.test_case "injected failures are contained" `Slow
+            fault_matrix;
+          Alcotest.test_case "retry recovers a transient fault" `Slow
+            retry_recovers_transient_fault;
+        ] );
+      ( "portfolio",
+        [
+          Alcotest.test_case "member kill degrades gracefully" `Slow
+            portfolio_survives_member_kill;
+          Alcotest.test_case "race survives member kill" `Slow
+            portfolio_race_survives_member_kill;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "truncation is a skip, not a crash" `Quick
+            truncated_parse_is_an_error;
+        ] );
+      ( "journal",
+        [
+          Alcotest.test_case "kill and resume reproduces tables" `Slow
+            journal_kill_and_resume;
+          Alcotest.test_case "failures survive resume" `Slow
+            journal_records_failures;
+          Alcotest.test_case "header mismatch rejected" `Slow
+            journal_header_mismatch;
+          Alcotest.test_case "corrupt lines skipped" `Quick
+            journal_read_skips_corruption;
+        ] );
+    ]
