@@ -14,8 +14,11 @@
      HB_RESUME  when 1, resume from HB_JOURNAL instead of starting over
      HB_RETRIES per-instance retries with doubling budget (default 0)
      HB_MEM_MB  soft memory budget per process; excess -> out_of_memory
+     HB_ISOLATE when 1, run each instance in a forked worker process with
+                a hard wall-clock watchdog and a hard memory rlimit
+     HB_WALL    watchdog budget in seconds under HB_ISOLATE (default 3600)
      HB_FAULT   fault-injection spec (see Kit.Fault), e.g.
-                crash@instance.cq-rand-002:1
+                crash@instance.cq-rand-002:1 or hang@instance.cq-rand-002:1
 
    HB_JOBS spreads the per-instance analysis over a fixed-size domain
    pool; results are collected in instance order, so tables and row
@@ -94,6 +97,13 @@ let micro () =
 (* --- main ------------------------------------------------------------------- *)
 
 let () =
+  (* A typo'd HB_FAULT spec must not silently run fault-free (the CLI
+     applies the same refusal). *)
+  (match Kit.Fault.config_error () with
+  | Some m ->
+      Printf.eprintf "bench: bad HB_FAULT spec: %s\n%!" m;
+      exit 1
+  | None -> ());
   let scale = env_float "HB_SCALE" 1.0 in
   let budget_seconds = env_float "HB_BUDGET" 0.5 in
   let fuel = env_int "HB_FUEL" 0 in
@@ -110,11 +120,12 @@ let () =
         "figure3"; "figure4"; "figure5"; "ablation" ]
   in
   Printf.printf
-    "HyperBench reproduction harness (seed=%d scale=%.2f budget=%s jobs=%d)\n\n"
+    "HyperBench reproduction harness (seed=%d scale=%.2f budget=%s jobs=%d%s)\n\n"
     seed scale
     (if fuel > 0 then Printf.sprintf "%d fuel" fuel
      else Printf.sprintf "%.2fs" budget_seconds)
-    jobs;
+    jobs
+    (if Kit.Proc.enabled () then " isolate" else "");
   if needs_ctx then begin
     (* Metrics stay on for the analysis + tables and are switched off
        before the micro benches: bechamel's iteration counts are
@@ -143,6 +154,8 @@ let () =
       match
         Experiments.prepare_campaign ~seed ~scale ~budget_seconds ?budget
           ?budget_for ~jobs ?journal ~resume ()
+        (* HB_ISOLATE / HB_WALL are picked up inside analyze_outcomes
+           (isolate defaults to Kit.Proc.enabled, wall to HB_WALL). *)
       with
       | Ok c -> c
       | Error m ->

@@ -72,25 +72,69 @@ let stats_json_arg =
     value
     & opt (some string) None
     & info [ "stats-json" ] ~docv:"FILE"
-        ~doc:"Write search metrics as JSON to $(docv).")
+        ~doc:
+          "Write search metrics as JSON to $(docv). With $(docv) = $(b,-) \
+           the JSON is the only thing printed on stdout — every table, \
+           summary and warning is routed to stderr — so the output can be \
+           piped straight into a JSON parser.")
+
+let isolate_arg =
+  Arg.(
+    value & flag
+    & info [ "isolate" ]
+        ~doc:
+          "Hard isolation: run each task in its own forked worker process, \
+           killed by a wall-clock watchdog ($(b,HB_WALL), default the \
+           escalated per-attempt budget plus a grace second) and capped by \
+           a hard memory rlimit at the soft budget. Implied by \
+           $(b,HB_ISOLATE=1).")
 
 (* Enable the metrics registry around [f] when either output was requested,
-   then render the table and/or write the JSON file. *)
+   then render the table and/or write the JSON file.
+
+   [--stats-json -] is the machine mode: the real stdout is saved, stdout
+   is pointed at stderr for the whole run (so every existing print in the
+   tool lands on stderr without rewiring each one), and the JSON snapshot
+   is written to the saved descriptor at the end — stdout carries exactly
+   one JSON document. *)
 let with_stats ~stats ~stats_json f =
   if not (stats || stats_json <> None) then f ()
   else begin
     Kit.Metrics.enabled := true;
+    let machine_fd =
+      if stats_json = Some "-" then begin
+        flush stdout;
+        let fd = Unix.dup Unix.stdout in
+        Unix.dup2 Unix.stderr Unix.stdout;
+        Some fd
+      end
+      else None
+    in
     let r = f () in
     let snap = Kit.Metrics.snapshot () in
     Kit.Metrics.enabled := false;
     if stats then print_string (Kit.Metrics.to_table snap);
     (match stats_json with
+    | Some "-" | None -> ()
     | Some path ->
         let oc = open_out path in
         Fun.protect
           ~finally:(fun () -> close_out_noerr oc)
           (fun () -> output_string oc (Kit.Metrics.to_json snap));
-        Printf.printf "wrote metrics to %s\n" path
+        Printf.eprintf "wrote metrics to %s\n" path);
+    (match machine_fd with
+    | Some fd ->
+        flush stdout;
+        let b = Bytes.of_string (Kit.Metrics.to_json snap ^ "\n") in
+        let rec put off len =
+          if len > 0 then begin
+            let k = Unix.write fd b off len in
+            put (off + k) (len - k)
+          end
+        in
+        put 0 (Bytes.length b);
+        Unix.dup2 fd Unix.stdout;
+        Unix.close fd
     | None -> ());
     r
   end
@@ -242,7 +286,8 @@ let method_conv =
       ("balsep", `Balsep); ("portfolio", `Portfolio) ]
 
 let decompose_cmd =
-  let run path k meth timeout jobs dot save stats stats_json =
+  let run path k meth timeout jobs isolate dot save stats stats_json =
+    let isolate = isolate || Kit.Proc.enabled () in
     let* h = load_hypergraph path in
     with_stats ~stats ~stats_json @@ fun () ->
     let deadline () = Kit.Deadline.of_seconds timeout in
@@ -254,9 +299,14 @@ let decompose_cmd =
       | `Balsep -> (Ghd.Bal_sep.solve ~deadline:(deadline ()) h ~k).Ghd.Bal_sep.outcome
       | `Portfolio -> (
           (* With more than one job the three algorithms race on separate
-             domains and the first exact verdict cancels the rest. *)
-          let portfolio =
-            if jobs > 1 then Ghd.Portfolio.race else Ghd.Portfolio.check
+             domains and the first exact verdict cancels the rest
+             cooperatively; under --isolate they race as forked processes
+             and the winner SIGKILLs the losers. *)
+          let portfolio ~budget h ~k =
+            if isolate then
+              Ghd.Portfolio.race_isolated ~budget ~wall:(timeout +. 1.0) h ~k
+            else if jobs > 1 then Ghd.Portfolio.race ~budget h ~k
+            else Ghd.Portfolio.check ~budget h ~k
           in
           match portfolio ~budget:deadline h ~k with
           | Ghd.Portfolio.Yes (d, alg) ->
@@ -306,8 +356,8 @@ let decompose_cmd =
   Cmd.v
     (Cmd.info "decompose" ~doc:"Compute an HD or GHD of width at most k.")
     Term.(
-      const run $ path $ k_arg $ meth $ timeout_arg $ jobs_arg $ dot $ save
-      $ stats_arg $ stats_json_arg)
+      const run $ path $ k_arg $ meth $ timeout_arg $ jobs_arg $ isolate_arg
+      $ dot $ save $ stats_arg $ stats_json_arg)
 
 (* --- validate ------------------------------------------------------------------ *)
 
@@ -479,7 +529,8 @@ let stats_cmd =
 
 let campaign_cmd =
   let run seed scale timeout fuel max_k jobs journal resume retries mem_limit
-      tables stats stats_json =
+      isolate tables stats stats_json =
+    let isolate = isolate || Kit.Proc.enabled () in
     (* --resume FILE implies journaling to that same file. *)
     let journal = match resume with Some p -> Some p | None -> journal in
     (* Retries escalate the budget: attempt i gets 2^i times the base, so
@@ -496,16 +547,25 @@ let campaign_cmd =
               Kit.Deadline.of_seconds (timeout *. float_of_int (1 lsl attempt))
           )
     in
+    (* The watchdog shadows the cooperative budget: HB_WALL when set; the
+       escalated per-attempt timeout plus a grace second otherwise (a
+       well-behaved task always hits its soft deadline first); for fuel
+       budgets, whose wall-clock cost is unknown, the 3600 s default. *)
+    let wall ~attempt =
+      match (Sys.getenv_opt "HB_WALL", fuel) with
+      | Some _, _ | None, Some _ -> Kit.Proc.default_wall ()
+      | None, None -> (timeout *. float_of_int (1 lsl attempt)) +. 1.0
+    in
     with_stats ~stats ~stats_json @@ fun () ->
     let* c =
       tag exit_repo
         (Experiments.prepare_campaign ~seed ~scale ~budget ~budget_for
-           ?retries ?mem_mb:mem_limit ~max_k ~jobs ?journal
+           ?retries ?mem_mb:mem_limit ~max_k ~jobs ~isolate ~wall ?journal
            ~resume:(resume <> None) ())
     in
     print_string (Experiments.campaign_summary c);
     (match journal with
-    | Some path -> Printf.printf "journal: %s\n" path
+    | Some path -> Printf.eprintf "journal: %s\n" path
     | None -> ());
     if tables then begin
       let ctx = c.Experiments.context in
@@ -575,7 +635,8 @@ let campaign_cmd =
           ~doc:
             "Soft memory budget: record out_of_memory for the running \
              instance when the live heap exceeds $(docv) MB (default: \
-             $(b,HB_MEM_MB); 0 disables).")
+             $(b,HB_MEM_MB); 0 disables). Under $(b,--isolate) the same \
+             value is also installed as a hard per-worker rlimit.")
   in
   let tables =
     Arg.(
@@ -586,12 +647,12 @@ let campaign_cmd =
     (Cmd.info "campaign"
        ~doc:
          "Fault-tolerant full analysis: per-instance crash containment, \
-          outcome journal, checkpoint/resume and retry with escalating \
-          budgets.")
+          outcome journal, checkpoint/resume, retry with escalating \
+          budgets, and optional hard process isolation ($(b,--isolate)).")
     Term.(
       const run $ seed $ scale $ timeout_arg $ fuel $ max_k $ jobs_arg
-      $ journal $ resume $ retries $ mem_limit $ tables $ stats_arg
-      $ stats_json_arg)
+      $ journal $ resume $ retries $ mem_limit $ isolate_arg $ tables
+      $ stats_arg $ stats_json_arg)
 
 let () =
   let info =

@@ -71,11 +71,48 @@ let default_retries () =
   | None -> 0
 
 let analyze_outcomes ?(budget = default_budget) ?budget_for ?retries ?mem_mb
-    ?(max_k = 8) ?jobs ?on_done instances =
+    ?(max_k = 8) ?jobs ?isolate ?wall ?on_done instances =
   let retries = match retries with Some r -> r | None -> default_retries () in
   let budget_for =
     match budget_for with Some bf -> bf | None -> fun ~attempt:_ -> budget
   in
+  let isolate =
+    match isolate with Some b -> b | None -> Kit.Proc.enabled ()
+  in
+  if isolate then begin
+    (* Hard isolation: each attempt runs in a forked worker under
+       Kit.Proc's wall-clock watchdog and memory rlimit. Proc owns the
+       retry ladder (re-dispatching with attempt + 1) and the Guard
+       wrapper, so the task body is just the fault site plus the
+       k-ladder; the deadline still escalates through [budget_for]. *)
+    let tasks = Array.of_list instances in
+    let task_of c =
+      {
+        task_instance = tasks.(c.Kit.Proc.index);
+        attempts = c.Kit.Proc.attempts;
+        result = c.Kit.Proc.outcome;
+      }
+    in
+    Kit.Proc.run ?jobs ?mem_mb ~retries ?wall
+      ?on_done:(Option.map (fun f c -> f (task_of c)) on_done)
+      (fun ~attempt (inst : Instance.t) ->
+        let budget = budget_for ~attempt in
+        Kit.Fault.hit ("instance." ^ inst.Instance.name);
+        analyze_one ~budget ~max_k inst)
+      tasks
+    |> Array.to_list |> List.map task_of
+    |> List.map (fun t ->
+           (* The worker's own metrics store died with its process; its
+              per-instance delta travelled back inside the record, so
+              replaying it here keeps the global totals equal to an
+              in-process run (failed instances lose their partial
+              counters — they report no record to carry them). *)
+           (match t.result with
+           | Kit.Outcome.Ok r -> Kit.Metrics.absorb r.stats
+           | _ -> ());
+           t)
+  end
+  else
   pool_map ?jobs
     (fun (inst : Instance.t) ->
       (* Attempt 0 runs on the base budget; each retry escalates through

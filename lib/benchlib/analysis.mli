@@ -58,6 +58,8 @@ val analyze_outcomes :
   ?mem_mb:int ->
   ?max_k:int ->
   ?jobs:int ->
+  ?isolate:bool ->
+  ?wall:(attempt:int -> float) ->
   ?on_done:(task -> unit) ->
   Instance.t list ->
   task list
@@ -81,7 +83,17 @@ val analyze_outcomes :
     - the fault-injection site ["instance.<name>"] is hit at the start
       of every attempt, so tests can fail a chosen instance
       deterministically at any [jobs] value (and observe a retry
-      succeed, since the site counter advances per attempt). *)
+      succeed, since the site counter advances per attempt);
+    - with [isolate] (default: {!Kit.Proc.enabled}, i.e. [HB_ISOLATE=1])
+      each attempt runs in a forked worker under {!Kit.Proc}: the soft
+      guard is backed by a hard [SIGKILL] watchdog of [wall ~attempt]
+      seconds (default [HB_WALL], else 3600) and a hard memory rlimit at
+      the same [mem_mb] budget, so even a search that never polls its
+      deadline — or an allocation storm — is contained to its own
+      process and journaled as [Timeout] / [Out_of_memory]. [on_done]
+      then runs in the parent (monitor) process, still exactly once per
+      instance in completion order. Caveat: under isolation the
+      ["instance.<name>"] fault counters live per worker process. *)
 
 type ghd_run = {
   algorithm : Ghd.Portfolio.algorithm;

@@ -704,8 +704,8 @@ type campaign = {
 }
 
 let prepare_campaign ?(seed = 2019) ?(scale = 1.0) ?(budget_seconds = 1.0)
-    ?budget ?budget_for ?retries ?mem_mb ?(max_k = 8) ?jobs ?journal
-    ?(resume = false) () =
+    ?budget ?budget_for ?retries ?mem_mb ?(max_k = 8) ?jobs ?isolate ?wall
+    ?journal ?(resume = false) () =
   let budget =
     match budget with
     | Some b -> b
@@ -767,9 +767,11 @@ let prepare_campaign ?(seed = 2019) ?(scale = 1.0) ?(budget_seconds = 1.0)
       let on_done =
         Option.map (fun w t -> Journal.append w (task_to_json t)) writer
       in
+      (* With isolation on, this pass forks workers — it runs before the
+         ghd/fractional passes spawn any domains, keeping fork safe. *)
       let tasks_run =
         Analysis.analyze_outcomes ~budget ?budget_for ?retries ?mem_mb ~max_k
-          ?jobs ?on_done todo
+          ?jobs ?isolate ?wall ?on_done todo
       in
       Option.iter Journal.close writer;
       (* Stitch resumed and fresh tasks back into instance order so every

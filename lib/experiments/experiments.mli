@@ -113,6 +113,8 @@ val prepare_campaign :
   ?mem_mb:int ->
   ?max_k:int ->
   ?jobs:int ->
+  ?isolate:bool ->
+  ?wall:(attempt:int -> float) ->
   ?journal:string ->
   ?resume:bool ->
   unit ->
@@ -121,7 +123,14 @@ val prepare_campaign :
     {!Kit.Guard.run} (via {!Benchlib.Analysis.analyze_outcomes}): a
     crash, stack overflow, [HB_MEM_MB] trip or leaked timeout becomes
     that instance's recorded outcome and the campaign continues.
-    [retries] / [budget_for] / [mem_mb] are forwarded there.
+    [retries] / [budget_for] / [mem_mb] / [isolate] / [wall] are
+    forwarded there; with [isolate] (default [HB_ISOLATE=1]) each
+    instance runs in a forked worker under {!Kit.Proc}'s wall-clock
+    watchdog and hard memory rlimit, and the journal hook runs in the
+    monitor process — a hung or memory-hungry instance is hard-killed
+    and journaled as [Timeout] / [Out_of_memory] without disturbing its
+    siblings. The isolated pass completes before any domain pool starts
+    (the ghd/fractional passes), keeping fork and domains apart.
 
     [journal] names a JSONL file that receives the header up front and
     one entry per instance the moment its outcome exists, so a killed

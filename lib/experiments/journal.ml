@@ -2,12 +2,16 @@ type t = { oc : out_channel; lock : Mutex.t; mutable closed : bool }
 
 let m_appended = Kit.Metrics.counter "journal.appended"
 let m_corrupt = Kit.Metrics.counter "journal.corrupt"
+let m_fsync_errors = Kit.Metrics.counter "journal.fsync_errors"
 
 let fsync oc =
   flush oc;
   (* Not every filesystem supports fsync (e.g. some tmpfs setups); losing
-     durability there is acceptable, losing the campaign is not. *)
-  try Unix.fsync (Unix.descr_of_out_channel oc) with Unix.Unix_error _ -> ()
+     durability there is acceptable, losing the campaign is not — but a
+     refused fsync means the tail is not crash-durable, so count it where
+     --stats can surface it instead of swallowing it without a trace. *)
+  try Unix.fsync (Unix.descr_of_out_channel oc)
+  with Unix.Unix_error _ -> Kit.Metrics.incr m_fsync_errors
 
 let start ~path ~header ~entries =
   let tmp = path ^ ".tmp" in

@@ -32,7 +32,10 @@ val append : t -> Kit.Json.t -> unit
     ["journal.appended"] metric. *)
 
 val close : t -> unit
-(** Fsync and close. Idempotent. *)
+(** Fsync and close. Idempotent. An fsync refused by the filesystem
+    (some tmpfs setups) is not fatal — durability degrades to flush —
+    but each refusal is counted in the ["journal.fsync_errors"] metric
+    so [--stats] surfaces it. *)
 
 type contents = {
   header : Kit.Json.t option;  (** [None] only for an empty file *)

@@ -125,6 +125,38 @@ let race ?(budget = default_budget) h ~k =
   in
   record_verdict (pick 0)
 
+let race_isolated ?(budget = default_budget) ?mem_mb ?wall h ~k =
+  let wall =
+    match wall with Some w -> w | None -> Kit.Proc.default_wall ()
+  in
+  (* One forked worker per member. The first decisive frame pulls the
+     plug on the others with SIGKILL — no cooperative Deadline.check
+     required of the losers, which is the whole point: a member stuck in
+     a tight pivot loop cannot outlive the winner. Killed losers come
+     back as [Timeout], exactly as if their budget had run out. *)
+  let completions =
+    Kit.Proc.run ~jobs:(List.length order) ?mem_mb
+      ~wall:(fun ~attempt:_ -> wall)
+      ~halt_on:(function Kit.Outcome.Ok (Some _) -> true | _ -> false)
+      (fun ~attempt:_ alg -> decide alg ~deadline:(budget ()) h ~k)
+      (Array.of_list order)
+  in
+  (* Reduce in the fixed algorithm order (same tie-break as [race]). A
+     member whose process died abnormally counts as a crashed member,
+     never as a reason to abort the race. *)
+  let rec pick i =
+    if i >= Array.length completions then All_timeout
+    else
+      match completions.(i).Kit.Proc.outcome with
+      | Kit.Outcome.Ok (Some v) -> v
+      | Kit.Outcome.Ok None | Kit.Outcome.Timeout -> pick (i + 1)
+      | Kit.Outcome.Out_of_memory | Kit.Outcome.Stack_overflow
+      | Kit.Outcome.Crash _ ->
+          Kit.Metrics.incr m_member_crash;
+          pick (i + 1)
+  in
+  record_verdict (pick 0)
+
 let ghw_improvement ?budget h ~hw =
   if hw <= 2 then `Not_improvable (* hw <= 2 implies ghw = hw, §6.4 *)
   else

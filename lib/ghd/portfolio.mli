@@ -41,6 +41,23 @@ val race :
     winning algorithm and the witness decomposition may differ, since they
     depend on which algorithm finishes first. *)
 
+val race_isolated :
+  ?budget:(unit -> Kit.Deadline.t) ->
+  ?mem_mb:int ->
+  ?wall:float ->
+  Hg.Hypergraph.t ->
+  k:int ->
+  verdict
+(** {!race} under hard isolation ([HB_ISOLATE]): each member runs in its
+    own forked process via {!Kit.Proc}, and the first exact verdict
+    hard-kills the losers with [SIGKILL] instead of waiting for their
+    next cooperative check — a member that stops polling its deadline
+    cannot delay the portfolio. [wall] (default [HB_WALL], else 3600)
+    bounds every member's wall-clock run; [mem_mb] (default [HB_MEM_MB])
+    is each member's hard memory rlimit. Killed losers are classified as
+    timeouts; a member whose process dies abnormally counts toward
+    ["portfolio.member_crash"] and contributes no verdict. *)
+
 val ghw_improvement :
   ?budget:(unit -> Kit.Deadline.t) ->
   Hg.Hypergraph.t ->

@@ -1,4 +1,4 @@
-type kind = Crash | Oom | Kill | Truncate
+type kind = Crash | Oom | Kill | Truncate | Hang
 
 exception Injected of string
 
@@ -25,6 +25,7 @@ let kind_name = function
   | Oom -> "oom"
   | Kill -> "kill"
   | Truncate -> "truncate"
+  | Hang -> "hang"
 
 let parse_clause s =
   let fail m = Error (Printf.sprintf "bad fault clause %S: %s" s m) in
@@ -37,10 +38,11 @@ let parse_clause s =
         | "oom" -> Some Oom
         | "kill" -> Some Kill
         | "truncate" -> Some Truncate
+        | "hang" -> Some Hang
         | _ -> None
       in
       match kind with
-      | None -> fail "unknown kind (crash|oom|kill|truncate)"
+      | None -> fail "unknown kind (crash|oom|kill|truncate|hang)"
       | Some kind -> (
           let rest = String.sub s (at + 1) (String.length s - at - 1) in
           match String.index_opt rest ':' with
@@ -149,6 +151,13 @@ let hit site =
             if fires c n then begin
               match c.kind with
               | Oom -> raise Out_of_memory
+              | Hang ->
+                  (* Busy-loop without ever polling Deadline.check: only a
+                     wall-clock watchdog (Kit.Proc) can stop this, which is
+                     exactly what it exists to prove. *)
+                  while true do
+                    ignore (Sys.opaque_identity 0)
+                  done
               | Crash | Kill ->
                   raise
                     (Injected

@@ -18,7 +18,8 @@
 
     {v kind@site:trigger v}
 
-    where [kind] is [crash], [oom], [kill] or [truncate]; [site] is the
+    where [kind] is [crash], [oom], [kill], [truncate] or [hang]; [site]
+    is the
     site name (e.g. [deadline.poll], [instance.cq-rand-003],
     [portfolio.balsep], [hypergraph.parse]); and [trigger] is
 
@@ -32,9 +33,16 @@
 
     Examples: [crash@deadline.poll:120],
     [oom@instance.cq-rand-003:1], [kill@portfolio.balsep:p0.5:s7],
-    [truncate@hypergraph.parse:3x40]. *)
+    [truncate@hypergraph.parse:3x40], [hang@instance.cq-rand-003:1].
 
-type kind = Crash | Oom | Kill | Truncate
+    [hang] busy-loops forever {e without} ever calling
+    {!Deadline.check} — it simulates a search that stops cooperating, so
+    it escapes {!Guard.run} and every soft budget. Only the hard
+    wall-clock watchdog of {!Proc} (campaigns under [HB_ISOLATE=1] /
+    [--isolate]) terminates it; do not arm it in an un-isolated run you
+    are not prepared to kill. *)
+
+type kind = Crash | Oom | Kill | Truncate | Hang
 
 exception Injected of string
 (** Raised by {!hit} at an armed [crash] or [kill] site; the payload

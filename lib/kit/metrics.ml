@@ -205,6 +205,39 @@ let local_delta f =
     (r, build_snapshot ~keep_zero:false metas iget fget)
   end
 
+(* Replay a snapshot into the current domain's store. Used to restore
+   per-instance deltas measured inside forked workers (Proc), whose own
+   stores die with the child process. *)
+let absorb snap =
+  if !enabled then begin
+    List.iter (fun (n, v) -> if v <> 0 then add (counter n) v) snap.counters;
+    List.iter
+      (fun (n, (c, secs)) ->
+        if c <> 0 || secs <> 0.0 then begin
+          let t = timer n in
+          let s = Domain.DLS.get store_key in
+          if t.slot >= Array.length s.ints then grow_ints s (t.slot + 1);
+          if t.fslot >= Array.length s.floats then grow_floats s (t.fslot + 1);
+          s.ints.(t.slot) <- s.ints.(t.slot) + c;
+          s.floats.(t.fslot) <- s.floats.(t.fslot) +. secs
+        end)
+      snap.timers;
+    List.iter
+      (fun (n, (edges, counts)) ->
+        if Array.exists (( <> ) 0) counts then begin
+          let h = histogram n ~buckets:edges in
+          let cells = Array.length edges + 1 in
+          let s = Domain.DLS.get store_key in
+          if h.slot + cells > Array.length s.ints then
+            grow_ints s (h.slot + cells);
+          Array.iteri
+            (fun i c ->
+              if i < cells then s.ints.(h.slot + i) <- s.ints.(h.slot + i) + c)
+            counts
+        end)
+      snap.histograms
+  end
+
 let reset () =
   locked (fun () ->
       List.iter

@@ -83,6 +83,17 @@ val local_delta : (unit -> 'a) -> 'a * snapshot
     uninstrumented call is {!empty}. When [enabled] is false the delta
     is {!empty}. *)
 
+val absorb : snapshot -> unit
+(** Add a snapshot's counters, timer totals and histogram cells into the
+    current domain's store, registering any names not seen yet. This is
+    how per-instance deltas measured inside forked workers ({!Proc})
+    survive the child process: the worker ships its {!local_delta} with
+    the result and the parent replays it, so global totals match the
+    in-process run. No-op when {!enabled} is false.
+    @raise Invalid_argument
+      if a name is already registered with a different kind (or
+      histogram bucket edges). *)
+
 val reset : unit -> unit
 (** Zero every store (including those of terminated domains). Call
     between runs, while no instrumented search is executing. The

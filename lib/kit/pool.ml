@@ -1,10 +1,4 @@
-let default_jobs () =
-  match Sys.getenv_opt "HB_JOBS" with
-  | Some v -> (
-      match int_of_string_opt v with
-      | Some j when j >= 1 -> j
-      | Some _ | None -> Domain.recommended_domain_count ())
-  | None -> Domain.recommended_domain_count ()
+let default_jobs () = Proc.default_jobs ()
 
 let m_spawn_failure = Metrics.counter "pool.spawn_failures"
 
@@ -49,13 +43,17 @@ let run_result ~jobs f tasks =
   run_with ~jobs (fun i -> results.(i) <- (try Ok (f tasks.(i)) with e -> Error e)) n;
   results
 
-let run_outcome ?mem_mb ~jobs f tasks =
-  let n = Array.length tasks in
-  let results = Array.make n Outcome.Timeout in
-  run_with ~jobs
-    (fun i -> results.(i) <- Guard.run ?mem_mb (fun () -> f tasks.(i)))
-    n;
-  results
+let run_outcome ?mem_mb ?isolate ?wall ~jobs f tasks =
+  let isolate = match isolate with Some b -> b | None -> Proc.enabled () in
+  if isolate then Proc.outcomes ~jobs ?mem_mb ?wall f tasks
+  else begin
+    let n = Array.length tasks in
+    let results = Array.make n Outcome.Timeout in
+    run_with ~jobs
+      (fun i -> results.(i) <- Guard.run ?mem_mb (fun () -> f tasks.(i)))
+      n;
+    results
+  end
 
 let run ~jobs f tasks =
   Array.map

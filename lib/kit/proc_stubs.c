@@ -1,0 +1,29 @@
+/* Hard per-process memory cap for Kit.Proc worker children.
+ *
+ * RLIMIT_DATA is the precise knob for an OCaml 5 runtime: the heap is
+ * anonymous private mmap (counted under RLIMIT_DATA since Linux 4.7) and
+ * the baseline is a few MB, whereas virtual address space (RLIMIT_AS)
+ * starts out hundreds of MB large because of the runtime's reservations.
+ * RLIMIT_AS is still set, with a fixed headroom over the cap, as a
+ * backstop against a single giant mapping that something might create
+ * outside the data segment. */
+
+#include <caml/mlvalues.h>
+#include <sys/resource.h>
+
+#define HB_AS_HEADROOM_BYTES ((rlim_t)1 << 30) /* 1 GiB over the cap */
+
+CAMLprim value hb_proc_setrlimit_mem(value v_mb)
+{
+    rlim_t bytes = (rlim_t)Long_val(v_mb) * 1024 * 1024;
+    struct rlimit rl;
+    int ok;
+
+    rl.rlim_cur = rl.rlim_max = bytes;
+    ok = setrlimit(RLIMIT_DATA, &rl) == 0;
+
+    rl.rlim_cur = rl.rlim_max = bytes + HB_AS_HEADROOM_BYTES;
+    setrlimit(RLIMIT_AS, &rl); /* best effort; RLIMIT_DATA is the cap */
+
+    return Val_bool(ok);
+}

@@ -381,6 +381,34 @@ let metrics_local_delta () =
       Alcotest.(check int) "global total keeps both" 10
         (Kit.Metrics.get (Kit.Metrics.snapshot ()) "test.delta"))
 
+let metrics_absorb () =
+  with_metrics (fun () ->
+      let c = Kit.Metrics.counter "test.absorb.c" in
+      let t = Kit.Metrics.timer "test.absorb.t" in
+      let h = Kit.Metrics.histogram "test.absorb.h" ~buckets:[| 1; 10 |] in
+      Kit.Metrics.add c 2;
+      (* A delta measured elsewhere (in real use: inside a forked Proc
+         worker, marshalled back with the result)... *)
+      let (), d =
+        Kit.Metrics.local_delta (fun () ->
+            Kit.Metrics.add c 5;
+            Kit.Metrics.add_seconds t 0.25;
+            Kit.Metrics.observe h 3)
+      in
+      Kit.Metrics.reset ();
+      Kit.Metrics.add c 1;
+      (* ...replayed into the live registry adds on top. *)
+      Kit.Metrics.absorb d;
+      let snap = Kit.Metrics.snapshot () in
+      Alcotest.(check int) "counter summed" 6 (Kit.Metrics.get snap "test.absorb.c");
+      let spans, secs = Kit.Metrics.get_timer snap "test.absorb.t" in
+      Alcotest.(check int) "timer spans" 1 spans;
+      Alcotest.(check (float 1e-9)) "timer seconds" 0.25 secs;
+      match Kit.Metrics.get_histogram snap "test.absorb.h" with
+      | Some (_, counts) ->
+          Alcotest.(check (array int)) "histogram cells" [| 0; 1; 0 |] counts
+      | None -> Alcotest.fail "histogram missing after absorb")
+
 (* --- outcome / guard --------------------------------------------------------- *)
 
 let outcome_classify () =
@@ -461,6 +489,61 @@ let guard_mem_budget () =
   Alcotest.(check bool) "0 disables" true
     (Kit.Guard.run ~mem_mb:0 (fun () -> 1) = Kit.Outcome.Ok 1)
 
+(* Allocate and retain until the armed budget fires (or the cap is hit,
+   failing the test via Ok). Returns only on the Ok path. *)
+let allocate_past_budget () =
+  let acc = ref [] in
+  for i = 0 to 30_000 do
+    acc := Array.make 128 i :: !acc
+  done;
+  Array.length (List.hd (Sys.opaque_identity !acc))
+
+let guard_nested_budgets () =
+  (* An inner Guard with a tight budget inside an outer Guard with a huge
+     one: the inner alarm must fire, and its containment must stop at the
+     inner boundary — the outer run carries on and returns Ok. *)
+  let outer =
+    Kit.Guard.run ~mem_mb:4096 (fun () ->
+        let inner = Kit.Guard.run ~mem_mb:2 allocate_past_budget in
+        (match inner with
+        | Kit.Outcome.Out_of_memory -> ()
+        | o ->
+            Alcotest.failf "inner: expected out_of_memory, got %s"
+              (Kit.Outcome.label o));
+        (* The inner alarm is deleted on exit: allocations past the
+           *inner* budget are now fine again, because only the outer
+           4096 MB alarm is left armed. *)
+        Kit.Guard.run ~mem_mb:0 allocate_past_budget)
+  in
+  match outer with
+  | Kit.Outcome.Ok (Kit.Outcome.Ok n) -> Alcotest.(check int) "outer survives the inner trip" 128 n
+  | o -> Alcotest.failf "outer: expected ok, got %s" (Kit.Outcome.label o)
+
+let guard_nested_alarm_cleanup () =
+  (* Both alarms must be deleted on every exit path — normal return and
+     exception alike. If one leaked, the retained allocation below
+     (beyond the tight budgets) would raise Out_of_memory out of
+     Gc.compact or a later allocation, outside any Guard. *)
+  (match
+     Kit.Guard.run ~mem_mb:2048 (fun () ->
+         Kit.Guard.run ~mem_mb:2 allocate_past_budget)
+   with
+  | Kit.Outcome.Ok (Kit.Outcome.Out_of_memory) -> ()
+  | o -> Alcotest.failf "trip path: unexpected %s" (Kit.Outcome.label o));
+  (match
+     Kit.Guard.run ~mem_mb:2048 (fun () ->
+         Kit.Guard.run ~mem_mb:3 (fun () -> failwith "inner crash"))
+   with
+  | Kit.Outcome.Ok (Kit.Outcome.Crash _) -> ()
+  | o -> Alcotest.failf "crash path: unexpected %s" (Kit.Outcome.label o));
+  let keep = Sys.opaque_identity (ref []) in
+  for i = 0 to 30_000 do
+    keep := Array.make 128 i :: !keep
+  done;
+  Gc.compact ();
+  Alcotest.(check bool) "no alarm leaked past the guards" true
+    (List.length !keep > 0)
+
 (* --- fault injection --------------------------------------------------------- *)
 
 let with_faults spec f =
@@ -468,6 +551,15 @@ let with_faults spec f =
   | Ok () -> ()
   | Error m -> Alcotest.fail m);
   Fun.protect ~finally:Kit.Fault.clear f
+
+let fault_hang_parses () =
+  (* Firing a hang in-process would hang this very test, so arm it at the
+     2nd hit and take only the 1st: parsing and counting must work, and
+     the un-fired hit must return. (The firing path is exercised under
+     Kit.Proc in test_isolation.ml, where a watchdog can kill it.) *)
+  with_faults "hang@site.x:2" (fun () ->
+      Alcotest.(check bool) "armed" true (Kit.Fault.armed ());
+      Kit.Fault.hit "site.x")
 
 let fault_spec_errors () =
   let bad spec =
@@ -663,10 +755,14 @@ let () =
         [
           Alcotest.test_case "containment" `Quick guard_containment;
           Alcotest.test_case "soft memory budget" `Quick guard_mem_budget;
+          Alcotest.test_case "nested budgets" `Quick guard_nested_budgets;
+          Alcotest.test_case "nested alarm cleanup" `Quick
+            guard_nested_alarm_cleanup;
         ] );
       ( "fault",
         [
           Alcotest.test_case "spec errors" `Quick fault_spec_errors;
+          Alcotest.test_case "hang kind parses" `Quick fault_hang_parses;
           Alcotest.test_case "nth hit" `Quick fault_nth_hit;
           Alcotest.test_case "oom kind" `Quick fault_oom_kind;
           Alcotest.test_case "probability deterministic" `Quick
@@ -687,5 +783,6 @@ let () =
           Alcotest.test_case "disabled fast path" `Quick
             metrics_disabled_fast_path;
           Alcotest.test_case "local delta" `Quick metrics_local_delta;
+          Alcotest.test_case "absorb replays a snapshot" `Quick metrics_absorb;
         ] );
     ]
