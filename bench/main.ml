@@ -28,8 +28,14 @@
    deterministic budget that makes every verdict and count bit-identical
    at every HB_JOBS value.
 
+   Perf-harness knobs (the [perf] artefact):
+     HB_PERF_ITERS  iterations per micro-kernel      (default 10000)
+     HB_PERF_CHECK  path to an allocs/op threshold file; kernels whose
+                    minor-words/op exceed their committed threshold make
+                    the run exit 7 (the CI perf-smoke gate)
+
    Usage: main.exe [table1|table2|table3|table4|table5|table6|
-                    figure3|figure4|figure5|ablation|micro]... *)
+                    figure3|figure4|figure5|ablation|micro|perf]... *)
 
 let env_float name default =
   match Sys.getenv_opt name with
@@ -93,6 +99,251 @@ let micro () =
       | Some [ ns ] -> Printf.printf "  %-28s %12.0f ns\n" name ns
       | _ -> Printf.printf "  %-28s %12s\n" name "n/a")
     (List.sort compare rows)
+
+(* --- perf: allocation-aware kernel benchmarks -------------------------------- *)
+
+(* Times the mutable-kernel hot paths against reference implementations
+   written with the immutable Bitset API only (the pre-kernel fold-of-copies
+   idiom), reporting both ns/op and minor-heap words/op, and writes
+   BENCH_perf.json. Unlike the bechamel micro benches, allocation rates are
+   iteration-count-independent, so the JSON is comparable across machines
+   and suitable as a CI regression gate (HB_PERF_CHECK). *)
+
+module Perf = struct
+  module B = Kit.Bitset
+  module H = Hg.Hypergraph
+
+  (* Immutable reference implementations: one allocation per fold step. *)
+  let vertices_of_edges_ref h es =
+    B.fold (fun e acc -> B.union acc h.H.edges.(e)) es (B.empty h.H.n_vertices)
+
+  let edges_touching_ref h vs =
+    B.fold (fun v acc -> B.union acc h.H.incidence.(v)) vs (B.empty h.H.n_edges)
+
+  let components_ref h ~within u =
+    let outside e = B.diff e u in
+    let remaining =
+      ref
+        (B.fold
+           (fun e acc ->
+             if not (B.is_empty (outside h.H.edges.(e))) then B.add e acc
+             else acc)
+           within (B.empty h.H.n_edges))
+    in
+    let result = ref [] in
+    let rec grow comp region =
+      let touch = B.inter (edges_touching_ref h region) !remaining in
+      if B.is_empty touch then comp
+      else begin
+        remaining := B.diff !remaining touch;
+        grow (B.union comp touch)
+          (B.union region (outside (vertices_of_edges_ref h touch)))
+      end
+    in
+    let rec loop () =
+      match B.choose !remaining with
+      | None -> List.rev !result
+      | Some e ->
+          remaining := B.remove e !remaining;
+          let comp = grow (B.singleton h.H.n_edges e) (outside h.H.edges.(e)) in
+          result := comp :: !result;
+          loop ()
+    in
+    loop ()
+
+  let separates_ref h ~within u =
+    let total = B.cardinal within in
+    match components_ref h ~within u with
+    | [] -> total > 0
+    | [ c ] -> B.cardinal c < total
+    | _ :: _ :: _ -> true
+
+  (* (ns/op, minor words/op) over [iters] runs, after warmup. *)
+  let measure f iters =
+    for _ = 1 to 100 do ignore (Sys.opaque_identity (f ())) done;
+    let w0 = Gc.minor_words () in
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to iters do ignore (Sys.opaque_identity (f ())) done;
+    let t1 = Unix.gettimeofday () in
+    let w1 = Gc.minor_words () in
+    ((t1 -. t0) *. 1e9 /. float_of_int iters, (w1 -. w0) /. float_of_int iters)
+
+  type row = {
+    op : string;
+    ns : float;
+    words : float;
+    base_ns : float;
+    base_words : float;
+  }
+
+  let run ~iters =
+    let rng = Kit.Rng.create 7 in
+    let medium =
+      Gen.Random_csp.random rng ~n_variables:30 ~n_constraints:45 ~max_arity:4
+    in
+    let grid = Gen.Structured.grid ~rows:4 ~cols:4 in
+    let fano =
+      H.of_int_edges
+        [ [ 0; 1; 2 ]; [ 0; 3; 4 ]; [ 0; 5; 6 ]; [ 1; 3; 5 ]; [ 1; 4; 6 ];
+          [ 2; 3; 6 ]; [ 2; 4; 5 ] ]
+    in
+    let nv = medium.H.n_vertices and ne = medium.H.n_edges in
+    let all = H.all_edges medium in
+    let sep = B.of_list nv [ 0; 1; 2 ] in
+    let some_edges = B.of_list ne [ 0; 1; 2; 3; 4 ] in
+    let front = H.vertices_of_edges medium some_edges in
+    (* The rewrites must agree with the reference semantics on the bench
+       inputs before we time them. *)
+    assert (B.equal (H.vertices_of_edges medium all) (vertices_of_edges_ref medium all));
+    assert (B.equal (H.edges_touching medium front) (edges_touching_ref medium front));
+    assert (
+      List.for_all2 B.equal
+        (Hg.Components.components medium ~within:all sep)
+        (components_ref medium ~within:all sep));
+    assert (
+      Hg.Components.separates medium ~within:all sep
+      = separates_ref medium ~within:all sep);
+    let kernel op current baseline =
+      let ns, words = measure current iters in
+      let base_ns, base_words = measure baseline iters in
+      { op; ns; words; base_ns; base_words }
+    in
+    let rows =
+      [
+        kernel "components"
+          (fun () -> Hg.Components.components medium ~within:all sep)
+          (fun () -> components_ref medium ~within:all sep);
+        kernel "vertices_of_edges"
+          (fun () -> H.vertices_of_edges medium all)
+          (fun () -> vertices_of_edges_ref medium all);
+        kernel "edges_touching"
+          (fun () -> H.edges_touching medium front)
+          (fun () -> edges_touching_ref medium front);
+        kernel "separates"
+          (fun () -> Hg.Components.separates medium ~within:all sep)
+          (fun () -> separates_ref medium ~within:all sep);
+      ]
+    in
+    (* Whole-instance runs: end-to-end effect of the kernel on the search. *)
+    let instance name h budget =
+      let deadline = Kit.Deadline.of_fuel budget in
+      let t0 = Unix.gettimeofday () in
+      let verdict, k = Detk.hypertree_width ~deadline h in
+      let ms = (Unix.gettimeofday () -. t0) *. 1e3 in
+      let hw = match verdict with Some (hw, _) -> hw | None -> -k in
+      (name, hw, ms)
+    in
+    let instances =
+      [
+        instance "fano" fano 1_000_000;
+        instance "grid-4x4" grid 1_000_000;
+        instance "csp-medium" medium 200_000;
+      ]
+    in
+    (rows, instances)
+
+  let render_json ~iters rows instances =
+    let open Kit.Json in
+    to_string
+      (Obj
+         [
+           ("schema", String "hyperbench-perf/1");
+           ("iters", Int iters);
+           ( "kernels",
+             List
+               (List.map
+                  (fun r ->
+                    Obj
+                      [
+                        ("op", String r.op);
+                        ("ns_per_op", Float r.ns);
+                        ("minor_words_per_op", Float r.words);
+                        ("baseline_ns_per_op", Float r.base_ns);
+                        ("baseline_minor_words_per_op", Float r.base_words);
+                        ("speedup", Float (r.base_ns /. Float.max r.ns 1e-9));
+                        ( "alloc_reduction",
+                          Float (r.base_words /. Float.max r.words 1e-9) );
+                      ])
+                  rows) );
+           ( "instances",
+             List
+               (List.map
+                  (fun (name, hw, ms) ->
+                    Obj
+                      [
+                        ("name", String name);
+                        ("hw", Int hw);
+                        ("wall_ms", Float ms);
+                      ])
+                  instances) );
+         ])
+
+  (* Threshold file: one "<op> <max minor words per op>" per line
+     ('#' comments). Allocation rates are deterministic per build, so this
+     is a stable, machine-independent regression gate. *)
+  let check_thresholds path rows =
+    let ic = open_in path in
+    let thresholds = ref [] in
+    (try
+       while true do
+         let line = String.trim (input_line ic) in
+         if line <> "" && line.[0] <> '#' then
+           match String.split_on_char ' ' line |> List.filter (( <> ) "") with
+           | [ op; limit ] -> thresholds := (op, float_of_string limit) :: !thresholds
+           | _ -> failwith (Printf.sprintf "bad threshold line: %S" line)
+       done
+     with End_of_file -> close_in ic);
+    let failures =
+      List.filter_map
+        (fun (op, limit) ->
+          match List.find_opt (fun r -> r.op = op) rows with
+          | None -> Some (Printf.sprintf "threshold for unknown op %S" op)
+          | Some r when r.words > limit ->
+              Some
+                (Printf.sprintf "%s: %.1f minor words/op exceeds threshold %.1f"
+                   op r.words limit)
+          | Some _ -> None)
+        !thresholds
+    in
+    if failures <> [] then begin
+      List.iter (Printf.eprintf "perf regression: %s\n") failures;
+      Printf.eprintf "perf: %d kernel(s) over their allocs/op threshold\n%!"
+        (List.length failures);
+      exit 7
+    end
+
+  let main () =
+    let iters = env_int "HB_PERF_ITERS" 10_000 in
+    let rows, instances = run ~iters in
+    Printf.printf "Kernel perf (%d iters; baseline = immutable-API reference):\n" iters;
+    Printf.printf "  %-20s %12s %12s %9s %12s %10s\n" "op" "ns/op" "words/op"
+      "speedup" "base-ns/op" "alloc-red";
+    List.iter
+      (fun r ->
+        Printf.printf "  %-20s %12.0f %12.1f %8.1fx %12.0f %9.0fx\n" r.op r.ns
+          r.words
+          (r.base_ns /. Float.max r.ns 1e-9)
+          r.base_ns
+          (r.base_words /. Float.max r.words 1e-9))
+      rows;
+    Printf.printf "Whole-instance hypertree_width (fuel-capped):\n";
+    List.iter
+      (fun (name, hw, ms) ->
+        Printf.printf "  %-20s hw=%-3s %10.1f ms\n" name
+          (if hw >= 0 then string_of_int hw
+           else Printf.sprintf ">=%d?" (-hw))
+          ms)
+      instances;
+    let path = "BENCH_perf.json" in
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> output_string oc (render_json ~iters rows instances));
+    Printf.printf "Wrote %s\n" path;
+    match Sys.getenv_opt "HB_PERF_CHECK" with
+    | Some p when p <> "" -> check_thresholds p rows
+    | Some _ | None -> ()
+end
 
 (* --- main ------------------------------------------------------------------- *)
 
@@ -193,4 +444,5 @@ let () =
     Printf.printf "Wrote %s\n" path;
     Kit.Metrics.enabled := false
   end;
+  if wants "perf" then Perf.main ();
   if wants "micro" then micro ()

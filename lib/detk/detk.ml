@@ -32,14 +32,36 @@ let candidates_of_edges h =
 let to_cover_elt c : Decomp.cover_elt =
   { label = c.label; vertices = c.vertices; source = c.source }
 
+(* Memo keys carry their hash: a key is probed (and possibly stored) once
+   per subproblem but hashed on every bucket comparison, so rescanning
+   both bitsets per probe was pure waste. *)
 module Key = struct
-  type t = Bitset.t * Bitset.t
+  type t = { comp : Bitset.t; conn : Bitset.t; hash : int }
 
-  let equal (a1, b1) (a2, b2) = Bitset.equal a1 a2 && Bitset.equal b1 b2
-  let hash (a, b) = (Bitset.hash a * 31) + Bitset.hash b
+  let make comp conn =
+    { comp; conn; hash = ((Bitset.hash comp * 31) + Bitset.hash conn) land max_int }
+
+  let equal a b =
+    a.hash = b.hash && Bitset.equal a.comp b.comp && Bitset.equal a.conn b.conn
+
+  let hash k = k.hash
 end
 
 module Cache = Hashtbl.Make (Key)
+
+(* The failed-subproblem cache maps (comp, conn) to the largest width at
+   which the subproblem is *proven* to have no decomposition. Failure is
+   monotone downward in k — a cover of <= k sets is also a cover of
+   <= k+1 sets, so "no decomposition at k" implies "none at any k' <= k" —
+   and that is exactly the direction a shared table may answer. The
+   converse is NOT sound: a subproblem that failed at k can succeed at
+   k+1 (its children get wider bags too), so an ascending k-sweep never
+   takes a cross-k hit and explores bit-identically to a fresh table; the
+   sharing pays off when the same width is probed again (budget-escalation
+   retries, repeated analyses) or when widths are probed downward. *)
+type sweep_cache = int Cache.t
+
+let sweep_cache () : sweep_cache = Cache.create 256
 
 (* The search for one subproblem (comp, conn):
    - candidates are the cover sets intersecting V(comp) ∪ conn;
@@ -48,51 +70,78 @@ module Cache = Hashtbl.Make (Key)
      condition of HDs;
    - the bag must reach into the component and every child component must
      be strictly smaller (guaranteed for normal-form HDs, cf. GLS02
-     Theorem 5.4), which bounds the recursion depth. *)
-let solve_gen ?(deadline = Deadline.none) ?(memoize = true) ?extra
+     Theorem 5.4), which bounds the recursion depth.
+
+   Hot-path discipline: all intermediate sets (component vertices, scope,
+   the per-depth covered accumulators) live in scratch buffers borrowed
+   from a per-call arena, and the prune tests are the allocation-free
+   [subset]/[diff_subset] forms. Only values that escape the search —
+   bags, child connectors, memo keys — are freshly allocated. *)
+let solve_gen ?(deadline = Deadline.none) ?(memoize = true) ?sweep ?extra
     ?(bag_filter = fun _ -> true) ~candidates h ~k =
   if k < 1 then invalid_arg "Detk.solve_gen: k must be >= 1";
   let nv = h.Hypergraph.n_vertices in
-  let failed : unit Cache.t = Cache.create 256 in
-  let base = Array.of_list candidates in
+  let failed : sweep_cache =
+    match sweep with Some t -> t | None -> Cache.create 256
+  in
+  let arena = Bitset.Scratch.create () in
   let rec decompose comp conn =
     Deadline.check deadline;
-    let key = (comp, conn) in
-    if memoize && Cache.mem failed key then begin
+    let key = Key.make comp conn in
+    let hit =
+      memoize
+      &&
+      match Cache.find_opt failed key with
+      | Some k' -> k' >= k
+      | None -> false
+    in
+    if hit then begin
       Metrics.incr m_memo_hits;
       None
     end
     else begin
       if memoize then Metrics.incr m_memo_misses;
       let result = attempt comp conn in
-      if result = None && memoize then Cache.replace failed key ();
+      if result = None && memoize then begin
+        match Cache.find_opt failed key with
+        | Some k' when k' >= k -> ()
+        | _ -> Cache.replace failed key k
+      end;
       result
     end
   and attempt comp conn =
     Metrics.incr m_subproblems;
-    let comp_vertices = Hypergraph.vertices_of_edges h comp in
-    let scope = Bitset.union comp_vertices conn in
+    let comp_vertices = Bitset.Scratch.borrow arena nv in
+    Hypergraph.vertices_of_edges_into h comp ~into:comp_vertices;
+    let scope = Bitset.Scratch.borrow arena nv in
+    Bitset.copy_into comp_vertices ~into:scope;
+    Bitset.union_into ~into:scope conn;
     let try_with cands =
       let relevant =
         Array.of_list
           (List.filter (fun c -> Bitset.intersects c.vertices scope) cands)
       in
       (* Heuristic order: cover more of the connector first, then more of
-         the component. *)
+         the component. Ranks are computed once, not per comparison. *)
       let rank c =
         (Bitset.inter_cardinal c.vertices conn * 10000)
         + Bitset.inter_cardinal c.vertices comp_vertices
       in
-      Array.sort (fun a b -> compare (rank b) (rank a)) relevant;
+      let keyed = Array.map (fun c -> (rank c, c)) relevant in
+      Array.sort (fun (ra, _) (rb, _) -> compare rb ra) keyed;
+      let relevant = Array.map snd keyed in
       let n = Array.length relevant in
       (* suffix.(i): union of candidate vertex sets from i on; used to prune
-         branches that can no longer cover the connector. *)
+         branches that can no longer cover the connector. These n+1 sets
+         coexist for the whole search, so they are real allocations. *)
       let suffix = Array.make (n + 1) (Bitset.empty nv) in
       for i = n - 1 downto 0 do
         suffix.(i) <- Bitset.union suffix.(i + 1) relevant.(i).vertices
       done;
       let evaluate lambda covered =
         Metrics.incr m_covers;
+        (* Fresh: the bag escapes into the decomposition on success and
+           is handed to the caller's [bag_filter] either way. *)
         let bag = Bitset.inter covered scope in
         if not (Bitset.intersects bag comp_vertices) then None
         else if not (bag_filter bag) then begin
@@ -108,7 +157,11 @@ let solve_gen ?(deadline = Deadline.none) ?(memoize = true) ?extra
               | [] -> Some []
               | c :: rest -> (
                   let child_conn =
-                    Bitset.inter (Hypergraph.vertices_of_edges h c) bag
+                    let cv = Bitset.Scratch.borrow arena nv in
+                    Hypergraph.vertices_of_edges_into h c ~into:cv;
+                    let conn' = Bitset.inter cv bag in
+                    Bitset.Scratch.release arena cv;
+                    conn'
                   in
                   match decompose c child_conn with
                   | None -> None
@@ -128,14 +181,20 @@ let solve_gen ?(deadline = Deadline.none) ?(memoize = true) ?extra
                   }
         end
       in
-      let rec search idx depth lambda covered =
+      (* covered_bufs.(d) is B(λ) for the d candidates picked so far;
+         depth d+1 overwrites its buffer on every branch, so the whole
+         backtracking search reuses k+1 buffers. *)
+      let covered_bufs =
+        Array.init (k + 1) (fun _ -> Bitset.Scratch.borrow arena nv)
+      in
+      let rec search idx depth lambda =
         Deadline.check deadline;
-        let uncovered = Bitset.diff conn covered in
+        let covered = covered_bufs.(depth) in
         (* Prune: remaining candidates can never finish covering conn. *)
-        if not (Bitset.subset uncovered suffix.(idx)) then None
+        if not (Bitset.diff_subset conn covered suffix.(idx)) then None
         else begin
           let here =
-            if depth > 0 && Bitset.is_empty uncovered then
+            if depth > 0 && Bitset.subset conn covered then
               evaluate lambda covered
             else None
           in
@@ -148,10 +207,10 @@ let solve_gen ?(deadline = Deadline.none) ?(memoize = true) ?extra
                   if i >= n then None
                   else begin
                     let c = relevant.(i) in
-                    match
-                      search (i + 1) (depth + 1) (c :: lambda)
-                        (Bitset.union covered c.vertices)
-                    with
+                    let nxt = covered_bufs.(depth + 1) in
+                    Bitset.copy_into covered ~into:nxt;
+                    Bitset.union_into ~into:nxt c.vertices;
+                    match search (i + 1) (depth + 1) (c :: lambda) with
                     | Some _ as r -> r
                     | None -> try_from (i + 1)
                   end
@@ -160,17 +219,24 @@ let solve_gen ?(deadline = Deadline.none) ?(memoize = true) ?extra
               end
         end
       in
-      search 0 0 [] (Bitset.empty nv)
+      let r = search 0 0 [] in
+      Array.iter (Bitset.Scratch.release arena) covered_bufs;
+      r
     in
-    match try_with (Array.to_list base) with
-    | Some _ as r -> r
-    | None -> (
-        match extra with
-        | None -> None
-        | Some f -> (
-            match f ~comp ~conn with
-            | [] -> None
-            | extras -> try_with (Array.to_list base @ extras)))
+    let r =
+      match try_with candidates with
+      | Some _ as r -> r
+      | None -> (
+          match extra with
+          | None -> None
+          | Some f -> (
+              match f ~comp ~conn with
+              | [] -> None
+              | extras -> try_with (candidates @ extras)))
+    in
+    Bitset.Scratch.release arena scope;
+    Bitset.Scratch.release arena comp_vertices;
+    r
   in
   let all = Hypergraph.all_edges h in
   if Bitset.is_empty all then
@@ -210,22 +276,29 @@ let decomposition_of_join_tree h (jt : Hg.Gyo.join_tree) =
       let root = build r in
       { root with children = root.Decomp.children @ List.map build rest }
 
-let solve ?deadline ?memoize ?(gyo_fast_path = true) h ~k =
+let solve ?deadline ?memoize ?sweep ?(gyo_fast_path = true) h ~k =
   if k = 1 && gyo_fast_path then
     (* Check(HD,1) is acyclicity: answer via GYO instead of search. *)
     match Hg.Gyo.reduce h with
     | Some jt -> Decomposition (decomposition_of_join_tree h jt)
     | None -> No_decomposition
-  else solve_gen ?deadline ?memoize ~candidates:(candidates_of_edges h) h ~k
+  else solve_gen ?deadline ?memoize ?sweep ~candidates:(candidates_of_edges h) h ~k
 
-let hypertree_width ?(deadline = Deadline.none) ?max_k h =
+let hypertree_width ?(deadline = Deadline.none) ?max_k ?sweep h =
   let max_k =
     match max_k with Some m -> m | None -> Stdlib.max 1 h.Hypergraph.n_edges
   in
+  (* One failed-subproblem table for the whole sweep: each level records
+     its proofs, so any later probe at the same (or a smaller) width —
+     e.g. a retry with a bigger budget — starts from everything already
+     proven instead of from scratch. Ascending levels never hit entries
+     from below (see [sweep_cache]), so the sweep's own counters are
+     identical to per-level fresh tables. *)
+  let sweep = match sweep with Some s -> s | None -> sweep_cache () in
   let rec go k =
     if k > max_k then (None, k)
     else
-      match solve ~deadline h ~k with
+      match solve ~deadline ~sweep h ~k with
       | Decomposition d -> (Some (k, d), k)
       | No_decomposition -> go (k + 1)
       | Timeout -> (None, k)

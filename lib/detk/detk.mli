@@ -27,9 +27,25 @@ type outcome =
 val candidates_of_edges : Hg.Hypergraph.t -> candidate list
 (** One candidate per original edge. *)
 
+type sweep_cache
+(** A failed-subproblem table that outlives a single [solve] call. Each
+    entry maps a subproblem [(comp, conn)] to the largest width [k] at
+    which it is proven undecomposable; a probe at width [k'] answers
+    "failed" only when [k' <= k] — the sound direction, since covers of
+    [<= k'] sets are a subset of covers of [<= k] sets. An ascending
+    width sweep therefore never takes a cross-width hit (and explores
+    exactly as with fresh per-level tables); the table pays off when a
+    width is probed again — budget-escalation retries, repeated analyses
+    over the same hypergraph — or probed downward. Single-domain: share
+    a cache across calls, never across domains. *)
+
+val sweep_cache : unit -> sweep_cache
+(** A fresh, empty table. *)
+
 val solve_gen :
   ?deadline:Kit.Deadline.t ->
   ?memoize:bool ->
+  ?sweep:sweep_cache ->
   ?extra:(comp:Kit.Bitset.t -> conn:Kit.Bitset.t -> candidate list) ->
   ?bag_filter:(Kit.Bitset.t -> bool) ->
   candidates:candidate list ->
@@ -40,11 +56,13 @@ val solve_gen :
     every combination of base candidates has failed there (the LocalBIP
     strategy, §4.3). [bag_filter] rejects candidate bags — the
     FracImproveHD check of §6.5 passes [fun bag -> ρ*(bag) <= k'].
-    [memoize] (default true) caches failed subproblems. *)
+    [memoize] (default true) caches failed subproblems, in [sweep] when
+    given (persistent across calls) or in a private per-call table. *)
 
 val solve :
   ?deadline:Kit.Deadline.t ->
   ?memoize:bool ->
+  ?sweep:sweep_cache ->
   ?gyo_fast_path:bool ->
   Hg.Hypergraph.t ->
   k:int ->
@@ -58,10 +76,15 @@ val solve :
 val hypertree_width :
   ?deadline:Kit.Deadline.t ->
   ?max_k:int ->
+  ?sweep:sweep_cache ->
   Hg.Hypergraph.t ->
   (int * Decomp.t) option * int
 (** [hypertree_width h] iterates [k = 1, 2, ...] until the first yes.
     Returns [(Some (hw, hd), hw)] on success; on timeout at some [k],
     returns [(None, k)] meaning [hw >= k] is still open but [hw > k - 1]
     was established for all earlier levels. [max_k] defaults to the number
-    of edges. *)
+    of edges. The whole sweep shares one failed-subproblem table ([sweep]
+    when given, a fresh one otherwise), so failure proofs accumulate
+    across levels and across repeated calls — e.g. a timed-out sweep
+    retried with a larger budget resumes from every subproblem already
+    proven failed instead of from scratch. *)

@@ -184,9 +184,9 @@ let solve ?(deadline = Deadline.none) ?(memoize = true) ?(use_subedges = true)
     else begin
       let sp_arr = Array.of_list (List.map (fun s -> s.verts) sp) in
       let sp_idx = Array.of_list sp in
-      let scope =
-        Array.fold_left Bitset.union (Hypergraph.vertices_of_edges h h') sp_arr
-      in
+      (* [vertices_of_edges] hands back a fresh accumulator we own. *)
+      let scope = Hypergraph.vertices_of_edges h h' in
+      Array.iter (fun s -> Bitset.union_into ~into:scope s) sp_arr;
       let try_separator lambda =
         Deadline.check deadline;
         Metrics.incr m_separators;
@@ -196,10 +196,12 @@ let solve ?(deadline = Deadline.none) ?(memoize = true) ?(use_subedges = true)
            the final assembly breaks. Covering and component computation
            are unaffected. *)
         let bag =
-          Bitset.inter scope
-            (List.fold_left
-               (fun acc (c : Detk.candidate) -> Bitset.union acc c.vertices)
-               (Bitset.empty nv) lambda)
+          let acc = Bitset.empty nv in
+          List.iter
+            (fun (c : Detk.candidate) -> Bitset.union_into ~into:acc c.vertices)
+            lambda;
+          Bitset.inter_into ~into:acc scope;
+          acc
         in
         if Bitset.is_empty bag then None
         else

@@ -2,78 +2,165 @@ module Bitset = Kit.Bitset
 
 (* Components are grown by BFS over the "region" of vertices outside [u]
    reached so far: any candidate edge intersecting the region joins the
-   component and extends the region with its own vertices outside [u]. *)
+   component and extends the region with its own vertices outside [u].
+
+   All growth happens in place: [remaining], [region] and the per-round
+   [touch]/[verts] buffers are allocated once per call and mutated, so a
+   BFS round costs word loops and no allocation. Only the per-component
+   edge sets are fresh — they escape into the result. The region is kept
+   as a subset of V ∖ u throughout, which also means special-edge
+   adjacency can be tested against the special edge directly (its
+   vertices inside [u] cannot be in the region anyway). *)
+
+(* BFS state, built once per call and threaded through top-level workers:
+   local [let rec] closures would capture all of this and be reallocated
+   on every call — one record replaces four closures on the profile. *)
+type st = {
+  h : Hypergraph.t;
+  u : Bitset.t;
+  remaining : Bitset.t; (* candidate edges not yet assigned *)
+  touch : Bitset.t; (* per-round: remaining edges meeting the region *)
+  verts : Bitset.t; (* per-round: new region vertices *)
+  region : Bitset.t;
+  special : Bitset.t array;
+  special_left : bool array;
+}
+
+let n_special st = Array.length st.special
+
+let rec first_special_left st i =
+  if i >= n_special st then -1
+  else if st.special_left.(i) then i
+  else first_special_left st (i + 1)
+
+(* One BFS round: edges and specials touching the region join [comp]
+   and extend the region with their vertices outside [u]. *)
+let rec grow st comp specials =
+  Hypergraph.edges_touching_into st.h st.region ~into:st.touch;
+  Bitset.inter_into ~into:st.touch st.remaining;
+  let new_specials = collect_specials st [] 0 in
+  if Bitset.is_empty st.touch && new_specials = [] then (comp, specials)
+  else begin
+    Bitset.diff_into ~into:st.remaining st.touch;
+    Bitset.union_into ~into:comp st.touch;
+    Hypergraph.vertices_of_edges_into st.h st.touch ~into:st.verts;
+    union_specials st new_specials;
+    Bitset.diff_into ~into:st.verts st.u;
+    Bitset.union_into ~into:st.region st.verts;
+    grow st comp (new_specials @ specials)
+  end
+
+and union_specials st = function
+  | [] -> ()
+  | i :: rest ->
+      Bitset.union_into ~into:st.verts st.special.(i);
+      union_specials st rest
+
+and collect_specials st acc i =
+  if i >= n_special st then acc
+  else if st.special_left.(i) && Bitset.intersects st.special.(i) st.region then begin
+    st.special_left.(i) <- false;
+    collect_specials st (i :: acc) (i + 1)
+  end
+  else collect_specials st acc (i + 1)
+
+let rec loop st result =
+  let e = Bitset.first st.remaining in
+  if e >= 0 then begin
+    (* Seed: the smallest remaining edge. *)
+    let comp0 = Bitset.empty (Bitset.universe st.remaining) in
+    Bitset.remove_in_place e st.remaining;
+    Bitset.add_in_place e comp0;
+    Bitset.copy_into st.h.Hypergraph.edges.(e) ~into:st.region;
+    Bitset.diff_into ~into:st.region st.u;
+    let comp, specials = grow st comp0 [] in
+    loop st ((comp, List.sort compare specials) :: result)
+  end
+  else begin
+    let i = first_special_left st 0 in
+    if i < 0 then List.rev result
+    else begin
+      (* Seed: the first unplaced special edge. *)
+      st.special_left.(i) <- false;
+      Bitset.copy_into st.special.(i) ~into:st.region;
+      Bitset.diff_into ~into:st.region st.u;
+      let comp, specials =
+        grow st (Bitset.empty (Bitset.universe st.remaining)) [ i ]
+      in
+      loop st ((comp, List.sort compare specials) :: result)
+    end
+  end
 
 let components_extended h ~within ~special u =
-  let n_special = Array.length special in
-  let outside e = Bitset.diff e u in
-  (* Candidates: ordinary edges not fully inside u. *)
-  let remaining = ref (Bitset.filter (fun e -> not (Bitset.is_empty (outside h.Hypergraph.edges.(e)))) within) in
+  let ne = h.Hypergraph.n_edges in
+  let nv = h.Hypergraph.n_vertices in
+  (* Candidates: ordinary edges not fully inside u. Scanning edge ids and
+     testing membership keeps this closure- and allocation-free. *)
+  let remaining = Bitset.empty ne in
+  Bitset.copy_into within ~into:remaining;
+  for e = 0 to ne - 1 do
+    if Bitset.mem e remaining && Bitset.subset h.Hypergraph.edges.(e) u then
+      Bitset.remove_in_place e remaining
+  done;
   let special_left = Array.map (fun s -> not (Bitset.subset s u)) special in
-  let result = ref [] in
-  let next_seed () =
-    match Bitset.choose !remaining with
-    | Some e -> Some (`Edge e)
-    | None ->
-        let rec find i =
-          if i >= n_special then None
-          else if special_left.(i) then Some (`Special i)
-          else find (i + 1)
-        in
-        find 0
+  let st =
+    {
+      h;
+      u;
+      remaining;
+      touch = Bitset.empty ne;
+      verts = Bitset.empty nv;
+      region = Bitset.empty nv;
+      special;
+      special_left;
+    }
   in
-  let rec grow comp specials region =
-    (* Ordinary edges touching the region. *)
-    let touch = Bitset.inter (Hypergraph.edges_touching h region) !remaining in
-    (* Special edges touching the region. *)
-    let new_specials = ref [] in
-    for i = 0 to n_special - 1 do
-      if special_left.(i) && Bitset.intersects (outside special.(i)) region then begin
-        special_left.(i) <- false;
-        new_specials := i :: !new_specials
-      end
-    done;
-    if Bitset.is_empty touch && !new_specials = [] then (comp, specials)
-    else begin
-      remaining := Bitset.diff !remaining touch;
-      let added_verts =
-        List.fold_left
-          (fun acc i -> Bitset.union acc (outside special.(i)))
-          (outside (Hypergraph.vertices_of_edges h touch))
-          !new_specials
-      in
-      grow (Bitset.union comp touch) (!new_specials @ specials)
-        (Bitset.union region added_verts)
-    end
-  in
-  let rec loop () =
-    match next_seed () with
-    | None -> List.rev !result
-    | Some seed ->
-        let comp0, sp0, region0 =
-          match seed with
-          | `Edge e ->
-              remaining := Bitset.remove e !remaining;
-              (Bitset.singleton h.Hypergraph.n_edges e, [], outside h.Hypergraph.edges.(e))
-          | `Special i ->
-              special_left.(i) <- false;
-              (Bitset.empty h.Hypergraph.n_edges, [ i ], outside special.(i))
-        in
-        let comp, specials = grow comp0 sp0 region0 in
-        result := (comp, List.sort compare specials) :: !result;
-        loop ()
-  in
-  loop ()
+  loop st []
 
 let components h ~within u =
   List.map fst (components_extended h ~within ~special:[||] u)
 
+(* [separates] only needs the first component: if it misses any edge of
+   [within] — because a second component exists or because some edge is
+   absorbed by [u] — the answer is already yes, so we never materialise
+   the remaining components. *)
 let separates h ~within u =
+  let ne = h.Hypergraph.n_edges in
+  let nv = h.Hypergraph.n_vertices in
   let total = Bitset.cardinal within in
-  match components h ~within u with
-  | [] -> total > 0
-  | [ c ] -> Bitset.cardinal c < total
-  | _ :: _ :: _ -> true
+  if total = 0 then false
+  else begin
+    let remaining = Bitset.empty ne in
+    Bitset.copy_into within ~into:remaining;
+    for e = 0 to ne - 1 do
+      if Bitset.mem e remaining && Bitset.subset h.Hypergraph.edges.(e) u then
+        Bitset.remove_in_place e remaining
+    done;
+    match Bitset.choose remaining with
+    | None -> true (* every edge absorbed by u *)
+    | Some e ->
+        let touch = Bitset.empty ne in
+        let verts = Bitset.empty nv in
+        let region = Bitset.empty nv in
+        Bitset.remove_in_place e remaining;
+        Bitset.copy_into h.Hypergraph.edges.(e) ~into:region;
+        Bitset.diff_into ~into:region u;
+        let count = ref 1 in
+        let rec grow () =
+          Hypergraph.edges_touching_into h region ~into:touch;
+          Bitset.inter_into ~into:touch remaining;
+          if not (Bitset.is_empty touch) then begin
+            count := !count + Bitset.cardinal touch;
+            Bitset.diff_into ~into:remaining touch;
+            Hypergraph.vertices_of_edges_into h touch ~into:verts;
+            Bitset.diff_into ~into:verts u;
+            Bitset.union_into ~into:region verts;
+            grow ()
+          end
+        in
+        grow ();
+        !count < total
+  end
 
 let is_balanced h ~within ~special u =
   let total = Bitset.cardinal within + Array.length special in

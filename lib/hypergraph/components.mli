@@ -14,7 +14,9 @@ val components :
 
 val separates : Hypergraph.t -> within:Kit.Bitset.t -> Kit.Bitset.t -> bool
 (** True iff [u] splits [within] into at least two components, or absorbs
-    at least one edge. *)
+    at least one edge. Short-circuits: only the first component is ever
+    grown — as soon as it is known to miss part of [within] the answer is
+    yes without materialising the rest. *)
 
 val is_balanced :
   Hypergraph.t ->

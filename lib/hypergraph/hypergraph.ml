@@ -26,9 +26,10 @@ let create ~vertex_names ~edge_names members =
         Bitset.of_list n_vertices vs)
       members
   in
-  let incidence = Array.make n_vertices (Bitset.empty n_edges) in
+  (* Distinct sets per vertex: they are filled in place below. *)
+  let incidence = Array.init n_vertices (fun _ -> Bitset.empty n_edges) in
   Array.iteri
-    (fun e vs -> Bitset.iter (fun v -> incidence.(v) <- Bitset.add e incidence.(v)) vs)
+    (fun e vs -> Bitset.iter (fun v -> Bitset.add_in_place e incidence.(v)) vs)
     edges;
   { n_vertices; n_edges; edges; incidence; vertex_names; edge_names }
 
@@ -57,11 +58,32 @@ let all_edges h = Bitset.full h.n_edges
 let vertex_name h v = h.vertex_names.(v)
 let edge_name h e = h.edge_names.(e)
 
+(* The two folds below are the innermost operations of every search core
+   (component BFS, cover evaluation); they accumulate into one buffer —
+   one allocation per call for the [_of_]/[_touching] forms, none for the
+   [_into] forms. *)
+
+let vertices_of_edges_into h es ~into =
+  if Bitset.universe into <> h.n_vertices then
+    invalid_arg "Hypergraph.vertices_of_edges_into: universe mismatch";
+  Bitset.clear into;
+  Bitset.union_indexed_into ~into h.edges es
+
 let vertices_of_edges h es =
-  Bitset.fold (fun e acc -> Bitset.union acc h.edges.(e)) es (Bitset.empty h.n_vertices)
+  let acc = Bitset.empty h.n_vertices in
+  Bitset.union_indexed_into ~into:acc h.edges es;
+  acc
+
+let edges_touching_into h vs ~into =
+  if Bitset.universe into <> h.n_edges then
+    invalid_arg "Hypergraph.edges_touching_into: universe mismatch";
+  Bitset.clear into;
+  Bitset.union_indexed_into ~into h.incidence vs
 
 let edges_touching h vs =
-  Bitset.fold (fun v acc -> Bitset.union acc h.incidence.(v)) vs (Bitset.empty h.n_edges)
+  let acc = Bitset.empty h.n_edges in
+  Bitset.union_indexed_into ~into:acc h.incidence vs;
+  acc
 
 let arity h =
   Array.fold_left (fun m e -> Stdlib.max m (Bitset.cardinal e)) 0 h.edges

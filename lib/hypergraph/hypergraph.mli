@@ -40,10 +40,20 @@ val vertex_name : t -> int -> string
 val edge_name : t -> int -> string
 
 val vertices_of_edges : t -> Kit.Bitset.t -> Kit.Bitset.t
-(** Union of the member sets of the given edges: V(S). *)
+(** Union of the member sets of the given edges: V(S). Accumulates into
+    one fresh buffer — a single allocation. *)
+
+val vertices_of_edges_into : t -> Kit.Bitset.t -> into:Kit.Bitset.t -> unit
+(** Allocation-free {!vertices_of_edges}: clears [into] (universe
+    [n_vertices]) and accumulates V(S) there. *)
 
 val edges_touching : t -> Kit.Bitset.t -> Kit.Bitset.t
-(** All edges intersecting the given vertex set. *)
+(** All edges intersecting the given vertex set. Accumulates into one
+    fresh buffer — a single allocation. *)
+
+val edges_touching_into : t -> Kit.Bitset.t -> into:Kit.Bitset.t -> unit
+(** Allocation-free {!edges_touching}: clears [into] (universe
+    [n_edges]) and accumulates there. *)
 
 val arity : t -> int
 (** Maximum edge cardinality (0 for the empty hypergraph). *)

@@ -1,6 +1,15 @@
-(* Immutable bitsets backed by int arrays. The universe size is stored in
-   the first cell so that sets over different universes cannot be mixed
-   silently. Words hold [bits] elements each. *)
+(* Bitsets backed by int arrays. The universe size is stored in the first
+   cell so that sets over different universes cannot be mixed silently.
+   Words hold [bits] elements each.
+
+   Two API layers share the representation:
+   - the immutable operations ([union], [add], ...) allocate their result
+     and are the reference semantics;
+   - the in-place kernel ([union_into], [add_in_place], ...) mutates its
+     destination and exists for hot loops that would otherwise allocate a
+     fresh array per fold step. A set reachable from two places must never
+     be mutated; the search cores only mutate buffers they own (usually
+     borrowed from a {!Scratch} arena). *)
 
 let bits = Sys.int_size
 
@@ -32,6 +41,49 @@ let mem x s =
   check_elt s x;
   s.(1 + x / bits) land (1 lsl (x mod bits)) <> 0
 
+let same_universe a b =
+  if a.(0) <> b.(0) then
+    invalid_arg
+      (Printf.sprintf "Bitset: universes differ (%d vs %d)" a.(0) b.(0))
+
+(* --- in-place kernel ---------------------------------------------------- *)
+
+let clear s = Array.fill s 1 (Array.length s - 1) 0
+
+let add_in_place x s =
+  check_elt s x;
+  s.(1 + x / bits) <- s.(1 + x / bits) lor (1 lsl (x mod bits))
+
+let remove_in_place x s =
+  check_elt s x;
+  s.(1 + x / bits) <- s.(1 + x / bits) land lnot (1 lsl (x mod bits))
+
+let copy_into src ~into =
+  same_universe src into;
+  Array.blit src 1 into 1 (Array.length src - 1)
+
+let union_into ~into s =
+  same_universe into s;
+  for i = 1 to Array.length into - 1 do
+    into.(i) <- into.(i) lor s.(i)
+  done
+
+let inter_into ~into s =
+  same_universe into s;
+  for i = 1 to Array.length into - 1 do
+    into.(i) <- into.(i) land s.(i)
+  done
+
+let diff_into ~into s =
+  same_universe into s;
+  for i = 1 to Array.length into - 1 do
+    into.(i) <- into.(i) land lnot s.(i)
+  done
+
+(* --- immutable reference operations ------------------------------------- *)
+
+let copy = Array.copy
+
 let add x s =
   check_elt s x;
   let s' = Array.copy s in
@@ -44,14 +96,15 @@ let remove x s =
   s'.(1 + x / bits) <- s'.(1 + x / bits) land lnot (1 lsl (x mod bits));
   s'
 
-let singleton n x = add x (empty n)
+let singleton n x =
+  let s = empty n in
+  add_in_place x s;
+  s
 
-let of_list n xs = List.fold_left (fun s x -> add x s) (empty n) xs
-
-let same_universe a b =
-  if a.(0) <> b.(0) then
-    invalid_arg
-      (Printf.sprintf "Bitset: universes differ (%d vs %d)" a.(0) b.(0))
+let of_list n xs =
+  let s = empty n in
+  List.iter (fun x -> add_in_place x s) xs;
+  s
 
 let map2 f a b =
   same_universe a b;
@@ -63,63 +116,142 @@ let union a b = map2 ( lor ) a b
 let inter a b = map2 ( land ) a b
 let diff a b = map2 (fun x y -> x land lnot y) a b
 
-let is_empty s =
-  let rec go i = i >= Array.length s || (s.(i) = 0 && go (i + 1)) in
-  go 1
+(* The scan predicates below use top-level recursive helpers rather than
+   local [let rec go i = ...] closures: a local closure captures its
+   environment and is allocated on every call, which shows up badly when
+   [subset]/[intersects] run once per edge in the component BFS. With all
+   state passed as arguments these compile to closed loops — zero
+   allocation. *)
+
+let rec empty_from s i = i >= Array.length s || (s.(i) = 0 && empty_from s (i + 1))
+let is_empty s = empty_from s 1
+
+let rec equal_from a b i =
+  i >= Array.length a || (a.(i) = b.(i) && equal_from a b (i + 1))
 
 let equal a b =
   same_universe a b;
-  let rec go i = i >= Array.length a || (a.(i) = b.(i) && go (i + 1)) in
-  go 1
+  equal_from a b 1
+
+let rec compare_from a b i =
+  if i >= Array.length a then 0
+  else
+    let c = Int.compare a.(i) b.(i) in
+    if c <> 0 then c else compare_from a b (i + 1)
 
 let compare a b =
   same_universe a b;
-  let rec go i =
-    if i >= Array.length a then 0
-    else
-      let c = Int.compare a.(i) b.(i) in
-      if c <> 0 then c else go (i + 1)
-  in
-  go 1
+  compare_from a b 1
+
+let rec subset_from a b i =
+  i >= Array.length a || (a.(i) land lnot b.(i) = 0 && subset_from a b (i + 1))
 
 let subset a b =
   same_universe a b;
-  let rec go i =
-    i >= Array.length a || (a.(i) land lnot b.(i) = 0 && go (i + 1))
-  in
-  go 1
+  subset_from a b 1
+
+let rec intersects_from a b i =
+  i < Array.length a && (a.(i) land b.(i) <> 0 || intersects_from a b (i + 1))
 
 let intersects a b =
   same_universe a b;
-  let rec go i =
-    i < Array.length a && (a.(i) land b.(i) <> 0 || go (i + 1))
-  in
-  go 1
+  intersects_from a b 1
 
-let popcount x =
+let rec diff_subset_from a b c i =
+  i >= Array.length a
+  || (a.(i) land lnot b.(i) land lnot c.(i) = 0 && diff_subset_from a b c (i + 1))
+
+let diff_subset a b c =
+  same_universe a b;
+  same_universe a c;
+  diff_subset_from a b c 1
+
+(* --- population count and iteration ------------------------------------- *)
+
+(* Word-parallel (SWAR) popcount. The usual 64-bit masks do not fit in
+   OCaml's 63-bit int literals, so they are assembled by shifting; on a
+   63-bit int the top 2-bit field is the lone bit 62, for which the
+   pairwise-subtract step still holds (there is no bit 63 to borrow
+   from). Falls back to the subtract-lowest-bit loop on sub-64-bit
+   platforms, where the [lsl 32] mask assembly would be meaningless. *)
+let m1 = 0x5555_5555 lor (0x5555_5555 lsl 32)
+let m2 = 0x3333_3333 lor (0x3333_3333 lsl 32)
+let m4 = 0x0F0F_0F0F lor (0x0F0F_0F0F lsl 32)
+
+let popcount_loop x =
   let rec go acc x = if x = 0 then acc else go (acc + 1) (x land (x - 1)) in
   go 0 x
 
-let cardinal s =
-  let c = ref 0 in
-  for i = 1 to Array.length s - 1 do c := !c + popcount s.(i) done;
-  !c
+let popcount_swar x =
+  let x = x - ((x lsr 1) land m1) in
+  let x = (x land m2) + ((x lsr 2) land m2) in
+  let x = (x + (x lsr 4)) land m4 in
+  let x = x + (x lsr 8) in
+  let x = x + (x lsr 16) in
+  let x = x + (x lsr 32) in
+  x land 0x7f
+
+let popcount = if bits > 32 then popcount_swar else popcount_loop
+
+let rec cardinal_from s i acc =
+  if i >= Array.length s then acc else cardinal_from s (i + 1) (acc + popcount s.(i))
+
+let cardinal s = cardinal_from s 1 0
+
+let rec inter_cardinal_from a b i acc =
+  if i >= Array.length a then acc
+  else inter_cardinal_from a b (i + 1) (acc + popcount (a.(i) land b.(i)))
 
 let inter_cardinal a b =
   same_universe a b;
-  let c = ref 0 in
-  for i = 1 to Array.length a - 1 do c := !c + popcount (a.(i) land b.(i)) done;
-  !c
+  inter_cardinal_from a b 1 0
+
+(* Count-trailing-zeros via a De Bruijn-style perfect hash: for an
+   isolated bit [b = 2^i], [(b * ctz_magic) lsr ctz_shift] is a distinct
+   table index for every i in [0, bits). The classic 64-bit De Bruijn
+   constant does not survive OCaml's mod-2^63 arithmetic, so the
+   multiplier is found once at module initialisation by stepping odd
+   constants until the hash is collision-free over all [bits] powers of
+   two — the table is correct by construction and the search is a few
+   dozen probes at most (128 slots for at most 63 keys). *)
+let ctz_shift = bits - 7
+
+let ctz_magic =
+  let perfect m =
+    let seen = Array.make 128 false in
+    let rec go i =
+      i >= bits
+      ||
+      let key = (m * (1 lsl i)) lsr ctz_shift in
+      (not seen.(key)) && (seen.(key) <- true; go (i + 1))
+    in
+    go 0
+  in
+  let rec find m = if perfect m then m else find (m + 2) in
+  find 0x0218_A392_CD3D_5DBF
+
+let ctz_table =
+  let t = Array.make 128 0 in
+  for i = 0 to bits - 1 do
+    t.((ctz_magic * (1 lsl i)) lsr ctz_shift) <- i
+  done;
+  t
+
+let ctz b = ctz_table.((b * ctz_magic) lsr ctz_shift)
+
+(* Word state threaded through a tail call instead of a [ref]: an int ref
+   is a heap block, and [iter] runs once per word of every set the search
+   scans. *)
+let rec iter_word f base w =
+  if w <> 0 then begin
+    let b = w land (-w) in
+    f (base + ctz b);
+    iter_word f base (w lxor b)
+  end
 
 let iter f s =
   for i = 1 to Array.length s - 1 do
-    let w = ref s.(i) in
-    while !w <> 0 do
-      let b = !w land - !w in
-      let rec log2 b acc = if b = 1 then acc else log2 (b lsr 1) (acc + 1) in
-      f (((i - 1) * bits) + log2 b 0);
-      w := !w land (!w - 1)
-    done
+    if s.(i) <> 0 then iter_word f ((i - 1) * bits) s.(i)
   done
 
 let fold f s init =
@@ -129,18 +261,48 @@ let fold f s init =
 
 let to_list s = List.rev (fold (fun x l -> x :: l) s [])
 
+let rec first_from s i =
+  if i >= Array.length s then -1
+  else if s.(i) <> 0 then ((i - 1) * bits) + ctz (s.(i) land (- s.(i)))
+  else first_from s (i + 1)
+
+let first s = first_from s 1
+
 let choose s =
-  let exception Found of int in
-  try iter (fun x -> raise (Found x)) s; None with Found x -> Some x
+  let x = first s in
+  if x < 0 then None else Some x
+
+(* [union_indexed_into ~into arr s] is [iter (fun i -> union_into ~into
+   arr.(i)) s] without the closure: accumulation over an index set is the
+   inner loop of both incidence directions ([vertices_of_edges],
+   [edges_touching]), and at one closure per call those dominated what the
+   in-place kernel left of the allocation profile. *)
+let rec union_indexed_word ~into arr base w =
+  if w <> 0 then begin
+    let b = w land (-w) in
+    union_into ~into arr.(base + ctz b);
+    union_indexed_word ~into arr base (w lxor b)
+  end
+
+let union_indexed_into ~into arr s =
+  for i = 1 to Array.length s - 1 do
+    if s.(i) <> 0 then union_indexed_word ~into arr ((i - 1) * bits) s.(i)
+  done
+
+exception Stop
+(* Constant exception, raised without allocating (unlike a [let exception
+   Fail of ...] declared per call). *)
 
 let for_all p s =
-  let exception Fail in
-  try iter (fun x -> if not (p x) then raise Fail) s; true
-  with Fail -> false
+  try iter (fun x -> if not (p x) then raise_notrace Stop) s; true
+  with Stop -> false
 
 let exists p s = not (for_all (fun x -> not (p x)) s)
 
-let filter p s = fold (fun x acc -> if p x then add x acc else acc) s (empty s.(0))
+let filter p s =
+  let r = empty s.(0) in
+  iter (fun x -> if p x then add_in_place x r) s;
+  r
 
 let hash s =
   let h = ref 5381 in
@@ -152,3 +314,42 @@ let hash s =
 let pp fmt s =
   Format.fprintf fmt "{%s}"
     (String.concat ", " (List.map string_of_int (to_list s)))
+
+(* --- scratch arena ------------------------------------------------------- *)
+
+module Scratch = struct
+  (* A stack of reusable universe-sized buffers, keyed by universe size.
+     Arenas are not thread-safe: each search call creates (or owns) its
+     own, which also keeps borrow/release discipline local. The pool list
+     is tiny in practice (one or two universes per search), so an assoc
+     list beats a hash table. *)
+  type set = t
+
+  type arena = { mutable pools : (int * set list ref) list }
+
+  let create () = { pools = [] }
+
+  let pool a n =
+    let rec find = function
+      | [] ->
+          let p = ref [] in
+          a.pools <- (n, p) :: a.pools;
+          p
+      | (m, p) :: _ when m = n -> p
+      | _ :: rest -> find rest
+    in
+    find a.pools
+
+  let borrow a n =
+    let p = pool a n in
+    match !p with
+    | s :: rest ->
+        p := rest;
+        clear s;
+        s
+    | [] -> empty n
+
+  let release a s =
+    let p = pool a (universe s) in
+    p := s :: !p
+end

@@ -1,8 +1,19 @@
-(** Immutable fixed-universe bitsets.
+(** Fixed-universe bitsets with an immutable reference API and an
+    in-place kernel for hot loops.
 
     All sets created from the same [universe] size are compatible; mixing
-    sets of different universe sizes is a programming error and is rejected
-    by an assertion. Elements are integers in [0, universe). *)
+    sets of different universe sizes is a programming error and is
+    rejected with [Invalid_argument]. Elements are integers in
+    [0, universe).
+
+    The immutable operations ({!union}, {!add}, ...) allocate their
+    result and define the reference semantics. The in-place operations
+    ({!union_into}, {!add_in_place}, ...) mutate their destination over
+    the same representation — they exist so that search inner loops can
+    accumulate into one owned buffer instead of allocating per step.
+    Never mutate a set that anything else might still reference: the
+    search cores only mutate freshly allocated accumulators or buffers
+    borrowed from a {!Scratch} arena, and publish immutable snapshots. *)
 
 type t
 
@@ -16,14 +27,21 @@ val universe : t -> int
 (** Universe size this set was created with. *)
 
 val singleton : int -> int -> t
-(** [singleton n x] is the set {x} over universe size [n]. *)
+(** [singleton n x] is the set {x} over universe size [n]
+    (one allocation). *)
 
 val of_list : int -> int list -> t
+(** Builds into a single buffer: one allocation however long the list. *)
+
 val to_list : t -> int list
 
 val mem : int -> t -> bool
 val add : int -> t -> t
 val remove : int -> t -> t
+
+val copy : t -> t
+(** A fresh set with the same contents — the snapshot to publish after
+    in-place accumulation. *)
 
 val union : t -> t -> t
 val inter : t -> t -> t
@@ -38,20 +56,92 @@ val subset : t -> t -> bool
 val intersects : t -> t -> bool
 (** [intersects a b] is true iff [a] and [b] share an element. *)
 
+val diff_subset : t -> t -> t -> bool
+(** [diff_subset a b c] is [subset (diff a b) c] without allocating. *)
+
 val cardinal : t -> int
+(** Word-parallel (SWAR) popcount: no per-bit loop, no allocation. *)
+
 val inter_cardinal : t -> t -> int
 (** [inter_cardinal a b] = [cardinal (inter a b)] without allocating. *)
 
 val choose : t -> int option
 (** Smallest element, if any. *)
 
+val first : t -> int
+(** Smallest element, or [-1] when empty — {!choose} without the option
+    allocation, for hot loops. *)
+
 val iter : (int -> unit) -> t -> unit
+(** Ascending order. Set bits are located with a De Bruijn-style
+    count-trailing-zeros table — cost per element is a multiply and a
+    table load, not a per-bit scan. *)
+
 val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
 val for_all : (int -> bool) -> t -> bool
 val exists : (int -> bool) -> t -> bool
+
 val filter : (int -> bool) -> t -> t
+(** Builds into a single buffer: one allocation. *)
 
 val hash : t -> int
 
 val pp : Format.formatter -> t -> unit
 (** Prints as [{0, 3, 5}]. *)
+
+(** {1 In-place kernel}
+
+    All destinations must have the same universe as their arguments
+    ([Invalid_argument] otherwise). Aliased arguments are fine: the ops
+    are plain word loops, so e.g. [union_into ~into:s s] is a no-op. *)
+
+val clear : t -> unit
+(** Remove every element. *)
+
+val add_in_place : int -> t -> unit
+val remove_in_place : int -> t -> unit
+
+val copy_into : t -> into:t -> unit
+(** [copy_into src ~into] overwrites [into] with the contents of
+    [src]. *)
+
+val union_into : into:t -> t -> unit
+(** [union_into ~into s]: [into := into ∪ s]. *)
+
+val inter_into : into:t -> t -> unit
+(** [inter_into ~into s]: [into := into ∩ s]. *)
+
+val diff_into : into:t -> t -> unit
+(** [diff_into ~into s]: [into := into ∖ s]. *)
+
+val union_indexed_into : into:t -> t array -> t -> unit
+(** [union_indexed_into ~into arr s]: [into := into ∪ ⋃ {arr.(i) | i ∈ s}],
+    allocation-free. The universe of [s] must not exceed the length of
+    [arr]; each [arr.(i)] visited must share [into]'s universe. This is
+    the inner loop of incidence accumulation ([vertices_of_edges],
+    [edges_touching]). *)
+
+(** {1 Scratch arenas}
+
+    A pool of reusable universe-sized buffers for search hot paths: a
+    loop that needs a temporary set borrows one, accumulates in place,
+    and releases it on the way out — zero allocations once the pool is
+    warm. Borrow/release follows stack discipline across recursive
+    calls (a borrowed buffer is simply absent from the pool, so callees
+    cannot see it). Arenas are single-domain: create one per search
+    call, never share one across domains. *)
+
+module Scratch : sig
+  type arena
+
+  val create : unit -> arena
+
+  val borrow : arena -> int -> t
+  (** [borrow a n] is a cleared set over universe size [n], reused from
+      the pool when available. It is owned by the caller until
+      {!release}d. *)
+
+  val release : arena -> t -> unit
+  (** Return a borrowed buffer to the pool. The caller must not use it
+      afterwards (it will be cleared and handed out again). *)
+end
