@@ -34,8 +34,12 @@
                     minor-words/op exceed their committed threshold make
                     the run exit 7 (the CI perf-smoke gate)
 
+     HB_CACHE   content-addressed result-cache directory for campaigns
+                (unset = no cache); the [repo] artefact uses its own
+                scratch cache regardless
+
    Usage: main.exe [table1|table2|table3|table4|table5|table6|
-                    figure3|figure4|figure5|ablation|micro|perf]... *)
+                    figure3|figure4|figure5|ablation|micro|perf|repo]... *)
 
 let env_float name default =
   match Sys.getenv_opt name with
@@ -345,6 +349,192 @@ module Perf = struct
     | Some _ | None -> ()
 end
 
+(* --- repo: persistence formats and result cache ------------------------------ *)
+
+(* Measures the storage layer end to end and writes BENCH_repo.json:
+   text vs binary repository load throughput (instances/sec) and on-disk
+   size, then a campaign run twice against a fresh result cache — the
+   re-run must hit the cache on every definitive verdict and reproduce
+   the tables (compared with measured seconds normalised out, the same
+   convention as the resilience tests). Fuel-budgeted, so every number
+   except the wall-clock rates is machine-independent. *)
+module Repo_bench = struct
+  let rec rm_rf path =
+    if Sys.file_exists path then
+      if Sys.is_directory path then begin
+        Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+        Sys.rmdir path
+      end
+      else Sys.remove path
+
+  let rec dir_bytes path =
+    if Sys.is_directory path then
+      Array.fold_left
+        (fun acc f -> acc + dir_bytes (Filename.concat path f))
+        0 (Sys.readdir path)
+    else (Unix.stat path).Unix.st_size
+
+  (* Replace every float literal with '#' so measured seconds don't
+     defeat the bit-identity comparison (same normalisation as
+     test_resilience.ml). *)
+  let strip_floats s =
+    let buf = Buffer.create (String.length s) in
+    let n = String.length s in
+    let i = ref 0 in
+    let digit c = c >= '0' && c <= '9' in
+    while !i < n do
+      if digit s.[!i] then begin
+        let j = ref !i in
+        while !j < n && digit s.[!j] do incr j done;
+        if !j < n && s.[!j] = '.' then begin
+          incr j;
+          while !j < n && digit s.[!j] do incr j done;
+          Buffer.add_char buf '#'
+        end
+        else Buffer.add_string buf (String.sub s !i (!j - !i));
+        i := !j
+      end
+      else begin
+        Buffer.add_char buf s.[!i];
+        incr i
+      end
+    done;
+    Buffer.contents buf
+
+  let counter snap name =
+    Option.value (List.assoc_opt name snap.Kit.Metrics.counters) ~default:0
+
+  let timed_rate ~n ~iters f =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to iters do f () done;
+    let dt = Unix.gettimeofday () -. t0 in
+    float_of_int (n * iters) /. Float.max dt 1e-9
+
+  let main ~seed ~scale ~jobs () =
+    let scale = Stdlib.min scale 0.3 in
+    let fuel = 50_000 in
+    let text_dir = "_bench_repo_text" and pack_dir = "_bench_repo_pack" in
+    let cache_dir = "_bench_repo_cache" in
+    List.iter rm_rf [ text_dir; pack_dir; cache_dir ];
+    let instances = Benchlib.Repository.build ~seed ~scale () in
+    let n = List.length instances in
+    Benchlib.Repository.save ~dir:text_dir instances;
+    Benchlib.Repository.pack ~dir:pack_dir ~shards:2 instances;
+    let expect_ok what = function
+      | Ok l ->
+          if l.Benchlib.Repository.skipped <> [] then begin
+            Printf.eprintf "repo bench: %s load skipped entries\n%!" what;
+            exit 6
+          end;
+          List.length l.Benchlib.Repository.instances
+      | Error m ->
+          Printf.eprintf "repo bench: %s load failed: %s\n%!" what m;
+          exit 6
+    in
+    let iters = 5 in
+    let text_rate =
+      timed_rate ~n ~iters (fun () ->
+          ignore (expect_ok "text" (Benchlib.Repository.load ~dir:text_dir)))
+    in
+    let pack_rate =
+      timed_rate ~n ~iters (fun () ->
+          ignore
+            (expect_ok "binary" (Benchlib.Repository.load_pack ~dir:pack_dir)))
+    in
+    let text_bytes = dir_bytes text_dir and pack_bytes = dir_bytes pack_dir in
+    (* Campaign twice against one fresh cache; metrics give the per-run
+       cache traffic, the stripped tables must agree exactly. *)
+    Kit.Metrics.enabled := true;
+    let cache = Benchlib.Result_cache.create ~dir:cache_dir in
+    let run_campaign () =
+      match
+        Experiments.prepare_campaign ~seed ~scale
+          ~budget:(fun () -> Kit.Deadline.of_fuel fuel)
+          ~jobs ~isolate:false ~cache ()
+      with
+      | Ok c -> c
+      | Error m ->
+          Printf.eprintf "repo bench: campaign failed: %s\n%!" m;
+          exit 6
+    in
+    let tables c =
+      let ctx = c.Experiments.context in
+      strip_floats
+        (String.concat "\n"
+           [
+             Experiments.table1 ctx; Experiments.table2 ctx;
+             Experiments.figure4 ctx; Experiments.table4 ctx;
+           ])
+    in
+    let before = Kit.Metrics.snapshot () in
+    let first = run_campaign () in
+    let mid = Kit.Metrics.snapshot () in
+    let second = run_campaign () in
+    let after = Kit.Metrics.snapshot () in
+    Kit.Metrics.enabled := false;
+    let delta a b name = counter b name - counter a name in
+    let hits = delta mid after "cache.hit" in
+    let misses = delta mid after "cache.miss" in
+    let invalid = delta mid after "cache.invalid" in
+    let looked_up = hits + misses + invalid in
+    let hit_rate =
+      if looked_up = 0 then 0.0
+      else float_of_int hits /. float_of_int looked_up
+    in
+    let identical = tables first = tables second in
+    Printf.printf "Repository formats (%d instances, %d text-load iters):\n" n
+      iters;
+    Printf.printf "  %-12s %10s %16s\n" "format" "bytes" "instances/sec";
+    Printf.printf "  %-12s %10d %16.0f\n" "text" text_bytes text_rate;
+    Printf.printf "  %-12s %10d %16.0f\n" "binary" pack_bytes pack_rate;
+    Printf.printf
+      "Result cache re-run: %d hits / %d misses / %d invalid (hit rate \
+       %.2f); first run stored %d\n"
+      hits misses invalid hit_rate
+      (delta before mid "cache.store");
+    Printf.printf "Tables identical across runs (floats stripped): %b\n"
+      identical;
+    let json =
+      let open Kit.Json in
+      to_string
+        (Obj
+           [
+             ("schema", String "hyperbench-repo/1");
+             ("instances", Int n);
+             ("fuel", Int fuel);
+             ("text_bytes", Int text_bytes);
+             ("pack_bytes", Int pack_bytes);
+             ("text_load_per_sec", Float text_rate);
+             ("pack_load_per_sec", Float pack_rate);
+             ( "cache",
+               Obj
+                 [
+                   ("first_store", Int (delta before mid "cache.store"));
+                   ("first_miss", Int (delta before mid "cache.miss"));
+                   ("rerun_hit", Int hits);
+                   ("rerun_miss", Int misses);
+                   ("rerun_invalid", Int invalid);
+                   ("rerun_hit_rate", Float hit_rate);
+                 ] );
+             ("tables_identical", Bool identical);
+           ])
+    in
+    let path = "BENCH_repo.json" in
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> output_string oc json);
+    Printf.printf "Wrote %s\n" path;
+    List.iter rm_rf [ text_dir; pack_dir; cache_dir ];
+    (* The re-run of a cached campaign must actually hit the cache and
+       reproduce the tables; failing that is a regression, not a datum. *)
+    if hits = 0 || not identical then begin
+      Printf.eprintf "repo bench: cache re-run failed (hits=%d identical=%b)\n%!"
+        hits identical;
+      exit 6
+    end
+end
+
 (* --- main ------------------------------------------------------------------- *)
 
 let () =
@@ -444,5 +634,6 @@ let () =
     Printf.printf "Wrote %s\n" path;
     Kit.Metrics.enabled := false
   end;
+  if wants "repo" then Repo_bench.main ~seed ~scale ~jobs ();
   if wants "perf" then Perf.main ();
   if wants "micro" then micro ()

@@ -525,12 +525,137 @@ let stats_cmd =
     (Cmd.info "stats" ~doc:"Summary statistics of a repository.")
     Term.(const run $ dir_arg)
 
+(* --- repo (packed binary repository) --------------------------------------------- *)
+
+let pack_dir_arg =
+  Arg.(
+    value
+    & opt string "hyperbench-pack"
+    & info [ "out"; "pack" ] ~docv:"DIR" ~doc:"Packed repository directory.")
+
+let repo_pack_cmd =
+  let run dir out shards =
+    let* instances = load_repository ~dir in
+    match Benchlib.Repository.pack ~dir:out ~shards instances with
+    | () ->
+        Printf.printf "packed %d instances into %d shard(s) in %s\n"
+          (List.length instances) shards out;
+        0
+    | exception Invalid_argument m ->
+        Printf.eprintf "hyperbench: %s\n%!" m;
+        exit_repo
+  in
+  let shards =
+    Arg.(
+      value & opt int 1
+      & info [ "shards" ] ~docv:"N"
+          ~doc:
+            "Split into $(docv) shard files; instance i goes to shard i mod \
+             N — the same split as campaign $(b,--shard).")
+  in
+  Cmd.v
+    (Cmd.info "pack"
+       ~doc:
+         "Pack a text repository ($(b,--dir)) into the compact binary \
+          format: varint-framed entries with per-instance fingerprints, \
+          one atomic file per shard.")
+    Term.(const run $ dir_arg $ pack_dir_arg $ shards)
+
+let repo_verify_cmd =
+  let run dir =
+    match Benchlib.Repository.load_pack ~dir with
+    | Error m ->
+        Printf.eprintf "hyperbench: %s\n%!" m;
+        exit_repo
+    | Ok { Benchlib.Repository.instances; skipped } ->
+        Printf.printf "verified %d instance(s)\n" (List.length instances);
+        if skipped = [] then 0
+        else begin
+          List.iter
+            (fun (label, msg) ->
+              Printf.eprintf "hyperbench: corrupt entry %s: %s\n%!" label msg)
+            skipped;
+          Printf.eprintf "hyperbench: %d corrupt entr(ies)\n%!"
+            (List.length skipped);
+          exit_repo
+        end
+  in
+  let dir =
+    Arg.(
+      value
+      & opt string "hyperbench-pack"
+      & info [ "d"; "dir" ] ~docv:"DIR" ~doc:"Packed repository directory.")
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Decode every packed entry and recompute its fingerprint; any \
+          mismatch or undecodable entry is reported and fails the command.")
+    Term.(const run $ dir)
+
+let repo_cmd =
+  Cmd.group
+    (Cmd.info "repo"
+       ~doc:"Compact binary repository: pack and integrity-verify.")
+    [ repo_pack_cmd; repo_verify_cmd ]
+
+(* --- merge-journals --------------------------------------------------------------- *)
+
+let merge_journals_cmd =
+  let run into paths =
+    match Experiments.merge_journals ~into paths with
+    | Error m ->
+        Printf.eprintf "hyperbench: %s\n%!" m;
+        exit_repo
+    | Ok (entries, corrupt) ->
+        Printf.printf "merged %d entr(ies) into %s\n" entries into;
+        if corrupt > 0 then
+          Printf.eprintf "warning: skipped %d corrupt line(s)\n%!" corrupt;
+        0
+  in
+  let into =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "into" ] ~docv:"FILE" ~doc:"Output journal path.")
+  in
+  let paths =
+    Arg.(
+      non_empty & pos_all file []
+      & info [] ~docv:"JOURNAL" ~doc:"Shard journals to merge.")
+  in
+  Cmd.v
+    (Cmd.info "merge-journals"
+       ~doc:
+         "Merge per-shard campaign journals into one journal equal to the \
+          unsharded run's (dedup by instance, repository order; headers \
+          must match).")
+    Term.(const run $ into $ paths)
+
 (* --- campaign ------------------------------------------------------------------- *)
+
+let shard_conv =
+  let parse s =
+    match String.split_on_char '/' s with
+    | [ a; b ] -> (
+        match (int_of_string_opt a, int_of_string_opt b) with
+        | Some i, Some n when n >= 1 && i >= 0 && i < n -> Ok (i, n)
+        | _ -> Error (`Msg "expected I/N with 0 <= I < N"))
+    | _ -> Error (`Msg "expected shard as I/N, e.g. 0/2")
+  in
+  Arg.conv (parse, fun fmt (i, n) -> Format.fprintf fmt "%d/%d" i n)
 
 let campaign_cmd =
   let run seed scale timeout fuel max_k jobs journal resume retries mem_limit
-      isolate tables stats stats_json =
+      isolate shard cache_dir tables stats stats_json =
     let isolate = isolate || Kit.Proc.enabled () in
+    (* --cache DIR wins over the HB_CACHE knob; neither set means no
+       cache and no cache.* metric ticks. *)
+    let cache =
+      match cache_dir with
+      | Some dir -> Some (Benchlib.Result_cache.create ~dir)
+      | None -> Benchlib.Result_cache.of_env ()
+    in
     (* --resume FILE implies journaling to that same file. *)
     let journal = match resume with Some p -> Some p | None -> journal in
     (* Retries escalate the budget: attempt i gets 2^i times the base, so
@@ -560,8 +685,8 @@ let campaign_cmd =
     let* c =
       tag exit_repo
         (Experiments.prepare_campaign ~seed ~scale ~budget ~budget_for
-           ?retries ?mem_mb:mem_limit ~max_k ~jobs ~isolate ~wall ?journal
-           ~resume:(resume <> None) ())
+           ?retries ?mem_mb:mem_limit ~max_k ~jobs ~isolate ~wall ?shard
+           ?cache ?journal ~resume:(resume <> None) ())
     in
     print_string (Experiments.campaign_summary c);
     (match journal with
@@ -643,6 +768,26 @@ let campaign_cmd =
       value & flag
       & info [ "tables" ] ~doc:"Also print every table and figure.")
   in
+  let shard =
+    Arg.(
+      value
+      & opt (some shard_conv) None
+      & info [ "shard" ] ~docv:"I/N"
+          ~doc:
+            "Run only instances with index mod N = I (deterministic by \
+             repository index). Journals of the N shards merge with \
+             $(b,merge-journals) into the unsharded journal.")
+  in
+  let cache =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache" ] ~docv:"DIR"
+          ~doc:
+            "Content-addressed result cache: reuse validated verdicts \
+             keyed by hypergraph fingerprint, method and k (default: the \
+             $(b,HB_CACHE) environment knob).")
+  in
   Cmd.v
     (Cmd.info "campaign"
        ~doc:
@@ -651,8 +796,8 @@ let campaign_cmd =
           budgets, and optional hard process isolation ($(b,--isolate)).")
     Term.(
       const run $ seed $ scale $ timeout_arg $ fuel $ max_k $ jobs_arg
-      $ journal $ resume $ retries $ mem_limit $ isolate_arg $ tables
-      $ stats_arg $ stats_json_arg)
+      $ journal $ resume $ retries $ mem_limit $ isolate_arg $ shard $ cache
+      $ tables $ stats_arg $ stats_json_arg)
 
 let () =
   let info =
@@ -670,7 +815,7 @@ let () =
       [
         build_cmd; list_cmd; analyze_cmd; decompose_cmd; validate_cmd;
         improve_cmd; convert_sql_cmd; convert_xcsp_cmd; stats_cmd;
-        campaign_cmd;
+        repo_cmd; merge_journals_cmd; campaign_cmd;
       ]
   in
   (* Last-resort containment: anything that escapes a command becomes one

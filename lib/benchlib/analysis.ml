@@ -28,15 +28,35 @@ let pool_map ?jobs f xs =
   let jobs = match jobs with Some j -> j | None -> Kit.Pool.default_jobs () in
   Kit.Pool.map_list ~jobs f xs
 
-let analyze_one ~budget ~max_k (inst : Instance.t) =
+let analyze_one ~budget ~max_k ?cache (inst : Instance.t) =
   let h = inst.Instance.hg in
   let profile = Hg.Properties.profile ~deadline:(budget ()) h in
+  (* With a cache, each Check(HD,k) level first consults the store (a
+     validated hit replays the witness through the checker inside
+     Result_cache.find); definitive verdicts from a real solve are
+     written back. Timeouts stay uncached — they depend on the budget,
+     not the instance. *)
+  let solve k =
+    match cache with
+    | None -> Detk.solve ~deadline:(budget ()) h ~k
+    | Some c -> (
+        match Result_cache.find c h ~meth:"hd" ~k with
+        | Some (Result_cache.Yes d) -> Detk.Decomposition d
+        | Some Result_cache.No -> Detk.No_decomposition
+        | None ->
+            let o = Detk.solve ~deadline:(budget ()) h ~k in
+            (match o with
+            | Detk.Decomposition d ->
+                Result_cache.store c h ~meth:"hd" ~k (Result_cache.Yes d)
+            | Detk.No_decomposition ->
+                Result_cache.store c h ~meth:"hd" ~k Result_cache.No
+            | Detk.Timeout -> ());
+            o)
+  in
   let rec levels k acc had_timeout =
     if k > max_k then (List.rev acc, Open_above max_k, None)
     else begin
-      let outcome, seconds =
-        timed (fun () -> Detk.solve ~deadline:(budget ()) h ~k)
-      in
+      let outcome, seconds = timed (fun () -> solve k) in
       match outcome with
       | Detk.Decomposition d ->
           let run = { k; outcome = `Yes; seconds } in
@@ -55,8 +75,8 @@ let analyze_one ~budget ~max_k (inst : Instance.t) =
   in
   { instance = inst; profile; hw_runs; hw; hd; stats }
 
-let analyze ?(budget = default_budget) ?(max_k = 8) ?jobs instances =
-  pool_map ?jobs (analyze_one ~budget ~max_k) instances
+let analyze ?(budget = default_budget) ?(max_k = 8) ?jobs ?cache instances =
+  pool_map ?jobs (analyze_one ~budget ~max_k ?cache) instances
 
 type task = {
   task_instance : Instance.t;
@@ -71,7 +91,7 @@ let default_retries () =
   | None -> 0
 
 let analyze_outcomes ?(budget = default_budget) ?budget_for ?retries ?mem_mb
-    ?(max_k = 8) ?jobs ?isolate ?wall ?on_done instances =
+    ?(max_k = 8) ?jobs ?isolate ?wall ?cache ?on_done instances =
   let retries = match retries with Some r -> r | None -> default_retries () in
   let budget_for =
     match budget_for with Some bf -> bf | None -> fun ~attempt:_ -> budget
@@ -98,7 +118,9 @@ let analyze_outcomes ?(budget = default_budget) ?budget_for ?retries ?mem_mb
       (fun ~attempt (inst : Instance.t) ->
         let budget = budget_for ~attempt in
         Kit.Fault.hit ("instance." ^ inst.Instance.name);
-        analyze_one ~budget ~max_k inst)
+        (* The cache handle is a plain directory path, so it survives the
+           fork; hits/stores happen in the worker process. *)
+        analyze_one ~budget ~max_k ?cache inst)
       tasks
     |> Array.to_list |> List.map task_of
     |> List.map (fun t ->
@@ -124,7 +146,7 @@ let analyze_outcomes ?(budget = default_budget) ?budget_for ?retries ?mem_mb
         let result =
           Kit.Guard.run ?mem_mb (fun () ->
               Kit.Fault.hit ("instance." ^ inst.Instance.name);
-              analyze_one ~budget ~max_k inst)
+              analyze_one ~budget ~max_k ?cache inst)
         in
         match result with
         | Kit.Outcome.Ok _ -> { task_instance = inst; attempts = i + 1; result }

@@ -31,6 +31,7 @@ val analyze :
   ?budget:(unit -> Kit.Deadline.t) ->
   ?max_k:int ->
   ?jobs:int ->
+  ?cache:Result_cache.t ->
   Instance.t list ->
   record list
 (** [budget] supplies the per-run deadline (default: 1 s wall clock, the
@@ -39,7 +40,10 @@ val analyze :
     defaults to 8. [jobs] (default {!Kit.Pool.default_jobs}) sets the
     domain-pool width; results are in instance order and — for
     deterministic budgets such as [Kit.Deadline.of_fuel] — identical at
-    every [jobs] value. *)
+    every [jobs] value. [cache] consults/feeds a {!Result_cache} at each
+    k level: validated hits replace the solve, definitive verdicts are
+    stored, timeouts are neither served nor stored, so cached and
+    uncached runs produce the same verdicts. *)
 
 val hw_bound : record -> int option
 (** The k with a yes answer (Exact or Upper), if any. *)
@@ -60,6 +64,7 @@ val analyze_outcomes :
   ?jobs:int ->
   ?isolate:bool ->
   ?wall:(attempt:int -> float) ->
+  ?cache:Result_cache.t ->
   ?on_done:(task -> unit) ->
   Instance.t list ->
   task list

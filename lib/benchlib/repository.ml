@@ -97,32 +97,72 @@ let sources instances =
 let find instances name =
   List.find_opt (fun i -> i.Instance.name = name) instances
 
-let safe_filename name =
-  String.map (fun c -> if c = '/' || c = '\\' then '_' else c) name
+(* Sanitising alone is ambiguous: "a/b" and "a_b" would map to the same
+   file and silently overwrite each other. The name's own 64-bit digest
+   is appended, so distinct names always get distinct files while the
+   sanitised prefix keeps directories human-readable. *)
+let hg_filename name =
+  let sanitized =
+    String.map
+      (fun c ->
+        match c with
+        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '.' -> c
+        | _ -> '_')
+      name
+  in
+  let sanitized =
+    if String.length sanitized > 80 then String.sub sanitized 0 80
+    else sanitized
+  in
+  Printf.sprintf "%s-%s.hg" sanitized
+    (String.sub Kit.Hash64.(to_hex (add_string init name)) 0 8)
 
-let rec mkdir_p dir =
-  if not (Sys.file_exists dir) then begin
-    let parent = Filename.dirname dir in
-    if parent <> dir then mkdir_p parent;
-    try Sys.mkdir dir 0o755
-    with Sys_error _ when Sys.file_exists dir -> () (* lost a creation race *)
-  end
-
-let with_out path f =
-  let oc = open_out path in
-  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> f oc)
+(* index.tsv is tab-separated with one record per line, so a name or
+   source containing a tab or newline would tear the index; duplicate
+   names would make one of the two instances unaddressable. Both are
+   caller bugs — refuse loudly rather than persist garbage. *)
+let check_instances instances =
+  let check_field what v =
+    String.iter
+      (fun c ->
+        if c = '\t' || c = '\n' || c = '\r' then
+          invalid_arg
+            (Printf.sprintf "Repository.save: %s %S contains tab/newline"
+               what v))
+      v
+  in
+  let seen = Hashtbl.create 64 in
+  List.iter
+    (fun i ->
+      check_field "instance name" i.Instance.name;
+      check_field "source" i.Instance.source;
+      if Hashtbl.mem seen i.Instance.name then
+        invalid_arg
+          (Printf.sprintf "Repository.save: duplicate instance name %S"
+             i.Instance.name);
+      Hashtbl.replace seen i.Instance.name ())
+    instances
 
 let save ~dir instances =
-  mkdir_p dir;
-  with_out (Filename.concat dir "index.tsv") (fun oc ->
-      List.iter
-        (fun i ->
-          Printf.fprintf oc "%s\t%s\t%s\n" i.Instance.name
-            (Group.id i.Instance.group) i.Instance.source;
-          with_out
-            (Filename.concat dir (safe_filename i.Instance.name ^ ".hg"))
-            (fun f -> output_string f (Hg.Hypergraph.to_string i.Instance.hg)))
-        instances)
+  check_instances instances;
+  Fsio.mkdir_p dir;
+  List.iter
+    (fun i ->
+      Fsio.write_atomic
+        (Filename.concat dir (hg_filename i.Instance.name))
+        (Hg.Hypergraph.to_string i.Instance.hg))
+    instances;
+  (* The index is written last and atomically: a crash mid-save leaves
+     the previous index (or none) in place, never one that references
+     half-written files. *)
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun i ->
+      Printf.bprintf buf "%s\t%s\t%s\n" i.Instance.name
+        (Group.id i.Instance.group)
+        i.Instance.source)
+    instances;
+  Fsio.write_atomic (Filename.concat dir "index.tsv") (Buffer.contents buf)
 
 type loaded = {
   instances : Instance.t list;
@@ -171,7 +211,7 @@ let load ~dir =
               | Some group -> (
                   match
                     Hg.Hypergraph.parse_file
-                      (Filename.concat dir (safe_filename name ^ ".hg"))
+                      (Filename.concat dir (hg_filename name))
                   with
                   | Error m -> skip skipped name m rest (build instances)
                   | Ok hg ->
@@ -185,3 +225,149 @@ let load ~dir =
     in
     Ok (build [] [] rows)
   end
+
+(* --- packed binary repository -------------------------------------------- *)
+
+module V = Kit.Varint
+
+let pack_magic = "HBPK"
+let pack_version = 1
+let shard_file s n = Printf.sprintf "shard-%03d-of-%03d.hbr" s n
+
+let pack ~dir ?(shards = 1) instances =
+  if shards < 1 then invalid_arg "Repository.pack: shards must be >= 1";
+  check_instances instances;
+  Fsio.mkdir_p dir;
+  let entry_bufs = Array.init shards (fun _ -> Buffer.create (1 lsl 12)) in
+  let counts = Array.make shards 0 in
+  let entry = Buffer.create (1 lsl 10) in
+  List.iteri
+    (fun idx i ->
+      (* Deterministic by instance index, matching campaign sharding, so
+         shard s of the pack is exactly the input of campaign shard s/n. *)
+      let s = idx mod shards in
+      Buffer.clear entry;
+      V.write_string entry i.Instance.name;
+      V.write_string entry (Group.id i.Instance.group);
+      V.write_string entry i.Instance.source;
+      V.write_string entry (Hg.Hypergraph.fingerprint i.Instance.hg);
+      (* The graph blob is itself length-prefixed so a reader can verify
+         or skip an entry without decoding it. *)
+      V.write_string entry (Hg.Binary.to_string i.Instance.hg);
+      let buf = entry_bufs.(s) in
+      Buffer.add_buffer buf entry;
+      (* The graph's own fingerprint does not cover the name/group/source
+         fields, so each entry ends with a digest of all its bytes —
+         verify catches a flipped byte anywhere, not just in the blob. *)
+      V.write_string buf
+        Kit.Hash64.(to_hex (add_string init (Buffer.contents entry)));
+      counts.(s) <- counts.(s) + 1)
+    instances;
+  Array.iteri
+    (fun s entries ->
+      let buf = Buffer.create (Buffer.length entries + 16) in
+      Buffer.add_string buf pack_magic;
+      V.write buf pack_version;
+      V.write buf counts.(s);
+      Buffer.add_buffer buf entries;
+      Fsio.write_atomic
+        (Filename.concat dir (shard_file s shards))
+        (Buffer.contents buf))
+    entry_bufs
+
+(* Same tolerance contract as [load]: one corrupt entry (bad blob, stale
+   fingerprint, unknown group) is skipped and reported, the rest of its
+   shard still loads; corruption in the framing itself abandons only the
+   remainder of that one shard. *)
+let load_pack ~dir =
+  match Sys.readdir dir with
+  | exception Sys_error m -> Error m
+  | files ->
+      let shards =
+        Array.to_list files
+        |> List.filter (fun f -> Filename.check_suffix f ".hbr")
+        |> List.sort compare
+      in
+      if shards = [] then Error (Printf.sprintf "no .hbr shards in %s" dir)
+      else begin
+        let skipped = ref [] in
+        let skip label msg =
+          Kit.Metrics.incr m_load_skipped;
+          skipped := (label, msg) :: !skipped
+        in
+        let per_shard =
+          List.map
+            (fun file ->
+              match Fsio.read_file (Filename.concat dir file) with
+              | Error m ->
+                  skip file m;
+                  []
+              | Ok data ->
+                  let entries = ref [] in
+                  (try
+                     let len = String.length data in
+                     if len < 4 || String.sub data 0 4 <> pack_magic then
+                       failwith "bad magic";
+                     let pos = ref 4 in
+                     let version = V.read data pos in
+                     if version <> pack_version then
+                       failwith
+                         (Printf.sprintf "unsupported pack version %d" version);
+                     let count = V.read data pos in
+                     for _ = 1 to count do
+                       let start = !pos in
+                       let name = V.read_string data pos in
+                       let group_id = V.read_string data pos in
+                       let source = V.read_string data pos in
+                       let fp = V.read_string data pos in
+                       let blob = V.read_string data pos in
+                       let digest =
+                         Kit.Hash64.(
+                           to_hex
+                             (add_string init
+                                (String.sub data start (!pos - start))))
+                       in
+                       let checksum = V.read_string data pos in
+                       if checksum <> digest then
+                         skip name "entry checksum mismatch"
+                       else
+                         match Group.of_id group_id with
+                         | None ->
+                             skip name
+                               (Printf.sprintf "unknown group %s" group_id)
+                         | Some group -> (
+                             match Hg.Binary.of_string blob with
+                             | Error m -> skip name m
+                             | Ok hg ->
+                                 if Hg.Hypergraph.fingerprint hg <> fp then
+                                   skip name "fingerprint mismatch"
+                                 else
+                                   entries :=
+                                     Instance.make ~name ~group ~source hg
+                                     :: !entries)
+                     done
+                   with
+                  | V.Corrupt m -> skip file ("torn shard: " ^ m)
+                  | Failure m -> skip file m);
+                  List.rev !entries)
+            shards
+        in
+        (* Entry k of shard s was instance k*n + s: a round-robin merge
+           across shards restores the original repository order. *)
+        let queues = List.map ref per_shard in
+        let out = ref [] in
+        let progress = ref true in
+        while !progress do
+          progress := false;
+          List.iter
+            (fun q ->
+              match !q with
+              | [] -> ()
+              | x :: rest ->
+                  q := rest;
+                  out := x :: !out;
+                  progress := true)
+            queues
+        done;
+        Ok { instances = List.rev !out; skipped = List.rev !skipped }
+      end

@@ -27,10 +27,22 @@ val sources : Instance.t list -> (string * Instance.t list) list
 
 val find : Instance.t list -> string -> Instance.t option
 
+val hg_filename : string -> string
+(** On-disk file name for an instance: a sanitised copy of the name
+    (anything outside [[A-Za-z0-9._-]] becomes ['_'], truncated to 80
+    chars) plus 8 hex chars of the full name's {!Kit.Hash64} digest and
+    the [.hg] suffix. The digest disambiguates names that sanitise
+    identically (e.g. ["a/b"] vs ["a_b"]), which previously silently
+    overwrote each other's files. *)
+
 val save : dir:string -> Instance.t list -> unit
-(** Write one [<name>.hg] file per instance plus an [index.tsv] with
-    name, group, source. Creates [dir] (and missing parents) if needed;
-    channels are closed even when writing fails partway.
+(** Write one [.hg] file per instance (named by {!hg_filename}) plus an
+    [index.tsv] with name, group, source. Creates [dir] (and missing
+    parents) if needed. Every file — the index last — is written
+    atomically (unique temp + fsync + rename), so a crash mid-save never
+    leaves a torn file or an index referencing missing entries.
+    @raise Invalid_argument on duplicate instance names, or on a name or
+    source containing a tab/newline/CR (they would tear the index).
     @raise Sys_error on I/O failure. *)
 
 type loaded = {
@@ -46,3 +58,24 @@ val load : dir:string -> (loaded, string) result
     and reported in [skipped] — and counted in the
     ["repository.load_skipped"] metric — rather than aborting the load.
     [Error] is reserved for a missing or unreadable [index.tsv]. *)
+
+val pack : dir:string -> ?shards:int -> Instance.t list -> unit
+(** Write the repository as compact binary shard files
+    [shard-<s>-of-<n>.hbr] (default [shards = 1]). Instance [i] goes to
+    shard [i mod shards] — the same deterministic split campaign
+    [--shard s/n] uses. Each shard is [HBPK] magic, a format version,
+    an entry count, then per entry the varint-framed name, group id,
+    source, {!Hg.Hypergraph.fingerprint}, length-prefixed {!Hg.Binary}
+    graph blob, and a {!Kit.Hash64} checksum of all the entry's bytes
+    (the fingerprint alone would not cover the name/group/source
+    fields). Files are written atomically.
+    @raise Invalid_argument as {!save}, or if [shards < 1]. *)
+
+val load_pack : dir:string -> (loaded, string) result
+(** Load every [.hbr] shard in [dir], restoring original repository
+    order. Tolerant like {!load}: a corrupt entry — undecodable blob,
+    fingerprint mismatch, unknown group — is skipped and reported
+    (["repository.load_skipped"] metric); torn framing abandons only the
+    rest of that shard. [Error] only when [dir] is unreadable or holds
+    no [.hbr] files. Doubles as the integrity check behind
+    [hyperbench repo verify]. *)

@@ -1,22 +1,60 @@
 module Bitset = Kit.Bitset
 module Hypergraph = Hg.Hypergraph
 
+(* Names are emitted bare only when no character could collide with the
+   format's own punctuation (',', '{', '}', '[', ']', '~', '"', spaces);
+   anything else is '"'-quoted with '\' escaping '"' and '\' — the same
+   convention as [Hypergraph.pp] — so to_text/of_text round-trips
+   arbitrary names exactly. The bare alphabet here is stricter than the
+   hypergraph format's (no '[' / ']'), because this format uses brackets
+   as delimiters. *)
+let is_bare_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '-' || c = ':' || c = '.' || c = '\''
+
+let quote_name name =
+  if name <> "" && String.for_all is_bare_char name then name
+  else begin
+    let buf = Buffer.create (String.length name + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        match c with
+        | '"' | '\\' ->
+            Buffer.add_char buf '\\';
+            Buffer.add_char buf c
+        (* The format is line-oriented (indentation = tree depth), so a
+           raw newline inside a quoted name would tear the node line;
+           control characters are escaped, unlike in [Hypergraph.pp]
+           whose lexer spans lines. *)
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c -> Buffer.add_char buf c)
+      name;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+
 let to_text h (d : Decomp.t) =
   let buf = Buffer.create 256 in
   let rec go depth (u : Decomp.node) =
     Buffer.add_string buf (String.make (2 * depth) ' ');
     let bag =
       Bitset.to_list u.Decomp.bag
-      |> List.map (Hypergraph.vertex_name h)
+      |> List.map (fun v -> quote_name (Hypergraph.vertex_name h v))
       |> String.concat ", "
     in
     let cover_elt (c : Decomp.cover_elt) =
       match c.Decomp.source with
-      | Decomp.Original e -> Hypergraph.edge_name h e
+      | Decomp.Original e -> quote_name (Hypergraph.edge_name h e)
       | Decomp.Subedge e ->
-          Printf.sprintf "%s~{%s}" (Hypergraph.edge_name h e)
+          Printf.sprintf "%s~{%s}"
+            (quote_name (Hypergraph.edge_name h e))
             (Bitset.to_list c.Decomp.vertices
-            |> List.map (Hypergraph.vertex_name h)
+            |> List.map (fun v -> quote_name (Hypergraph.vertex_name h v))
             |> String.concat ",")
       | Decomp.Special -> "__special"
     in
@@ -30,95 +68,176 @@ let to_text h (d : Decomp.t) =
 
 (* --- parsing ------------------------------------------------------------- *)
 
-let split_names s =
-  String.split_on_char ',' s |> List.map String.trim |> List.filter (( <> ) "")
-
+(* One node line is "{bag} [cover]". A tiny cursor-based lexer handles
+   quoted names (whose content may contain any delimiter); bare names
+   are read up to the context's terminator characters and trimmed, which
+   keeps files written before quoting existed parsing as they did. *)
 let parse_line h line =
   let line_body = String.trim line in
-  (* "{bag} [cover]" *)
-  match (String.index_opt line_body '}', String.index_opt line_body '[') with
-  | Some close_bag, Some open_cover when line_body.[0] = '{' ->
-      let bag_names = split_names (String.sub line_body 1 (close_bag - 1)) in
-      let close_cover = String.rindex line_body ']' in
-      let cover_str =
-        String.sub line_body (open_cover + 1) (close_cover - open_cover - 1)
+  let len = String.length line_body in
+  let pos = ref 0 in
+  let fail msg = Error (Printf.sprintf "%s in node line: %s" msg line_body) in
+  let peek () = if !pos < len then Some line_body.[!pos] else None in
+  let skip_ws () =
+    while !pos < len && (line_body.[!pos] = ' ' || line_body.[!pos] = '\t') do
+      incr pos
+    done
+  in
+  let expect c =
+    if peek () = Some c then begin
+      incr pos;
+      Ok ()
+    end
+    else fail (Printf.sprintf "expected '%c'" c)
+  in
+  let ( let* ) r f = match r with Error _ as e -> e | Ok v -> f v in
+  (* A quoted string, or a bare run up to (not including) any char of
+     [terms], right-trimmed. [Ok None] when the name is empty. *)
+  let name_token terms =
+    skip_ws ();
+    if peek () = Some '"' then begin
+      incr pos;
+      let buf = Buffer.create 16 in
+      let rec go () =
+        if !pos >= len then fail "unterminated quoted name"
+        else
+          match line_body.[!pos] with
+          | '"' ->
+              incr pos;
+              Ok (Some (Buffer.contents buf))
+          | '\\' when !pos + 1 < len ->
+              Buffer.add_char buf
+                (match line_body.[!pos + 1] with
+                | 'n' -> '\n'
+                | 'r' -> '\r'
+                | 't' -> '\t'
+                | c -> c);
+              pos := !pos + 2;
+              go ()
+          | '\\' -> fail "unterminated quoted name"
+          | c ->
+              Buffer.add_char buf c;
+              incr pos;
+              go ()
       in
-      let vertex name =
-        match
-          Array.to_seq h.Hypergraph.vertex_names
-          |> Seq.mapi (fun i n -> (i, n))
-          |> Seq.find (fun (_, n) -> n = name)
-        with
-        | Some (i, _) -> Ok i
-        | None -> Error (Printf.sprintf "unknown vertex %s" name)
-      in
-      let edge name =
-        match
-          Array.to_seq h.Hypergraph.edge_names
-          |> Seq.mapi (fun i n -> (i, n))
-          |> Seq.find (fun (_, n) -> n = name)
-        with
-        | Some (i, _) -> Ok i
-        | None -> Error (Printf.sprintf "unknown edge %s" name)
-      in
-      let ( let* ) r f = match r with Error _ as e -> e | Ok v -> f v in
-      let rec map_all f = function
-        | [] -> Ok []
-        | x :: rest ->
-            let* y = f x in
-            let* ys = map_all f rest in
-            Ok (y :: ys)
-      in
-      let* bag_ids = map_all vertex bag_names in
-      (* Cover elements are separated by ", " but subedge braces may
-         contain commas: split on top level only. *)
-      let cover_items =
-        let items = ref [] and buf = Buffer.create 16 and depth = ref 0 in
-        String.iter
-          (fun c ->
-            match c with
-            | '{' ->
-                incr depth;
-                Buffer.add_char buf c
-            | '}' ->
-                decr depth;
-                Buffer.add_char buf c
-            | ',' when !depth = 0 ->
-                items := Buffer.contents buf :: !items;
-                Buffer.clear buf
-            | c -> Buffer.add_char buf c)
-          cover_str;
-        if String.trim (Buffer.contents buf) <> "" then
-          items := Buffer.contents buf :: !items;
-        (* !items is in reverse insertion order; rev_map restores it. *)
-        List.rev_map String.trim !items |> List.filter (( <> ) "")
-      in
-      let parse_cover item =
-        match String.index_opt item '~' with
-        | None ->
-            let* e = edge item in
-            Ok
-              {
-                Decomp.label = item;
-                vertices = Hypergraph.edge h e;
-                source = Decomp.Original e;
-              }
-        | Some tilde ->
-            let parent = String.sub item 0 tilde in
-            let rest = String.sub item (tilde + 1) (String.length item - tilde - 1) in
-            let inner = String.sub rest 1 (String.length rest - 2) in
-            let* e = edge parent in
-            let* vs = map_all vertex (split_names inner) in
-            Ok
-              {
-                Decomp.label = item;
-                vertices = Bitset.of_list h.Hypergraph.n_vertices vs;
-                source = Decomp.Subedge e;
-              }
-      in
-      let* cover = map_all parse_cover cover_items in
-      Ok (Bitset.of_list h.Hypergraph.n_vertices bag_ids, cover)
-  | _ -> Error (Printf.sprintf "malformed node line: %s" line)
+      go ()
+    end
+    else begin
+      let start = !pos in
+      while !pos < len && not (String.contains terms line_body.[!pos]) do
+        incr pos
+      done;
+      match String.trim (String.sub line_body start (!pos - start)) with
+      | "" -> Ok None
+      | name -> Ok (Some name)
+    end
+  in
+  (* Comma-separated names until the closing character, which is left
+     unconsumed. *)
+  let name_list terms close =
+    let rec go acc =
+      skip_ws ();
+      if peek () = Some close && acc = [] then Ok []
+      else
+        let* name = name_token terms in
+        match name with
+        | None -> fail "expected a name"
+        | Some name -> (
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                incr pos;
+                go (name :: acc)
+            | Some c when c = close -> Ok (List.rev (name :: acc))
+            | _ -> fail (Printf.sprintf "expected ',' or '%c'" close))
+    in
+    go []
+  in
+  let vertex name =
+    match
+      Array.to_seq h.Hypergraph.vertex_names
+      |> Seq.mapi (fun i n -> (i, n))
+      |> Seq.find (fun (_, n) -> n = name)
+    with
+    | Some (i, _) -> Ok i
+    | None -> Error (Printf.sprintf "unknown vertex %s" name)
+  in
+  let edge name =
+    match
+      Array.to_seq h.Hypergraph.edge_names
+      |> Seq.mapi (fun i n -> (i, n))
+      |> Seq.find (fun (_, n) -> n = name)
+    with
+    | Some (i, _) -> Ok i
+    | None -> Error (Printf.sprintf "unknown edge %s" name)
+  in
+  let rec map_all f = function
+    | [] -> Ok []
+    | x :: rest ->
+        let* y = f x in
+        let* ys = map_all f rest in
+        Ok (y :: ys)
+  in
+  let cover_elt () =
+    let start = !pos in
+    let* name = name_token ",]~" in
+    match name with
+    | None -> fail "expected a cover edge name"
+    | Some name ->
+        skip_ws ();
+        if peek () = Some '~' then begin
+          incr pos;
+          let* () = expect '{' in
+          let* inner = name_list ",}" '}' in
+          let* () = expect '}' in
+          let label =
+            String.trim (String.sub line_body start (!pos - start))
+          in
+          let* e = edge name in
+          let* vs = map_all vertex inner in
+          Ok
+            {
+              Decomp.label;
+              vertices = Bitset.of_list h.Hypergraph.n_vertices vs;
+              source = Decomp.Subedge e;
+            }
+        end
+        else
+          let* e = edge name in
+          Ok
+            {
+              Decomp.label = name;
+              vertices = Hypergraph.edge h e;
+              source = Decomp.Original e;
+            }
+  in
+  let* () = expect '{' in
+  let* bag_names = name_list ",}" '}' in
+  let* () = expect '}' in
+  skip_ws ();
+  let* () = expect '[' in
+  let* cover =
+    let rec go acc =
+      skip_ws ();
+      if peek () = Some ']' && acc = [] then Ok []
+      else
+        let* c = cover_elt () in
+        skip_ws ();
+        match peek () with
+        | Some ',' ->
+            incr pos;
+            go (c :: acc)
+        | Some ']' -> Ok (List.rev (c :: acc))
+        | _ -> fail "expected ',' or ']'"
+    in
+    go []
+  in
+  let* () = expect ']' in
+  skip_ws ();
+  if !pos <> len then fail "trailing characters"
+  else
+    let* bag_ids = map_all vertex bag_names in
+    Ok (Bitset.of_list h.Hypergraph.n_vertices bag_ids, cover)
 
 let indent_of line =
   let i = ref 0 in

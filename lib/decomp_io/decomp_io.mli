@@ -11,7 +11,12 @@
     v}
 
     Cover labels must name edges of the hypergraph the file is later
-    validated against; subedges are written as [name~{a,b}]. *)
+    validated against; subedges are written as [name~{a,b}]. Names that
+    contain the format's own punctuation (or any non-identifier
+    character) are emitted as ["..."] with [\\]-escaped ['"'] and
+    ['\\'] — the {!Hg.Hypergraph.pp} convention — so the text
+    round-trips arbitrary names exactly (the result cache replays
+    witnesses through this format, whatever the instance names are). *)
 
 val to_text : Hg.Hypergraph.t -> Decomp.t -> string
 

@@ -13,14 +13,14 @@ type context = {
 }
 
 let prepare ?(seed = 2019) ?(scale = 1.0) ?(budget_seconds = 1.0) ?budget
-    ?(max_k = 8) ?jobs () =
+    ?(max_k = 8) ?jobs ?cache () =
   let budget =
     match budget with
     | Some b -> b
     | None -> fun () -> Kit.Deadline.of_seconds budget_seconds
   in
   let instances = Repository.build ~seed ~scale () in
-  let records = Analysis.analyze ~budget ~max_k ?jobs instances in
+  let records = Analysis.analyze ~budget ~max_k ?jobs ?cache instances in
   let ghd = Analysis.ghd_comparison ~budget ?jobs records in
   let frac = Analysis.fractional ~budget ?jobs records in
   { instances; records; ghd; frac; stats = Kit.Metrics.snapshot () }
@@ -705,12 +705,18 @@ type campaign = {
 
 let prepare_campaign ?(seed = 2019) ?(scale = 1.0) ?(budget_seconds = 1.0)
     ?budget ?budget_for ?retries ?mem_mb ?(max_k = 8) ?jobs ?isolate ?wall
-    ?journal ?(resume = false) () =
+    ?shard ?cache ?journal ?(resume = false) () =
   let budget =
     match budget with
     | Some b -> b
     | None -> fun () -> Kit.Deadline.of_seconds budget_seconds
   in
+  (match shard with
+  | Some (s, n) when n < 1 || s < 0 || s >= n ->
+      invalid_arg
+        (Printf.sprintf "prepare_campaign: bad shard %d/%d (need 0 <= s < n)" s
+           n)
+  | Some _ | None -> ());
   let instances = Repository.build ~seed ~scale () in
   let find name = Repository.find instances name in
   let header = journal_header ~seed ~scale ~max_k in
@@ -719,7 +725,15 @@ let prepare_campaign ?(seed = 2019) ?(scale = 1.0) ?(budget_seconds = 1.0)
     | Some path when resume && Sys.file_exists path -> (
         match Journal.read ~path with
         | Error m -> Error (Printf.sprintf "%s: %s" path m)
-        | Ok { Journal.header = None; entries = []; corrupt } -> Ok ([], corrupt)
+        | Ok { Journal.header = None; entries = []; corrupt = 0 } -> Ok ([], 0)
+        | Ok { Journal.header = None; _ } ->
+            (* A file with content but no parseable line 1 lost its run
+               parameters; resuming against it would mix campaigns. *)
+            Error
+              (Printf.sprintf
+                 "%s: corrupt journal header (line 1 is not valid JSON); \
+                  refusing to resume"
+                 path)
         | Ok { Journal.header = Some h; entries; corrupt }
           when header_compatible header h ->
             (* An entry that no longer decodes (hand-edited, or torn in a
@@ -750,9 +764,21 @@ let prepare_campaign ?(seed = 2019) ?(scale = 1.0) ?(budget_seconds = 1.0)
         (fun (t : Analysis.task) ->
           Hashtbl.replace done_names t.Analysis.task_instance.Instance.name ())
         resumed_tasks;
+      (* The shard filter is by instance *index* in the full repository
+         list — deterministic, so shard s of n always names the same
+         instances (and matches Repository.pack's split) no matter which
+         machine runs it. The journal header carries no shard field:
+         shard journals of one campaign are mutually header-compatible
+         and merge with merge_journals. *)
+      let in_shard =
+        match shard with
+        | None -> fun _ -> true
+        | Some (s, n) -> fun idx -> idx mod n = s
+      in
       let todo =
-        List.filter
-          (fun (i : Instance.t) -> not (Hashtbl.mem done_names i.Instance.name))
+        List.filteri
+          (fun idx (i : Instance.t) ->
+            in_shard idx && not (Hashtbl.mem done_names i.Instance.name))
           instances
       in
       (* (Re)write the journal: fresh runs get header-only; resumes get the
@@ -771,7 +797,7 @@ let prepare_campaign ?(seed = 2019) ?(scale = 1.0) ?(budget_seconds = 1.0)
          ghd/fractional passes spawn any domains, keeping fork safe. *)
       let tasks_run =
         Analysis.analyze_outcomes ~budget ?budget_for ?retries ?mem_mb ~max_k
-          ?jobs ?isolate ?wall ?on_done todo
+          ?jobs ?isolate ?wall ?cache ?on_done todo
       in
       Option.iter Journal.close writer;
       (* Stitch resumed and fresh tasks back into instance order so every
@@ -799,6 +825,99 @@ let prepare_campaign ?(seed = 2019) ?(scale = 1.0) ?(budget_seconds = 1.0)
           resumed = List.length resumed_tasks;
           journal_corrupt;
         }
+
+(* Merge shard journals (or any interrupted fragments of one campaign)
+   into a single journal equivalent to the unsharded run's. Headers must
+   all be present and mutually compatible — the same refusal rule as
+   resume. Entries are deduplicated by instance name, first occurrence
+   wins, and reordered to repository instance order (seed and scale come
+   from the header), so the merged file is byte-deterministic in its
+   inputs regardless of shard interleaving. *)
+let merge_journals ~into paths =
+  match paths with
+  | [] -> Error "merge_journals: no input journals"
+  | first_path :: _ -> (
+      let rec read_all acc = function
+        | [] -> Ok (List.rev acc)
+        | path :: rest -> (
+            match Journal.read ~path with
+            | Error m -> Error (Printf.sprintf "%s: %s" path m)
+            | Ok { Journal.header = None; _ } ->
+                Error
+                  (Printf.sprintf
+                     "%s: corrupt or missing journal header (line 1)" path)
+            | Ok { Journal.header = Some h; entries; corrupt } ->
+                read_all ((path, h, entries, corrupt) :: acc) rest)
+      in
+      match read_all [] paths with
+      | Error _ as e -> e
+      | Ok parts -> (
+          let _, first_header, _, _ = List.hd parts in
+          match
+            List.find_opt
+              (fun (_, h, _, _) -> not (header_compatible first_header h))
+              parts
+          with
+          | Some (path, _, _, _) ->
+              Error
+                (Printf.sprintf
+                   "%s: journal belongs to a different campaign than %s \
+                    (seed/scale/max_k mismatch)"
+                   path first_path)
+          | None ->
+              let seen = Hashtbl.create 256 in
+              let merged = ref [] in
+              let corrupt = ref 0 in
+              List.iter
+                (fun (_, _, entries, c) ->
+                  corrupt := !corrupt + c;
+                  List.iter
+                    (fun e ->
+                      match field "instance" J.string_value e with
+                      | None -> incr corrupt
+                      | Some name ->
+                          if not (Hashtbl.mem seen name) then begin
+                            Hashtbl.replace seen name ();
+                            merged := (name, e) :: !merged
+                          end)
+                    entries)
+                parts;
+              (* Reorder to instance order when the header still decodes
+                 to generator parameters; entries for unknown names keep
+                 their first-seen order at the tail. *)
+              let order =
+                let* seed = field "seed" J.to_int first_header in
+                let* scale = field "scale" J.to_float first_header in
+                Some (Repository.build ~seed ~scale ())
+              in
+              let merged = List.rev !merged in
+              let merged =
+                match order with
+                | None -> List.map snd merged
+                | Some instances ->
+                    let tbl = Hashtbl.create 256 in
+                    List.iter (fun (n, e) -> Hashtbl.replace tbl n e) merged;
+                    let in_order =
+                      List.filter_map
+                        (fun (i : Instance.t) ->
+                          match Hashtbl.find_opt tbl i.Instance.name with
+                          | Some e ->
+                              Hashtbl.remove tbl i.Instance.name;
+                              Some e
+                          | None -> None)
+                        instances
+                    in
+                    let stragglers =
+                      List.filter_map
+                        (fun (n, e) ->
+                          if Hashtbl.mem tbl n then Some e else None)
+                        merged
+                    in
+                    in_order @ stragglers
+              in
+              Journal.close
+                (Journal.start ~path:into ~header:first_header ~entries:merged);
+              Ok (List.length merged, !corrupt)))
 
 let campaign_summary c =
   let buf = Buffer.create 256 in

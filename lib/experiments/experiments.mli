@@ -26,10 +26,12 @@ val prepare :
   ?budget:(unit -> Kit.Deadline.t) ->
   ?max_k:int ->
   ?jobs:int ->
+  ?cache:Benchlib.Result_cache.t ->
   unit ->
   context
 (** Build the repository and run the shared hw / ghw / fractional
-    analyses. [budget_seconds] (default 1.0) is the per-run timeout — the
+    analyses. [cache] consults/feeds a content-addressed
+    {!Benchlib.Result_cache} during the hw ladder. [budget_seconds] (default 1.0) is the per-run timeout — the
     scaled-down stand-in for the paper's 3600 s; [budget] overrides it
     with an arbitrary per-run deadline factory (e.g.
     [Kit.Deadline.of_fuel] for bit-reproducible runs). [jobs] (default
@@ -115,6 +117,8 @@ val prepare_campaign :
   ?jobs:int ->
   ?isolate:bool ->
   ?wall:(attempt:int -> float) ->
+  ?shard:int * int ->
+  ?cache:Benchlib.Result_cache.t ->
   ?journal:string ->
   ?resume:bool ->
   unit ->
@@ -140,12 +144,39 @@ val prepare_campaign :
     journal, so the final tables equal those of the uninterrupted run.
     A journal written under different [seed]/[scale]/[max_k] is
     rejected ([Error]), since mixing two campaigns would corrupt every
-    aggregate; corrupt journal lines are skipped, counted, and their
-    instances simply rerun.
+    aggregate; a journal with content whose line 1 does not parse has
+    lost its run parameters and is likewise rejected; corrupt entry
+    lines are skipped, counted, and their instances simply rerun.
+
+    [shard (s, n)] restricts the run to instances whose index in the
+    full repository list satisfies [index mod n = s] — a deterministic
+    split (matching {!Benchlib.Repository.pack}), so [n] machines each
+    running one shard into its own journal cover every instance exactly
+    once; {!merge_journals} then rebuilds the unsharded journal. The
+    header carries no shard field, keeping shard journals mutually
+    header-compatible.
+
+    [cache] consults/feeds a {!Benchlib.Result_cache} at every
+    Check(HD,k) level (validated hits replace solves; definitive
+    verdicts are stored; timeouts pass through uncached), so a repeated
+    campaign under the same fuel budget produces identical tables while
+    skipping the solves.
 
     The ghd/fractional passes run on the stitched record list each
     time — under a fuel budget their verdicts are deterministic, so
     resume reproduces them exactly. *)
+
+val merge_journals : into:string -> string list -> (int * int, string) result
+(** Merge the journals at [paths] — typically one per campaign shard —
+    into a single journal at [into], atomically written. All inputs
+    must have a parseable, mutually header-compatible line 1 (same
+    refusal rules as resume). Entries are deduplicated by instance name
+    (first occurrence wins) and reordered to repository instance order,
+    so the output is deterministic in its inputs — shard journals merge
+    to the same file no matter how each shard's completions interleaved.
+    Resuming a campaign from the merged journal reruns nothing and
+    renders tables identical (measured seconds aside) to the unsharded
+    run's. Returns [Ok (entries, corrupt_lines_skipped)]. *)
 
 val campaign_summary : campaign -> string
 (** Deterministic one-screen digest: outcome counts, resume/retry

@@ -73,17 +73,33 @@ let read ~path =
             | l -> lines (l :: acc)
             | exception End_of_file -> List.rev acc
           in
-          let rec go header entries corrupt = function
-            | [] -> Ok { header; entries = List.rev entries; corrupt }
+          let rec go entries corrupt = function
+            | [] -> (List.rev entries, corrupt)
             | line :: rest -> (
-                if String.trim line = "" then go header entries corrupt rest
+                if String.trim line = "" then go entries corrupt rest
                 else
                   match Kit.Json.of_string line with
                   | Error _ ->
                       Kit.Metrics.incr m_corrupt;
-                      go header entries (corrupt + 1) rest
-                  | Ok v ->
-                      if header = None then go (Some v) entries corrupt rest
-                      else go header (v :: entries) corrupt rest)
+                      go entries (corrupt + 1) rest
+                  | Ok v -> go (v :: entries) corrupt rest)
           in
-          go None [] 0 (lines []))
+          (* Only the literal first line can be the header. The previous
+             behaviour — promote the first line that happens to parse —
+             silently turned a campaign entry into the header whenever
+             line 1 was corrupt, so a resume would then "validate" the
+             run parameters against an entry and carry on against the
+             wrong configuration. A journal that has content but no
+             parseable line 1 now reads back as [header = None] (plus a
+             corrupt tick), which resume refuses. *)
+          match lines [] with
+          | [] -> Ok { header = None; entries = []; corrupt = 0 }
+          | first :: rest -> (
+              match Kit.Json.of_string first with
+              | Ok header ->
+                  let entries, corrupt = go [] 0 rest in
+                  Ok { header = Some header; entries; corrupt }
+              | Error _ ->
+                  Kit.Metrics.incr m_corrupt;
+                  let entries, corrupt = go [] 1 rest in
+                  Ok { header = None; entries; corrupt }))

@@ -38,7 +38,10 @@ val close : t -> unit
     so [--stats] surfaces it. *)
 
 type contents = {
-  header : Kit.Json.t option;  (** [None] only for an empty file *)
+  header : Kit.Json.t option;
+      (** the parsed {e first line} — [None] for an empty file {e or}
+          when line 1 is unparseable (the latter also counts as a
+          corrupt line, and resume refuses it) *)
   entries : Kit.Json.t list;  (** valid entry lines, in file order *)
   corrupt : int;
       (** unparseable lines skipped — normally 0 or, after a kill mid-
@@ -47,5 +50,9 @@ type contents = {
 }
 
 val read : path:string -> (contents, string) result
-(** Parse a journal back. Corrupt lines are skipped and counted, never
-    fatal; [Error] means the file itself could not be read. *)
+(** Parse a journal back. Only the literal line 1 can be the header: if
+    it is unparseable, [header] is [None] and the line counts as
+    corrupt — later entry lines are {e never} promoted to header (they
+    would impersonate the run parameters). Corrupt entry lines are
+    skipped and counted, never fatal; [Error] means the file itself
+    could not be read. *)

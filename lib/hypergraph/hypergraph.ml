@@ -145,22 +145,74 @@ let equal_structure a b =
        canon a = canon b
      end
 
+(* The canonical fingerprint: a 64-bit digest of the sorted edge
+   multiset over vertex *names* — the same canon [equal_structure]
+   compares — so it is invariant under any vertex or edge
+   renumbering/reordering, yet distinguishes structurally distinct
+   graphs (including duplicate-edge multiplicity, which [dedup_edges]
+   erases). Every variable-length field is length-framed, making the
+   hashed byte stream injective in the canon. Persisted on disk (result
+   cache keys, packed-repository entries), so the digest must never
+   change across versions — it is pinned by tests. *)
+let fingerprint h =
+  let canon =
+    Array.to_list h.edges
+    |> List.map (fun e ->
+           List.sort compare
+             (List.map (fun v -> h.vertex_names.(v)) (Bitset.to_list e)))
+    |> List.sort compare
+  in
+  let open Kit.Hash64 in
+  List.fold_left
+    (fun acc edge ->
+      let acc = add_int acc (List.length edge) in
+      List.fold_left
+        (fun acc name -> add_string (add_int acc (String.length name)) name)
+        acc edge)
+    (add_int init (List.length canon))
+    canon
+  |> to_hex
+
+(* --- text format --------------------------------------------------------- *)
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+  || c = '_' || c = '-' || c = ':' || c = '.' || c = '[' || c = ']' || c = '\''
+
+(* Names outside the identifier alphabet (space, '(', ',', '%', ...)
+   would be emitted verbatim and then fail or mis-split on re-parse; they
+   are quoted instead, with '\' escaping '"' and '\', so to_string/parse
+   round-trips arbitrary names exactly. *)
+let quote_name name =
+  if name <> "" && String.for_all is_ident_char name then name
+  else begin
+    let buf = Buffer.create (String.length name + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' || c = '\\' then Buffer.add_char buf '\\';
+        Buffer.add_char buf c)
+      name;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+
 let pp fmt h =
   let n = h.n_edges in
   Array.iteri
     (fun i e ->
-      let vs = Bitset.to_list e |> List.map (fun v -> h.vertex_names.(v)) in
-      Format.fprintf fmt "%s(%s)%s@." h.edge_names.(i) (String.concat "," vs)
+      let vs =
+        Bitset.to_list e |> List.map (fun v -> quote_name h.vertex_names.(v))
+      in
+      Format.fprintf fmt "%s(%s)%s@."
+        (quote_name h.edge_names.(i))
+        (String.concat "," vs)
         (if i = n - 1 then "." else ","))
     h.edges
 
 let to_string h = Format.asprintf "%a" pp h
 
 (* --- parsing ------------------------------------------------------------ *)
-
-let is_ident_char c =
-  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
-  || c = '_' || c = '-' || c = ':' || c = '.' || c = '[' || c = ']' || c = '\''
 
 let parse text =
   let pos = ref 0 in
@@ -192,22 +244,53 @@ let parse text =
     while !pos < len && is_ident_char text.[!pos] do incr pos done;
     if !pos = start then None else Some (String.sub text start (!pos - start))
   in
+  (* A name is either a bare identifier or a '"'-quoted string with '\'
+     escapes (the form [pp] emits for names outside the identifier
+     alphabet). [Error] is reserved for an unterminated quote; a plain
+     missing name is [Ok None] so callers keep their own diagnostics. *)
+  let name_token () =
+    if !pos < len && text.[!pos] = '"' then begin
+      incr pos;
+      let buf = Buffer.create 16 in
+      let rec go () =
+        if !pos >= len then error "unterminated quoted name"
+        else
+          match text.[!pos] with
+          | '"' ->
+              incr pos;
+              Ok (Some (Buffer.contents buf))
+          | '\\' when !pos + 1 < len ->
+              Buffer.add_char buf text.[!pos + 1];
+              pos := !pos + 2;
+              go ()
+          | '\\' -> error "unterminated quoted name"
+          | c ->
+              Buffer.add_char buf c;
+              incr pos;
+              go ()
+      in
+      go ()
+    end
+    else Ok (ident ())
+  in
   let rec atoms acc =
     skip_ws ();
     if !pos >= len then Ok (List.rev acc)
     else
-      match ident () with
-      | None -> error "expected edge name"
-      | Some name -> (
+      match name_token () with
+      | Error m -> Error m
+      | Ok None -> error "expected edge name"
+      | Ok (Some name) -> (
           skip_ws ();
           if !pos >= len || text.[!pos] <> '(' then error "expected '('"
           else begin
             incr pos;
             let rec verts vacc =
               skip_ws ();
-              match ident () with
-              | None -> error "expected vertex name"
-              | Some v -> (
+              match name_token () with
+              | Error m -> Error m
+              | Ok None -> error "expected vertex name"
+              | Ok (Some v) -> (
                   skip_ws ();
                   if !pos < len && text.[!pos] = ',' then begin
                     incr pos;

@@ -71,18 +71,32 @@ val covers : t -> Kit.Bitset.t -> Kit.Bitset.t -> bool
     union of the edges [lambda]? *)
 
 val equal_structure : t -> t -> bool
-(** Same vertex count and same multiset of edge vertex sets (names
-    ignored). *)
+(** Same vertex count, edge count, and same multiset of edge vertex sets
+    compared via vertex {e names} (so the relation is stable under any
+    renumbering; edge names are ignored). *)
+
+val fingerprint : t -> string
+(** Canonical content fingerprint: 16 lowercase hex characters of a
+    64-bit digest ({!Kit.Hash64}) over the sorted edge multiset on
+    vertex names — the canon of {!equal_structure}. Invariant under any
+    vertex or edge reordering/renumbering and under every serialisation
+    round-trip; graphs distinct up to {!dedup_edges} get distinct
+    fingerprints (64-bit birthday bound). This is the key of the
+    content-addressed result cache and the packed repository, so its
+    value is stable across versions (pinned by tests). *)
 
 val pp : Format.formatter -> t -> unit
 (** HyperBench text format: one [name(v1,v2,...)] per line, comma-separated,
-    final full stop. *)
+    final full stop. Names outside the identifier alphabet (or empty)
+    are emitted as ["..."] with [\\]-escaped ['"'] and ['\\'], so the
+    output re-parses to the exact same names. *)
 
 val to_string : t -> string
 
 val parse : string -> (t, string) result
 (** Parse the HyperBench text format produced by {!pp}. Whitespace and
-    line breaks are flexible; [%] starts a comment line. *)
+    line breaks are flexible; [%] starts a comment line; names may be
+    bare identifiers or ["..."]-quoted strings. *)
 
 val parse_file : string -> (t, string) result
 (** All read failures — missing file, I/O error, file truncated while

@@ -1,0 +1,29 @@
+(** Streaming 64-bit FNV-1a hash.
+
+    Deterministic across runs, platforms and OCaml versions (unlike
+    [Hashtbl.hash], which is neither specified nor stable), so the
+    digests are safe to persist: they name content-addressed cache
+    entries and fingerprint hypergraphs on disk. Not cryptographic —
+    collision resistance is the 64-bit birthday bound, which is ample
+    for content addressing a million-instance corpus but no defence
+    against an adversary crafting collisions. *)
+
+type t = int64
+(** Hash state; also the final digest. Immutable — each [add_*] returns
+    a new state, so prefixes can be shared. *)
+
+val init : t
+(** The FNV-1a offset basis. *)
+
+val add_char : t -> char -> t
+val add_string : t -> string -> t
+(** Feeds the raw bytes. Note [add_string] is not length-prefixed:
+    frame variable-length fields with {!add_int} of their length when
+    injectivity of the input stream matters. *)
+
+val add_int : t -> int -> t
+(** Feeds the 8 little-endian bytes of the int, so values are
+    self-delimiting. *)
+
+val to_hex : t -> string
+(** 16 lowercase hex characters. *)

@@ -1,0 +1,38 @@
+exception Corrupt of string
+
+let write buf n =
+  if n < 0 then invalid_arg "Varint.write: negative";
+  let rec go n =
+    if n < 0x80 then Buffer.add_char buf (Char.chr n)
+    else begin
+      Buffer.add_char buf (Char.chr (0x80 lor (n land 0x7f)));
+      go (n lsr 7)
+    end
+  in
+  go n
+
+let read s pos =
+  let len = String.length s in
+  let rec go acc shift =
+    if !pos >= len then raise (Corrupt "truncated varint");
+    (* 9 * 7 = 63 bits: a 10th byte cannot contribute without overflow. *)
+    if shift > 62 then raise (Corrupt "varint overflow");
+    let b = Char.code s.[!pos] in
+    incr pos;
+    let acc = acc lor ((b land 0x7f) lsl shift) in
+    if acc < 0 then raise (Corrupt "varint overflow");
+    if b land 0x80 = 0 then acc else go acc (shift + 7)
+  in
+  go 0 0
+
+let write_string buf s =
+  write buf (String.length s);
+  Buffer.add_string buf s
+
+let read_string s pos =
+  let n = read s pos in
+  if n < 0 || !pos + n > String.length s then
+    raise (Corrupt "truncated string");
+  let r = String.sub s !pos n in
+  pos := !pos + n;
+  r

@@ -1,0 +1,29 @@
+(** LEB128-style variable-length integer encoding, plus length-prefixed
+    strings — the primitives of the compact binary repository format.
+
+    Non-negative ints encode in 1 byte below 128, 2 bytes below 16384,
+    and so on (7 payload bits per byte, little-endian, high bit =
+    continuation). Decoding is bounds- and overflow-checked: a truncated
+    or oversized varint raises {!Corrupt} rather than returning garbage,
+    so a torn shard file surfaces as a clean per-entry error. *)
+
+exception Corrupt of string
+(** Raised by the [read_*] functions on truncation, overflow, or a
+    length prefix pointing past the end of the input. *)
+
+val write : Buffer.t -> int -> unit
+(** Append the varint encoding of a non-negative int.
+    @raise Invalid_argument on a negative argument. *)
+
+val read : string -> int ref -> int
+(** Decode a varint at [!pos], advancing [pos] past it.
+    @raise Corrupt on truncated input or a value that does not fit in an
+    OCaml int. *)
+
+val write_string : Buffer.t -> string -> unit
+(** Append a varint byte length followed by the raw bytes; round-trips
+    arbitrary strings (including NUL bytes and invalid UTF-8) exactly. *)
+
+val read_string : string -> int ref -> string
+(** Decode a length-prefixed string at [!pos], advancing [pos].
+    @raise Corrupt on truncation. *)

@@ -71,7 +71,7 @@ let load_tolerates_corruption () =
   let first = (List.hd instances).B.Instance.name in
   (* Truncate one .hg file mid-edge, then append an unknown-group entry
      and a torn line to the index. *)
-  let oc = open_out (Filename.concat dir (first ^ ".hg")) in
+  let oc = open_out (Filename.concat dir (B.Repository.hg_filename first)) in
   output_string oc "e0(v0,";
   close_out oc;
   let oc =
