@@ -535,6 +535,209 @@ module Repo_bench = struct
     end
 end
 
+(* --- serve: daemon load bench ------------------------------------------------ *)
+
+(* Closed-loop load against a warmed in-process hyperbenchd: HB_SERVE_CLIENTS
+   keep-alive clients each issue HB_SERVE_REQS requests cycling a small
+   fuel-budgeted corpus. Reports p50/p99 latency, throughput and error
+   count into BENCH_serve.json; HB_PERF_CHECK names a threshold file
+   ("max_errors N" / "min_rps R" / "max_p99_ms M" lines) that turns a
+   regression into exit 7 — the CI serve-gate. Latencies are wall-clock
+   and machine-dependent; the verdicts inside the responses are not
+   (fuel budget), so errors are a hard signal. *)
+module Serve_bench = struct
+  let rec rm_rf path =
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+  let percentile sorted p =
+    let n = Array.length sorted in
+    if n = 0 then 0.0
+    else
+      sorted.(max 0
+                (min (n - 1)
+                   (int_of_float ((p /. 100. *. float_of_int (n - 1)) +. 0.5))))
+
+  let check_thresholds path ~errors ~rps ~p99 =
+    let ic = open_in path in
+    let rules = ref [] in
+    (try
+       while true do
+         let line = String.trim (input_line ic) in
+         if line <> "" && line.[0] <> '#' then
+           match String.split_on_char ' ' line |> List.filter (( <> ) "") with
+           | [ key; limit ] -> rules := (key, float_of_string limit) :: !rules
+           | _ -> failwith (Printf.sprintf "bad threshold line: %S" line)
+       done
+     with End_of_file -> close_in ic);
+    let failures =
+      List.filter_map
+        (fun (key, limit) ->
+          let fail fmt = Some (Printf.sprintf fmt limit) in
+          match key with
+          | "max_errors" when float_of_int errors > limit ->
+              fail "errors above max_errors %.0f"
+          | "min_rps" when rps < limit -> fail "throughput below min_rps %.0f"
+          | "max_p99_ms" when p99 > limit -> fail "p99 above max_p99_ms %.0f"
+          | "max_errors" | "min_rps" | "max_p99_ms" -> None
+          | k -> Some (Printf.sprintf "unknown serve threshold %S" k))
+        !rules
+    in
+    if failures <> [] then begin
+      List.iter (Printf.eprintf "serve regression: %s\n") failures;
+      Printf.eprintf "serve: %d threshold(s) violated (errors=%d rps=%.1f p99=%.1fms)\n%!"
+        (List.length failures) errors rps p99;
+      exit 7
+    end
+
+  let main ~seed () =
+    Kit.Metrics.enabled := true;
+    let clients = max 1 (env_int "HB_SERVE_CLIENTS" 8) in
+    let reqs = max 1 (env_int "HB_SERVE_REQS" 50) in
+    let fuel =
+      let f = env_int "HB_FUEL" 0 in
+      if f > 0 then f else 50_000
+    in
+    (* Small corpus of generated CSP hypergraphs (plus the triangle):
+       enough shape variety to mix cache hits, parses and real solves. *)
+    let rng = Kit.Rng.create seed in
+    let corpus =
+      "e1(a,b),e2(b,c),e3(c,a)."
+      :: List.map
+           (fun (nv, nc) ->
+             Hg.Hypergraph.to_string
+               (Gen.Random_csp.random rng ~n_variables:nv ~n_constraints:nc
+                  ~max_arity:3))
+           [ (8, 10); (12, 16); (16, 22); (20, 28) ]
+    in
+    let cache_dir =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "hb_serve_bench_%d" (Unix.getpid ()))
+    in
+    if Sys.file_exists cache_dir then rm_rf cache_dir;
+    Unix.mkdir cache_dir 0o755;
+    let svc =
+      {
+        Benchlib.Service.cache =
+          Some (Benchlib.Result_cache.create ~dir:cache_dir);
+        isolate = false;
+        mem_mb = None;
+        default_timeout = 10.0;
+        max_timeout = 30.0;
+        max_k = 4;
+      }
+    in
+    let cfg =
+      {
+        (Serve.Server.default_config ()) with
+        Serve.Server.port = 0;
+        jobs = max 2 (env_int "HB_JOBS" 4);
+        queue = 256;
+        rate = 0.;
+      }
+    in
+    let srv = Serve.Server.create cfg (Benchlib.Service.handler svc) in
+    let th = Thread.create (fun () -> Serve.Server.serve srv) () in
+    let port = Serve.Server.port srv in
+    let host = "127.0.0.1" in
+    let target = Printf.sprintf "/decompose?k=3&fuel=%d" fuel in
+    let headers = [ ("Content-Type", "application/x-hyperbench") ] in
+    let do_one conn body =
+      match Serve.Client.request conn ~headers ~body "POST" target with
+      | Ok r when r.Serve.Client.status = 200 -> true
+      | Ok _ | Error _ -> false
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        Serve.Server.stop srv;
+        Thread.join th;
+        rm_rf cache_dir)
+      (fun () ->
+        (* warm: every corpus entry solved once, cache filled *)
+        let wc = Serve.Client.connect ~host ~port () in
+        let warm_ok = List.for_all (do_one wc) corpus in
+        Serve.Client.close wc;
+        if not warm_ok then begin
+          Printf.eprintf "serve bench: warmup request failed\n%!";
+          exit 6
+        end;
+        let hits_before =
+          Kit.Metrics.get (Kit.Metrics.snapshot ()) "cache.hit"
+        in
+        let corpus_arr = Array.of_list corpus in
+        let errors = Atomic.make 0 in
+        let lat = Array.init clients (fun _ -> Array.make reqs 0.0) in
+        let t0 = Unix.gettimeofday () in
+        let threads =
+          List.init clients (fun ci ->
+              Thread.create
+                (fun () ->
+                  let conn = Serve.Client.connect ~host ~port () in
+                  Fun.protect
+                    ~finally:(fun () -> Serve.Client.close conn)
+                    (fun () ->
+                      for i = 0 to reqs - 1 do
+                        let body =
+                          corpus_arr.((ci + i) mod Array.length corpus_arr)
+                        in
+                        let r0 = Unix.gettimeofday () in
+                        if not (do_one conn body) then
+                          Atomic.incr errors;
+                        lat.(ci).(i) <- (Unix.gettimeofday () -. r0) *. 1000.
+                      done))
+                ())
+        in
+        List.iter Thread.join threads;
+        let latencies = Array.concat (Array.to_list lat) in
+        let wall = Unix.gettimeofday () -. t0 in
+        Array.sort compare latencies;
+        let total = clients * reqs in
+        let errors = Atomic.get errors in
+        let rps = float_of_int total /. Float.max wall 1e-9 in
+        let p50 = percentile latencies 50. in
+        let p99 = percentile latencies 99. in
+        let hits =
+          Kit.Metrics.get (Kit.Metrics.snapshot ()) "cache.hit" - hits_before
+        in
+        Printf.printf
+          "serve: %d clients x %d reqs  %.1f req/s  p50 %.2f ms  p99 %.2f ms  \
+           errors %d  cache hits %d\n"
+          clients reqs rps p50 p99 errors hits;
+        let json =
+          Kit.Json.(
+            to_string
+              (Obj
+                 [
+                   ("schema", String "hyperbench-serve/1");
+                   ("clients", Int clients);
+                   ("requests_per_client", Int reqs);
+                   ("total_requests", Int total);
+                   ("fuel", Int fuel);
+                   ("corpus", Int (Array.length corpus_arr));
+                   ("wall_seconds", Float wall);
+                   ("requests_per_sec", Float rps);
+                   ("p50_ms", Float p50);
+                   ("p99_ms", Float p99);
+                   ("errors", Int errors);
+                   ("cache_hits", Int hits);
+                 ]))
+        in
+        let path = "BENCH_serve.json" in
+        let oc = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () -> output_string oc json);
+        Printf.printf "Wrote %s\n" path;
+        (* any transport or HTTP failure under plain load is a bug, not
+           load shedding: the queue above is deeper than clients *)
+        match Sys.getenv_opt "HB_PERF_CHECK" with
+        | Some p when p <> "" -> check_thresholds p ~errors ~rps ~p99
+        | Some _ | None -> ())
+end
+
 (* --- main ------------------------------------------------------------------- *)
 
 let () =
@@ -635,5 +838,6 @@ let () =
     Kit.Metrics.enabled := false
   end;
   if wants "repo" then Repo_bench.main ~seed ~scale ~jobs ();
+  if wants "serve" then Serve_bench.main ~seed ();
   if wants "perf" then Perf.main ();
   if wants "micro" then micro ()

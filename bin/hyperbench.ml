@@ -799,6 +799,131 @@ let campaign_cmd =
       $ journal $ resume $ retries $ mem_limit $ isolate_arg $ shard $ cache
       $ tables $ stats_arg $ stats_json_arg)
 
+(* --- serve ---------------------------------------------------------------- *)
+
+let serve_cmd =
+  let run host port jobs queue rate max_body timeout isolate mem_mb cache =
+    (* The daemon always records: /metrics is part of the surface. *)
+    Kit.Metrics.enabled := true;
+    let scfg =
+      {
+        (Serve.Server.default_config ()) with
+        host;
+        port;
+        jobs;
+        queue;
+        rate;
+        burst = Float.max rate 8.;
+        max_body;
+      }
+    in
+    let svc =
+      {
+        (Benchlib.Service.default_config ()) with
+        Benchlib.Service.cache =
+          (match cache with
+          | Some dir -> Some (Benchlib.Result_cache.create ~dir)
+          | None -> Benchlib.Result_cache.of_env ());
+        isolate = isolate || Kit.Proc.enabled ();
+        mem_mb;
+        default_timeout = timeout;
+      }
+    in
+    match Serve.Server.create scfg (Benchlib.Service.handler svc) with
+    | exception Unix.Unix_error (e, _, _) ->
+        Printf.eprintf "hyperbench: cannot bind %s:%d: %s\n%!" host port
+          (Unix.error_message e);
+        exit_repo
+    | server ->
+        (* The startup line is part of the protocol: tests and scripts
+           parse the bound port from it (needed with --port 0). *)
+        Printf.printf "hyperbenchd listening on http://%s:%d\n%!" host
+          (Serve.Server.port server);
+        let stop _ = Serve.Server.stop server in
+        Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+        Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+        Serve.Server.serve server;
+        0
+  in
+  let dcfg = Serve.Server.default_config () in
+  let host =
+    Arg.(
+      value
+      & opt string dcfg.Serve.Server.host
+      & info [ "host" ] ~docv:"ADDR" ~doc:"Bind address.")
+  in
+  let port =
+    Arg.(
+      value
+      & opt int dcfg.Serve.Server.port
+      & info [ "p"; "port" ] ~docv:"PORT"
+          ~doc:
+            "TCP port (default: $(b,HB_PORT) or 8080); 0 picks an \
+             ephemeral port, printed in the startup line.")
+  in
+  let queue =
+    Arg.(
+      value
+      & opt int dcfg.Serve.Server.queue
+      & info [ "queue" ] ~docv:"N"
+          ~doc:
+            "Admission queue depth (default: $(b,HB_QUEUE) or 64); beyond \
+             it new connections get 429 + Retry-After.")
+  in
+  let rate =
+    Arg.(
+      value
+      & opt float dcfg.Serve.Server.rate
+      & info [ "rate" ] ~docv:"R"
+          ~doc:
+            "Per-client token-bucket rate limit in requests/second \
+             (default: $(b,HB_RATE); 0 disables).")
+  in
+  let max_body =
+    Arg.(
+      value
+      & opt int dcfg.Serve.Server.max_body
+      & info [ "max-body" ] ~docv:"BYTES"
+          ~doc:
+            "Request body cap (default: $(b,HB_MAX_BODY) or 8 MiB); larger \
+             payloads get 413.")
+  in
+  let req_timeout =
+    Arg.(
+      value
+      & opt float 10.0
+      & info [ "timeout" ] ~docv:"SECONDS"
+          ~doc:"Default per-request solve budget (clients may lower it).")
+  in
+  let mem_limit =
+    Arg.(
+      value
+      & opt (some int) (Kit.Guard.mem_budget_mb ())
+      & info [ "mem-limit" ] ~docv:"MB"
+          ~doc:
+            "Hard memory rlimit per isolated request (default: \
+             $(b,HB_MEM_MB)); needs $(b,--isolate).")
+  in
+  let cache =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache" ] ~docv:"DIR"
+          ~doc:
+            "Serve repeat queries from the content-addressed result cache \
+             (default: the $(b,HB_CACHE) environment knob).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run hyperbenchd: a persistent HTTP daemon answering POST \
+          /decompose with width and decomposition JSON, with /healthz and \
+          /metrics. Graceful drain on SIGTERM/SIGINT: stop accepting, \
+          answer everything already accepted, exit 0.")
+    Term.(
+      const run $ host $ port $ jobs_arg $ queue $ rate $ max_body
+      $ req_timeout $ isolate_arg $ mem_limit $ cache)
+
 let () =
   let info =
     Cmd.info "hyperbench" ~version:"1.0"
@@ -815,7 +940,7 @@ let () =
       [
         build_cmd; list_cmd; analyze_cmd; decompose_cmd; validate_cmd;
         improve_cmd; convert_sql_cmd; convert_xcsp_cmd; stats_cmd;
-        repo_cmd; merge_journals_cmd; campaign_cmd;
+        repo_cmd; merge_journals_cmd; campaign_cmd; serve_cmd;
       ]
   in
   (* Last-resort containment: anything that escapes a command becomes one

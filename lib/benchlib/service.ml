@@ -1,0 +1,363 @@
+type config = {
+  cache : Result_cache.t option;
+  isolate : bool;
+  mem_mb : int option;
+  default_timeout : float;
+  max_timeout : float;
+  max_k : int;
+}
+
+let default_config () =
+  {
+    cache = Result_cache.of_env ();
+    isolate = Kit.Proc.enabled ();
+    mem_mb = Kit.Guard.mem_budget_mb ();
+    default_timeout = 10.0;
+    max_timeout = 60.0;
+    max_k = 8;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Payload parsing                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let media_type (req : Serve.Http.request) =
+  match Serve.Http.header req "content-type" with
+  | None -> "application/x-hyperbench"
+  | Some v -> (
+      match String.index_opt v ';' with
+      | Some i -> String.lowercase_ascii (String.trim (String.sub v 0 i))
+      | None -> String.lowercase_ascii (String.trim v))
+
+(* [Error (status, msg)] carries the HTTP status for the failure. *)
+let parse_payload (req : Serve.Http.request) =
+  let body = req.Serve.Http.body in
+  match media_type req with
+  | "text/plain" | "application/x-hyperbench" ->
+      Result.map_error (fun e -> (422, "HG parse error: " ^ e))
+        (Hg.Hypergraph.parse body)
+  | "application/x-hyperbench-binary" | "application/octet-stream" ->
+      Result.map_error (fun e -> (422, "binary decode error: " ^ e))
+        (Hg.Binary.of_string body)
+  | "application/sql" | "text/x-sql" -> (
+      match Sql.Convert.sql_to_hypergraphs body with
+      | Error e -> Error (422, "SQL parse error: " ^ e)
+      | Ok convs -> (
+          match
+            List.find_map
+              (fun (_, c) -> c.Sql.Convert.hypergraph)
+              convs
+          with
+          | Some h -> Ok h
+          | None -> Error (422, "SQL contained no convertible query")))
+  | "application/xml" | "text/xml" | "application/x-xcsp" ->
+      Result.map_error (fun e -> (422, "XCSP parse error: " ^ e))
+        (Xcsp3.Xcsp.read body)
+  | mt -> Error (415, "unsupported content type: " ^ mt)
+
+(* ------------------------------------------------------------------ *)
+(* Solving                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* What a solve produces — plain data only, it crosses a [Proc] pipe via
+   Marshal when isolation is on. *)
+type solved = {
+  s_verdict : string;  (* "yes" | "no" | "timeout" *)
+  s_k : int;  (* the level the verdict is about *)
+  s_width : int;  (* witness width, -1 when none *)
+  s_decomp : string;  (* Decomp_io.to_text witness, "" when none *)
+  s_algorithm : string;  (* deciding algorithm *)
+  s_cache : string;  (* "off" | "hit" | "miss" — every level was a hit *)
+  s_stats : Kit.Metrics.snapshot;
+}
+
+type budget = Seconds of float | Fuel of int
+
+let fresh_deadline = function
+  | Seconds s -> Kit.Deadline.of_seconds s
+  | Fuel f -> Kit.Deadline.of_fuel f
+
+let yes h d ~k ~alg =
+  {
+    s_verdict = "yes";
+    s_k = k;
+    s_width = Decomp.width d;
+    s_decomp = Decomp_io.to_text h d;
+    s_algorithm = alg;
+    s_cache = "off";
+    s_stats = Kit.Metrics.empty;
+  }
+
+let no ~k ~alg =
+  { s_verdict = "no"; s_k = k; s_width = -1; s_decomp = "";
+    s_algorithm = alg; s_cache = "off"; s_stats = Kit.Metrics.empty }
+
+let timeout ~k ~alg =
+  { s_verdict = "timeout"; s_k = k; s_width = -1; s_decomp = "";
+    s_algorithm = alg; s_cache = "off"; s_stats = Kit.Metrics.empty }
+
+(* Check(HD,k) with the cache in the loop — mirrors
+   [Analysis.analyze_one]: validated hits replace the solve, definitive
+   verdicts are written back, timeouts stay uncached. Only "hd" is
+   cache-eligible: GHD witnesses would fail the HD replay check on every
+   hit and poison the hit rate. *)
+let solve_hd_level ?cache ?sweep ~hits ~misses ~deadline h ~k =
+  match cache with
+  | None -> Detk.solve ~deadline ?sweep h ~k
+  | Some c -> (
+      match Result_cache.find c h ~meth:"hd" ~k with
+      | Some (Result_cache.Yes d) ->
+          incr hits;
+          Detk.Decomposition d
+      | Some Result_cache.No ->
+          incr hits;
+          Detk.No_decomposition
+      | None ->
+          incr misses;
+          let o = Detk.solve ~deadline ?sweep h ~k in
+          (match o with
+          | Detk.Decomposition d ->
+              Result_cache.store c h ~meth:"hd" ~k (Result_cache.Yes d)
+          | Detk.No_decomposition ->
+              Result_cache.store c h ~meth:"hd" ~k Result_cache.No
+          | Detk.Timeout -> ());
+          o)
+
+let ghd_answer (a : Detk.outcome) ~exact ~k ~alg h =
+  match a with
+  | Detk.Decomposition d -> yes h d ~k ~alg
+  | Detk.No_decomposition ->
+      (* An inexact "no" (truncated subedge set) proves nothing. *)
+      if exact then no ~k ~alg else timeout ~k ~alg
+  | Detk.Timeout -> timeout ~k ~alg
+
+(* Runs in the solving process (in-process or forked child); wraps the
+   whole solve in [local_delta] so cache hits/misses and search counters
+   recorded here travel back to the daemon with the result. *)
+let solve_once ~cfg ~meth ~k ~budget h () =
+  let hits = ref 0 and misses = ref 0 in
+  let r, delta =
+    Kit.Metrics.local_delta (fun () ->
+        match (meth, k) with
+        | "hd", Some k -> (
+            let deadline = fresh_deadline budget in
+            match
+              solve_hd_level ?cache:cfg.cache ~hits ~misses ~deadline h ~k
+            with
+            | Detk.Decomposition d -> yes h d ~k ~alg:"hd"
+            | Detk.No_decomposition -> no ~k ~alg:"hd"
+            | Detk.Timeout -> timeout ~k ~alg:"hd")
+        | "hd", None ->
+            (* Width ladder: one shared budget, one shared sweep table
+               (failure proofs accumulate across levels). *)
+            let deadline = fresh_deadline budget in
+            let sweep = Detk.sweep_cache () in
+            let rec go lvl =
+              if lvl > cfg.max_k then no ~k:cfg.max_k ~alg:"hd"
+              else
+                match
+                  solve_hd_level ?cache:cfg.cache ~hits ~misses ~sweep
+                    ~deadline h ~k:lvl
+                with
+                | Detk.Decomposition d -> yes h d ~k:lvl ~alg:"hd"
+                | Detk.No_decomposition -> go (lvl + 1)
+                | Detk.Timeout -> timeout ~k:lvl ~alg:"hd"
+            in
+            go 1
+        | "balsep", Some k ->
+            let a = Ghd.Bal_sep.solve ~deadline:(fresh_deadline budget) h ~k in
+            ghd_answer a.Ghd.Bal_sep.outcome ~exact:a.Ghd.Bal_sep.exact ~k
+              ~alg:"balsep" h
+        | "localbip", Some k ->
+            let a = Ghd.Local_bip.solve ~deadline:(fresh_deadline budget) h ~k in
+            ghd_answer a.Ghd.Local_bip.outcome ~exact:a.Ghd.Local_bip.exact ~k
+              ~alg:"localbip" h
+        | "globalbip", Some k ->
+            let a = Ghd.Global_bip.solve ~deadline:(fresh_deadline budget) h ~k in
+            ghd_answer a.Ghd.Global_bip.outcome ~exact:a.Ghd.Global_bip.exact ~k
+              ~alg:"globalbip" h
+        | "portfolio", Some k -> (
+            (* The sequential portfolio: [Portfolio.race] spawns domains,
+               which would permanently break [Unix.fork] in this
+               process — never call it from the daemon. *)
+            match
+              Ghd.Portfolio.check
+                ~budget:(fun () -> fresh_deadline budget)
+                h ~k
+            with
+            | Ghd.Portfolio.Yes (d, alg) ->
+                yes h d ~k ~alg:(Ghd.Portfolio.algorithm_name alg)
+            | Ghd.Portfolio.No alg ->
+                no ~k ~alg:(Ghd.Portfolio.algorithm_name alg)
+            | Ghd.Portfolio.All_timeout -> timeout ~k ~alg:"portfolio")
+        | _ -> invalid_arg "method requires k")
+  in
+  let s_cache =
+    if cfg.cache = None || meth <> "hd" then "off"
+    else if !hits > 0 && !misses = 0 then "hit"
+    else "miss"
+  in
+  { r with s_cache; s_stats = delta }
+
+let wall_of_budget cfg = function
+  | Seconds s -> s +. 1.0
+  | Fuel _ -> cfg.max_timeout +. 1.0
+
+let run_solve cfg ~meth ~k ~budget h =
+  let task = solve_once ~cfg ~meth ~k ~budget h in
+  if cfg.isolate then begin
+    let outcomes =
+      Kit.Proc.outcomes ~jobs:1 ?mem_mb:cfg.mem_mb
+        ~wall:(wall_of_budget cfg budget)
+        (fun () -> task ())
+        [| () |]
+    in
+    outcomes.(0)
+  end
+  else
+    (* In-process: the Guard soft memory alarm is process-global and
+       would misattribute another thread's allocations to this request,
+       so it is disabled; hard memory limits need [isolate]. *)
+    Kit.Guard.run ~mem_mb:0 task
+
+(* ------------------------------------------------------------------ *)
+(* HTTP                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let json_response ?(headers = []) status (j : Kit.Json.t) =
+  Serve.Http.response ~headers status (Kit.Json.to_string j)
+
+let err status msg =
+  Serve.Http.response status (Serve.Http.error_body status msg)
+
+let methods = [ "hd"; "balsep"; "localbip"; "globalbip"; "portfolio" ]
+
+exception Bad_param of string
+
+let parse_params cfg req =
+  let meth =
+    match Serve.Http.param req "method" with
+    | None -> "hd"
+    | Some m ->
+        let m = String.lowercase_ascii m in
+        if List.mem m methods then m
+        else
+          raise
+            (Bad_param
+               (Printf.sprintf "unknown method %S (expected one of %s)" m
+                  (String.concat ", " methods)))
+  in
+  let k =
+    match Serve.Http.param req "k" with
+    | None -> None
+    | Some s -> (
+        match int_of_string_opt s with
+        | Some k when k >= 1 -> Some k
+        | _ -> raise (Bad_param "k must be a positive integer"))
+  in
+  if meth <> "hd" && k = None then
+    raise (Bad_param ("method " ^ meth ^ " requires k"));
+  let budget =
+    match Serve.Http.param req "fuel" with
+    | Some s -> (
+        match int_of_string_opt s with
+        | Some f when f >= 1 -> Fuel f
+        | _ -> raise (Bad_param "fuel must be a positive integer"))
+    | None -> (
+        match Serve.Http.param req "timeout" with
+        | None -> Seconds cfg.default_timeout
+        | Some s -> (
+            match float_of_string_opt s with
+            | Some t when t > 0. -> Seconds (Float.min t cfg.max_timeout)
+            | _ -> raise (Bad_param "timeout must be a positive number")))
+  in
+  (meth, k, budget)
+
+let decompose cfg req =
+  match parse_payload req with
+  | Error (status, msg) -> err status msg
+  | Ok h -> (
+      match parse_params cfg req with
+      | exception Bad_param msg -> err 400 msg
+      | meth, k, budget -> (
+          let t0 = Unix.gettimeofday () in
+          match run_solve cfg ~meth ~k ~budget h with
+          | Kit.Outcome.Ok s ->
+              (* In-process solves recorded straight into this domain's
+                 store; only a forked worker's delta needs replaying. *)
+              if cfg.isolate then Kit.Metrics.absorb s.s_stats;
+              let seconds = Unix.gettimeofday () -. t0 in
+              json_response 200
+                ~headers:
+                  [ ("X-HB-Cache", s.s_cache);
+                    ("X-HB-Seconds", Printf.sprintf "%.6f" seconds) ]
+                (Kit.Json.Obj
+                   [ ("fingerprint",
+                      Kit.Json.String (Hg.Hypergraph.fingerprint h));
+                     ("method", Kit.Json.String meth);
+                     ("algorithm", Kit.Json.String s.s_algorithm);
+                     ("k", Kit.Json.Int s.s_k);
+                     ("verdict", Kit.Json.String s.s_verdict);
+                     ("width",
+                      if s.s_width >= 0 then Kit.Json.Int s.s_width
+                      else Kit.Json.Null);
+                     ("decomposition",
+                      if s.s_decomp = "" then Kit.Json.Null
+                      else Kit.Json.String s.s_decomp) ])
+          | Kit.Outcome.Timeout ->
+              (* The watchdog killed the worker: the budget is spent and
+                 the level is whatever the client asked for. *)
+              let seconds = Unix.gettimeofday () -. t0 in
+              json_response 200
+                ~headers:[ ("X-HB-Seconds", Printf.sprintf "%.6f" seconds) ]
+                (Kit.Json.Obj
+                   [ ("fingerprint",
+                      Kit.Json.String (Hg.Hypergraph.fingerprint h));
+                     ("method", Kit.Json.String meth);
+                     ("algorithm", Kit.Json.String meth);
+                     ("k",
+                      match k with
+                      | Some k -> Kit.Json.Int k
+                      | None -> Kit.Json.Null);
+                     ("verdict", Kit.Json.String "timeout");
+                     ("width", Kit.Json.Null);
+                     ("decomposition", Kit.Json.Null) ])
+          | Kit.Outcome.Out_of_memory ->
+              err 503 "solver exceeded its memory budget"
+          | Kit.Outcome.Stack_overflow -> err 500 "solver stack overflow"
+          | Kit.Outcome.Crash msg ->
+              err 500
+                ("solver crashed: "
+                ^ (match String.index_opt msg '\n' with
+                  | Some i -> String.sub msg 0 i
+                  | None -> msg))))
+
+let usage =
+  Kit.Json.to_string
+    (Kit.Json.Obj
+       [ ("service", Kit.Json.String "hyperbenchd");
+         ("endpoints",
+          Kit.Json.Obj
+            [ ("GET /healthz", Kit.Json.String "liveness probe");
+              ("GET /metrics", Kit.Json.String "Prometheus text format");
+              ("POST /decompose",
+               Kit.Json.String
+                 "body: hypergraph (Content-Type selects HG text, binary, \
+                  SQL or XCSP3); query: k, method \
+                  (hd|balsep|localbip|globalbip|portfolio), timeout \
+                  (seconds), fuel") ]) ])
+
+let handler cfg =
+  let router =
+    Serve.Router.create
+      [ ("GET", "/", fun _ -> Serve.Http.response 200 usage);
+        ("GET", "/healthz",
+         fun _ -> Serve.Http.response 200 "{\"ok\":true}");
+        ("GET", "/metrics",
+         fun _ ->
+           Serve.Http.response ~content_type:"text/plain; version=0.0.4"
+             200
+             (Serve.Prometheus.render (Kit.Metrics.snapshot ())));
+        ("POST", "/decompose", decompose cfg) ]
+  in
+  fun req -> Serve.Router.dispatch router req

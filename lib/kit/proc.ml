@@ -2,6 +2,67 @@ external setrlimit_mem : int -> bool = "hb_proc_setrlimit_mem"
 
 let enabled () = Sys.getenv_opt "HB_ISOLATE" = Some "1"
 
+(* --- fork hygiene for long-lived, multi-threaded hosts -----------------------
+
+   A batch campaign calls [run] once from one thread, so the only fds a
+   child could capture were the pipes of its own run's older siblings.
+   A daemon is different: several threads each drive their own [run]
+   concurrently, and every server socket is live at fork time. A child
+   that inherits another run's task-pipe write end keeps that run's
+   worker from ever seeing EOF — its shutdown then blocks in [waitpid]
+   for as long as the foreign child lives — and a child that inherits a
+   client connection keeps the socket half-open after the server closed
+   it. The registry below records every parent-side fd that must not
+   survive a fork (our own pipe ends, plus whatever the host registers:
+   listeners, accepted connections), and every child closes the whole
+   snapshot first thing. Pipe creation + fork + registration are
+   serialised under one lock so no thread can fork in the window where
+   another thread's fds exist but are not yet registered. *)
+
+let fork_mu = Mutex.create ()
+let fork_fds : (Unix.file_descr, unit) Hashtbl.t = Hashtbl.create 64
+
+let locked f =
+  Mutex.lock fork_mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock fork_mu) f
+
+let register_fork_fd fd = locked (fun () -> Hashtbl.replace fork_fds fd ())
+let unregister_fork_fd fd = locked (fun () -> Hashtbl.remove fork_fds fd)
+
+(* Child-side: close every registered fd except [keep]. Runs on the
+   child's frozen snapshot of the table, before any other work. *)
+let child_close_registered ~keep =
+  Hashtbl.iter
+    (fun fd () ->
+      if not (List.memq fd keep) then
+        try Unix.close fd with Unix.Unix_error _ -> ())
+    fork_fds
+
+(* SIGPIPE must be ignored while any run is live (a worker dying
+   mid-dispatch surfaces as EPIPE, not a fatal signal). Concurrent runs
+   share the disposition, so restore only when the last one leaves. *)
+let sigpipe_depth = ref 0
+let sigpipe_saved = ref None
+
+let sigpipe_acquire () =
+  locked (fun () ->
+      if !sigpipe_depth = 0 then
+        sigpipe_saved :=
+          (try Some (Sys.signal Sys.sigpipe Sys.Signal_ignore)
+           with Invalid_argument _ | Sys_error _ -> None);
+      incr sigpipe_depth)
+
+let sigpipe_release () =
+  locked (fun () ->
+      decr sigpipe_depth;
+      if !sigpipe_depth = 0 then (
+        (match !sigpipe_saved with
+        | Some h -> (
+            try Sys.set_signal Sys.sigpipe h
+            with Invalid_argument _ | Sys_error _ -> ())
+        | None -> ());
+        sigpipe_saved := None))
+
 let default_jobs () =
   match Sys.getenv_opt "HB_JOBS" with
   | Some v -> (
@@ -223,43 +284,50 @@ let run ?jobs ?mem_mb ?(retries = 0) ?halt_on ?on_done ?wall f tasks =
     let spawn () =
       incr spawned;
       if !spawned > Stdlib.min jobs n then Metrics.incr m_respawn;
+      (* Channel buffers must not be replayed by the child's writes.
+         Flush before taking the fork lock — flushing contends on the
+         channel locks, which another thread may hold for a while. *)
+      flush stdout;
+      flush stderr;
+      Mutex.lock fork_mu;
       let task_rd, task_wr = Unix.pipe () in
       let res_rd, res_wr = Unix.pipe () in
       let err_rd, err_wr = Unix.pipe () in
-      (* Channel buffers must not be replayed by the child's writes. *)
-      flush stdout;
-      flush stderr;
-      let inherited = !workers in
       match
         try Unix.fork ()
-        with Failure m ->
-          (* OCaml 5 refuses fork permanently once any domain has ever
-             been spawned in the process; the isolated pass must run
-             before the first domain pool starts. *)
+        with e ->
+          Mutex.unlock fork_mu;
           List.iter Unix.close
             [ task_rd; task_wr; res_rd; res_wr; err_rd; err_wr ];
-          failwith
-            (m
-           ^ " (Kit.Proc isolation must start before any domain pool has \
-              run in this process)")
+          (match e with
+          | Failure m ->
+              (* OCaml 5 refuses fork permanently once any domain has ever
+                 been spawned in the process; the isolated pass must run
+                 before the first domain pool starts. *)
+              failwith
+                (m
+               ^ " (Kit.Proc isolation must start before any domain pool \
+                  has run in this process)")
+          | e -> raise e)
       with
       | 0 ->
           Unix.close task_wr;
           Unix.close res_rd;
           Unix.close err_rd;
-          (* Drop every older sibling's parent-side fds: a surviving
-             copy of a sibling's task pipe would keep that sibling from
-             ever seeing EOF at shutdown. *)
-          List.iter
-            (fun w ->
-              (try Unix.close w.task_wr with Unix.Unix_error _ -> ());
-              (try Unix.close w.res_rd with Unix.Unix_error _ -> ());
-              try Unix.close w.err_rd with Unix.Unix_error _ -> ())
-            inherited;
+          (* Drop every registered parent-side fd: sibling pipes of this
+             and every concurrent run (a surviving task-pipe copy would
+             keep that worker from ever seeing EOF at shutdown) and the
+             host's sockets (a long solve must not pin a client
+             connection or the listener). *)
+          child_close_registered ~keep:[];
           (try Unix.dup2 err_wr Unix.stderr with Unix.Unix_error _ -> ());
           Unix.close err_wr;
           child_serve ~mem_mb ~task_rd ~res_wr f tasks
       | pid ->
+          Hashtbl.replace fork_fds task_wr ();
+          Hashtbl.replace fork_fds res_rd ();
+          Hashtbl.replace fork_fds err_rd ();
+          Mutex.unlock fork_mu;
           Unix.close task_rd;
           Unix.close res_wr;
           Unix.close err_wr;
@@ -302,6 +370,7 @@ let run ?jobs ?mem_mb ?(retries = 0) ?halt_on ?on_done ?wall f tasks =
       workers := List.filter (fun x -> x.pid <> w.pid) !workers;
       if kill then (try Unix.kill w.pid Sys.sigkill with Unix.Unix_error _ -> ());
       drain_err w;
+      List.iter unregister_fork_fd [ w.task_wr; w.res_rd; w.err_rd ];
       (try Unix.close w.task_wr with Unix.Unix_error _ -> ());
       (try Unix.close w.res_rd with Unix.Unix_error _ -> ());
       (try Unix.close w.err_rd with Unix.Unix_error _ -> ());
@@ -464,31 +533,27 @@ let run ?jobs ?mem_mb ?(retries = 0) ?halt_on ?on_done ?wall f tasks =
             try Unix.kill w.pid Sys.sigkill with Unix.Unix_error _ -> ())
         !workers;
       List.iter
-        (fun w -> try Unix.close w.task_wr with Unix.Unix_error _ -> ())
+        (fun w ->
+          unregister_fork_fd w.task_wr;
+          try Unix.close w.task_wr with Unix.Unix_error _ -> ())
         !workers;
       List.iter
         (fun w ->
           drain_err w;
+          List.iter unregister_fork_fd [ w.res_rd; w.err_rd ];
           (try Unix.close w.res_rd with Unix.Unix_error _ -> ());
           (try Unix.close w.err_rd with Unix.Unix_error _ -> ());
           try ignore (Unix.waitpid [] w.pid) with Unix.Unix_error _ -> ())
         !workers;
       workers := []
     in
-    let prev_sigpipe =
-      (* A worker dying mid-dispatch must surface as EPIPE, not kill the
-         campaign process. *)
-      try Some (Sys.signal Sys.sigpipe Sys.Signal_ignore)
-      with Invalid_argument _ | Sys_error _ -> None
-    in
+    (* A worker dying mid-dispatch must surface as EPIPE, not kill the
+       campaign process; concurrent runs share the disposition. *)
+    sigpipe_acquire ();
     Fun.protect
       ~finally:(fun () ->
         shutdown ();
-        match prev_sigpipe with
-        | Some h -> (
-            try Sys.set_signal Sys.sigpipe h
-            with Invalid_argument _ | Sys_error _ -> ())
-        | None -> ())
+        sigpipe_release ())
       (fun () ->
         while !completed < n && not !halted do
           (* Keep the pool at strength: one worker per queued task, up

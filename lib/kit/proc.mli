@@ -32,6 +32,17 @@
     ghd/fractional passes after), and a process gets one such window —
     run additional isolated campaigns in fresh processes.
 
+    System {e threads} are fine, including several threads each driving
+    their own concurrent {!run} (the serving daemon's per-request
+    sandbox): pipe creation, fork and fd registration are serialised
+    under one lock, every child first closes all registered parent-side
+    fds (see {!register_fork_fd}), and the [SIGPIPE] disposition is
+    reference-counted across overlapping runs. One caveat is inherent to
+    forking a threaded process: a child can land on a C-level lock an
+    unrelated thread held at fork time and deadlock before reaching its
+    task — the wall-clock watchdog then reaps it as a [Timeout], so the
+    failure mode is a (rare) spurious timeout, never a wedged host.
+
     Determinism: results are indexed like the input array; with a fuel
     budget inside the tasks, verdicts are identical at every [jobs]
     value — the watchdog only fires for tasks that would otherwise hang
@@ -47,6 +58,24 @@ type 'b completion = {
 
 val enabled : unit -> bool
 (** The [HB_ISOLATE] environment knob: [true] iff it is set to [1]. *)
+
+val register_fork_fd : Unix.file_descr -> unit
+(** Record a parent-side fd that no forked worker may inherit open: a
+    listening socket, an accepted connection, a log file. Every child
+    closes all registered fds first thing after the fork, so a
+    long-running sandboxed task cannot pin a socket the host has since
+    closed. [run] registers its own pipe ends through the same table,
+    which is what makes {e concurrent} [run] calls from several threads
+    safe: without it, a child forked by one thread inherits another
+    run's task-pipe write end and that run's worker never sees EOF at
+    shutdown. Registration, fd creation and fork are serialised under
+    one lock. Thread-safe. *)
+
+val unregister_fork_fd : Unix.file_descr -> unit
+(** Remove an fd from the registry — call just {e before} closing it
+    (a registered-but-closed fd number could be recycled by an unrelated
+    [open]). Unregistering an fd that was never registered is a no-op.
+    Thread-safe. *)
 
 val default_jobs : unit -> int
 (** The [HB_JOBS] environment knob when it parses as a positive integer,

@@ -1,0 +1,137 @@
+type t = { fd : Unix.file_descr; mutable buf : string }
+
+type response = {
+  status : int;
+  headers : (string * string) list;
+  body : string;
+}
+
+(* Writes to a server that already closed must fail with EPIPE, not kill
+   the test or bench process. *)
+let ignore_sigpipe =
+  lazy (Sys.set_signal Sys.sigpipe Sys.Signal_ignore)
+
+let connect ?(timeout = 30.) ~host ~port () =
+  Lazy.force ignore_sigpipe;
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  try
+    Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+    (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout
+     with Unix.Unix_error _ | Invalid_argument _ -> ());
+    { fd; buf = "" }
+  with e ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    raise e
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let write_raw t s =
+  let b = Bytes.unsafe_of_string s in
+  let off = ref 0 in
+  while !off < Bytes.length b do
+    off := !off + Unix.write t.fd b !off (Bytes.length b - !off)
+  done
+
+let shutdown_send t =
+  try Unix.shutdown t.fd Unix.SHUTDOWN_SEND with Unix.Unix_error _ -> ()
+
+exception Err of string
+
+let refill t =
+  let chunk = Bytes.create 8192 in
+  let n =
+    try Unix.read t.fd chunk 0 8192 with
+    | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        raise (Err "timeout")
+    | Unix.Unix_error (e, _, _) -> raise (Err (Unix.error_message e))
+  in
+  if n = 0 then raise (Err "closed");
+  t.buf <- t.buf ^ Bytes.sub_string chunk 0 n
+
+let strip_cr s =
+  let n = String.length s in
+  if n > 0 && s.[n - 1] = '\r' then String.sub s 0 (n - 1) else s
+
+let read_line t =
+  let rec find () =
+    match String.index_opt t.buf '\n' with
+    | Some i -> i
+    | None ->
+        if String.length t.buf > 65536 then raise (Err "header too long");
+        refill t;
+        find ()
+  in
+  let i = find () in
+  let line = String.sub t.buf 0 i in
+  t.buf <- String.sub t.buf (i + 1) (String.length t.buf - i - 1);
+  strip_cr line
+
+let read_exact t n =
+  while String.length t.buf < n do
+    refill t
+  done;
+  let s = String.sub t.buf 0 n in
+  t.buf <- String.sub t.buf n (String.length t.buf - n);
+  s
+
+let read_response t =
+  try
+    let status_line = read_line t in
+    let status =
+      match String.split_on_char ' ' status_line with
+      | proto :: code :: _
+        when String.length proto >= 5 && String.sub proto 0 5 = "HTTP/" -> (
+          match int_of_string_opt code with
+          | Some s -> s
+          | None -> raise (Err ("bad status line: " ^ status_line)))
+      | _ -> raise (Err ("bad status line: " ^ status_line))
+    in
+    let rec headers acc =
+      match read_line t with
+      | "" -> List.rev acc
+      | line -> (
+          match String.index_opt line ':' with
+          | None -> raise (Err ("bad header: " ^ line))
+          | Some i ->
+              headers
+                ((String.lowercase_ascii (String.sub line 0 i),
+                  String.trim
+                    (String.sub line (i + 1) (String.length line - i - 1)))
+                 :: acc))
+    in
+    let headers = headers [] in
+    let body =
+      match List.assoc_opt "content-length" headers with
+      | Some n -> (
+          match int_of_string_opt (String.trim n) with
+          | Some n when n >= 0 && n <= 64 * 1024 * 1024 -> read_exact t n
+          | _ -> raise (Err "bad content-length"))
+      | None -> ""
+    in
+    Ok { status; headers; body }
+  with Err m -> Error m
+
+let request t ?(headers = []) ?body meth target =
+  let b = Buffer.create 256 in
+  Buffer.add_string b (Printf.sprintf "%s %s HTTP/1.1\r\n" meth target);
+  Buffer.add_string b "Host: localhost\r\n";
+  List.iter
+    (fun (n, v) -> Buffer.add_string b (Printf.sprintf "%s: %s\r\n" n v))
+    headers;
+  (match body with
+  | Some body ->
+      Buffer.add_string b
+        (Printf.sprintf "Content-Length: %d\r\n\r\n" (String.length body));
+      Buffer.add_string b body
+  | None -> Buffer.add_string b "\r\n");
+  match write_raw t (Buffer.contents b) with
+  | () -> read_response t
+  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+
+let oneshot ?timeout ~host ~port ?headers ?body meth target =
+  match connect ?timeout ~host ~port () with
+  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+  | t ->
+      Fun.protect
+        ~finally:(fun () -> close t)
+        (fun () -> request t ?headers ?body meth target)

@@ -1,0 +1,41 @@
+(** A deliberately small blocking HTTP/1.1 client — just enough for the
+    conformance tests and the closed-loop load bench. Not general: no
+    TLS, no redirects, no chunked {e responses} (the daemon always sends
+    [Content-Length]). *)
+
+type t
+
+type response = {
+  status : int;
+  headers : (string * string) list;  (** names lowercased *)
+  body : string;
+}
+
+val connect : ?timeout:float -> host:string -> port:int -> unit -> t
+(** [timeout] (default 30 s) bounds each read while awaiting a
+    response. *)
+
+val close : t -> unit
+
+val write_raw : t -> string -> unit
+(** Send raw bytes — the fuzz corpus path. Raises [Unix.Unix_error] on a
+    broken pipe. *)
+
+val shutdown_send : t -> unit
+(** Half-close: signal end-of-request so the server never waits on us. *)
+
+val read_response : t -> (response, string) result
+(** Read one response (status line, headers, [Content-Length] body).
+    [Error] on close/timeout/garbage — fuzz cases accept either a
+    response or a clean close. *)
+
+val request :
+  t -> ?headers:(string * string) list -> ?body:string -> string -> string ->
+  (response, string) result
+(** [request t meth target] over the open (keep-alive) connection. *)
+
+val oneshot :
+  ?timeout:float -> host:string -> port:int ->
+  ?headers:(string * string) list -> ?body:string -> string -> string ->
+  (response, string) result
+(** Fresh connection, one request, close. *)

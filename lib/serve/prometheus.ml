@@ -1,0 +1,42 @@
+let sanitize name =
+  String.map
+    (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' as c -> c | _ -> '_')
+    name
+
+let metric name = "hb_" ^ sanitize name
+
+(* %g-style float that Prometheus accepts; totals are seconds. *)
+let f v = Printf.sprintf "%.9g" v
+
+let render (s : Kit.Metrics.snapshot) =
+  let b = Buffer.create 2048 in
+  let line fmt = Printf.ksprintf (fun l -> Buffer.add_string b l; Buffer.add_char b '\n') fmt in
+  List.iter
+    (fun (name, v) ->
+      let m = metric name in
+      line "# TYPE %s counter" m;
+      line "%s %d" m v)
+    s.Kit.Metrics.counters;
+  List.iter
+    (fun (name, (spans, secs)) ->
+      let m = metric name in
+      line "# TYPE %s_seconds_total counter" m;
+      line "%s_seconds_total %s" m (f secs);
+      line "# TYPE %s_spans counter" m;
+      line "%s_spans %d" m spans)
+    s.Kit.Metrics.timers;
+  List.iter
+    (fun (name, (edges, counts)) ->
+      let m = metric name in
+      line "# TYPE %s histogram" m;
+      let cum = ref 0 in
+      Array.iteri
+        (fun i edge ->
+          cum := !cum + counts.(i);
+          line "%s_bucket{le=\"%d\"} %d" m edge !cum)
+        edges;
+      let total = Array.fold_left ( + ) 0 counts in
+      line "%s_bucket{le=\"+Inf\"} %d" m total;
+      line "%s_count %d" m total)
+    s.Kit.Metrics.histograms;
+  Buffer.contents b

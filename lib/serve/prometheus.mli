@@ -1,0 +1,8 @@
+(** Render a {!Kit.Metrics.snapshot} in the Prometheus text exposition
+    format. Counters become [hb_<name>] counters; timers become
+    [hb_<name>_seconds_total] plus an [hb_<name>_spans] count; histograms
+    become cumulative [hb_<name>_bucket{le="..."}] series with the usual
+    [+Inf] bucket and [_count]. Metric names are sanitised (any byte
+    outside [[a-zA-Z0-9_]] maps to ['_']). *)
+
+val render : Kit.Metrics.snapshot -> string

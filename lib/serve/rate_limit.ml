@@ -1,0 +1,56 @@
+type bucket = { mutable tokens : float; mutable last : float }
+
+type t = {
+  rate : float;
+  burst : float;
+  mu : Mutex.t;
+  buckets : (string, bucket) Hashtbl.t;
+}
+
+let create ~rate ~burst =
+  { rate; burst = Float.max burst 1.0; mu = Mutex.create (); buckets = Hashtbl.create 64 }
+
+(* Keep the table bounded under a churn of one-shot clients: once it
+   grows past this, buckets already back at full burst carry no state
+   and are dropped. *)
+let prune_threshold = 4096
+
+let prune t now =
+  if Hashtbl.length t.buckets > prune_threshold then begin
+    let dead =
+      Hashtbl.fold
+        (fun key b acc ->
+          let refilled =
+            Float.min t.burst (b.tokens +. ((now -. b.last) *. t.rate))
+          in
+          if refilled >= t.burst then key :: acc else acc)
+        t.buckets []
+    in
+    List.iter (Hashtbl.remove t.buckets) dead
+  end
+
+let admit ?now t key =
+  if t.rate <= 0. then Ok ()
+  else begin
+    let now = match now with Some n -> n | None -> Unix.gettimeofday () in
+    Mutex.lock t.mu;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.mu)
+      (fun () ->
+        prune t now;
+        let b =
+          match Hashtbl.find_opt t.buckets key with
+          | Some b -> b
+          | None ->
+              let b = { tokens = t.burst; last = now } in
+              Hashtbl.replace t.buckets key b;
+              b
+        in
+        b.tokens <- Float.min t.burst (b.tokens +. ((now -. b.last) *. t.rate));
+        b.last <- now;
+        if b.tokens >= 1.0 then begin
+          b.tokens <- b.tokens -. 1.0;
+          Ok ()
+        end
+        else Error (Float.min 1.0 ((1.0 -. b.tokens) /. t.rate)))
+  end

@@ -1,0 +1,12 @@
+(** Per-client token-bucket admission: [rate] requests/second sustained,
+    bursts up to [burst]. Thread-safe; one bucket per client key. *)
+
+type t
+
+val create : rate:float -> burst:float -> t
+(** [rate <= 0.] disables limiting — {!admit} always succeeds. *)
+
+val admit : ?now:float -> t -> string -> (unit, float) result
+(** Spend one token from [key]'s bucket. [Error retry_after] (seconds,
+    ceiling 1) when the bucket is empty. [now] is for tests; defaults to
+    [Unix.gettimeofday ()]. *)

@@ -1,0 +1,21 @@
+type t = (string * string * (Http.request -> Http.response)) list
+
+let create routes = routes
+
+let dispatch t req =
+  match
+    List.find_opt (fun (m, p, _) -> m = req.Http.meth && p = req.Http.path) t
+  with
+  | Some (_, _, h) -> h req
+  | None -> (
+      match
+        List.filter_map
+          (fun (m, p, _) -> if p = req.Http.path then Some m else None)
+          t
+      with
+      | [] -> Http.response 404 (Http.error_body 404 "no such endpoint")
+      | allowed ->
+          Http.response
+            ~headers:[ ("Allow", String.concat ", " allowed) ]
+            405
+            (Http.error_body 405 "method not allowed"))

@@ -1,0 +1,12 @@
+(** Exact-match (method, path) routing with proper 404/405 split. *)
+
+type t
+
+val create : (string * string * (Http.request -> Http.response)) list -> t
+(** [create [ (meth, path, handler); ... ]] — paths are matched against
+    the percent-decoded {!Http.request.path}, methods exactly. *)
+
+val dispatch : t -> Http.request -> Http.response
+(** Runs the matching handler. No route with this path → 404; the path
+    exists under other methods → 405 with an [Allow] header. Handler
+    exceptions propagate (the server maps them to 500). *)

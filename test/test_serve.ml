@@ -1,0 +1,651 @@
+(* hyperbenchd protocol conformance, fuzz, cache and leak tests.
+
+   Protocol tests run an in-process server (port 0, worker threads) and
+   speak to it over real sockets via [Serve.Client]; the SIGTERM drain
+   test exercises the installed binary, signal handler included. The
+   fuzz corpus is seeded and self-contained: the daemon must answer or
+   close cleanly on every mangled request and still be serving at the
+   end. *)
+
+let () = Kit.Metrics.enabled := true
+
+let host = "127.0.0.1"
+
+(* A deterministic LCG so the ~300 fuzz cases are reproducible. *)
+let rng = ref 0x48595045
+
+let rand bound =
+  rng := ((!rng * 1103515245) + 12345) land 0x3FFFFFFF;
+  !rng mod bound
+
+let triangle = "e1(a,b),e2(b,c),e3(c,a)."
+let hg_type = ("Content-Type", "application/x-hyperbench")
+
+let svc_default =
+  {
+    Benchlib.Service.cache = None;
+    isolate = false;
+    mem_mb = None;
+    default_timeout = 5.0;
+    max_timeout = 10.0;
+    max_k = 4;
+  }
+
+let base_cfg () =
+  {
+    (Serve.Server.default_config ()) with
+    Serve.Server.port = 0;
+    jobs = 2;
+    queue = 8;
+    rate = 0.;
+    max_body = 1 lsl 20;
+    idle_timeout = 2.0;
+  }
+
+let with_server ?(cfg = base_cfg ()) ?(svc = svc_default) f =
+  let srv = Serve.Server.create cfg (Benchlib.Service.handler svc) in
+  let th = Thread.create (fun () -> Serve.Server.serve srv) () in
+  Fun.protect
+    ~finally:(fun () ->
+      Serve.Server.stop srv;
+      Thread.join th)
+    (fun () -> f (Serve.Server.port srv))
+
+let get_ok = function
+  | Ok (r : Serve.Client.response) -> r
+  | Error m -> Alcotest.failf "request failed: %s" m
+
+let decompose_target ?(extra = "") k =
+  Printf.sprintf "/decompose?k=%d%s" k extra
+
+(* --- routing and verdicts ----------------------------------------------- *)
+
+let healthz_and_metrics () =
+  with_server (fun port ->
+      let r = get_ok (Serve.Client.oneshot ~host ~port "GET" "/healthz") in
+      Alcotest.(check int) "healthz status" 200 r.Serve.Client.status;
+      Alcotest.(check string) "healthz body" "{\"ok\":true}"
+        r.Serve.Client.body;
+      let m = get_ok (Serve.Client.oneshot ~host ~port "GET" "/metrics") in
+      Alcotest.(check int) "metrics status" 200 m.Serve.Client.status;
+      let has needle s =
+        let nl = String.length needle and sl = String.length s in
+        let rec at i = i + nl <= sl && (String.sub s i nl = needle || at (i + 1)) in
+        at 0
+      in
+      Alcotest.(check bool) "metrics mention serve counters" true
+        (has "hb_serve_requests" m.Serve.Client.body))
+
+let contains needle s =
+  let nl = String.length needle and sl = String.length s in
+  let rec at i = i + nl <= sl && (String.sub s i nl = needle || at (i + 1)) in
+  at 0
+
+let decompose_verdicts () =
+  with_server (fun port ->
+      let post target body headers =
+        get_ok
+          (Serve.Client.oneshot ~host ~port ~headers ~body "POST" target)
+      in
+      (* yes at k=2 *)
+      let r = post (decompose_target 2) triangle [ hg_type ] in
+      Alcotest.(check int) "k=2 status" 200 r.Serve.Client.status;
+      Alcotest.(check bool) "k=2 verdict yes" true
+        (contains "\"verdict\":\"yes\"" r.Serve.Client.body);
+      Alcotest.(check bool) "k=2 width 2" true
+        (contains "\"width\":2" r.Serve.Client.body);
+      (* the triangle has no width-1 HD *)
+      let r = post (decompose_target 1) triangle [ hg_type ] in
+      Alcotest.(check bool) "k=1 verdict no" true
+        (contains "\"verdict\":\"no\"" r.Serve.Client.body);
+      (* ladder without k finds hw = 2 *)
+      let r = post "/decompose" triangle [ hg_type ] in
+      Alcotest.(check bool) "ladder verdict yes" true
+        (contains "\"verdict\":\"yes\"" r.Serve.Client.body);
+      Alcotest.(check bool) "ladder k=2" true
+        (contains "\"k\":2" r.Serve.Client.body);
+      (* ghd portfolio with explicit k *)
+      let r =
+        post (decompose_target 2 ~extra:"&method=portfolio") triangle
+          [ hg_type ]
+      in
+      Alcotest.(check int) "portfolio status" 200 r.Serve.Client.status;
+      Alcotest.(check bool) "portfolio verdict present" true
+        (contains "\"verdict\":" r.Serve.Client.body))
+
+let decompose_errors () =
+  with_server (fun port ->
+      let post target body headers =
+        get_ok
+          (Serve.Client.oneshot ~host ~port ~headers ~body "POST" target)
+      in
+      let r = post (decompose_target 2) "e1(a," [ hg_type ] in
+      Alcotest.(check int) "garbage HG -> 422" 422 r.Serve.Client.status;
+      let r =
+        post (decompose_target 2) triangle
+          [ ("Content-Type", "application/x-tar") ]
+      in
+      Alcotest.(check int) "unknown content type -> 415" 415
+        r.Serve.Client.status;
+      let r =
+        post (decompose_target 2 ~extra:"&method=frobnicate") triangle
+          [ hg_type ]
+      in
+      Alcotest.(check int) "unknown method -> 400" 400 r.Serve.Client.status;
+      let r = post "/decompose?method=balsep" triangle [ hg_type ] in
+      Alcotest.(check int) "balsep without k -> 400" 400
+        r.Serve.Client.status;
+      let r = post "/decompose?k=0" triangle [ hg_type ] in
+      Alcotest.(check int) "k=0 -> 400" 400 r.Serve.Client.status;
+      let r = get_ok (Serve.Client.oneshot ~host ~port "GET" "/nope") in
+      Alcotest.(check int) "unknown path -> 404" 404 r.Serve.Client.status;
+      let r = get_ok (Serve.Client.oneshot ~host ~port "PUT" "/healthz") in
+      Alcotest.(check int) "wrong method -> 405" 405 r.Serve.Client.status;
+      Alcotest.(check (option string)) "405 carries Allow" (Some "GET")
+        (List.assoc_opt "allow" r.Serve.Client.headers))
+
+(* --- keep-alive and pipelining ------------------------------------------ *)
+
+let keep_alive_sequencing () =
+  with_server (fun port ->
+      let c = Serve.Client.connect ~host ~port () in
+      Fun.protect
+        ~finally:(fun () -> Serve.Client.close c)
+        (fun () ->
+          for i = 1 to 5 do
+            let r =
+              get_ok
+                (Serve.Client.request c ~headers:[ hg_type ] ~body:triangle
+                   "POST" (decompose_target 2))
+            in
+            Alcotest.(check int)
+              (Printf.sprintf "request %d on one connection" i)
+              200 r.Serve.Client.status;
+            Alcotest.(check (option string)) "keep-alive honoured"
+              (Some "keep-alive")
+              (List.assoc_opt "connection" r.Serve.Client.headers)
+          done))
+
+let pipelining () =
+  with_server (fun port ->
+      let c = Serve.Client.connect ~host ~port () in
+      Fun.protect
+        ~finally:(fun () -> Serve.Client.close c)
+        (fun () ->
+          (* three requests in one write; responses must come back in
+             order, bodies intact *)
+          let one = "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n" in
+          Serve.Client.write_raw c (one ^ one ^ one);
+          for i = 1 to 3 do
+            let r = get_ok (Serve.Client.read_response c) in
+            Alcotest.(check int)
+              (Printf.sprintf "pipelined response %d" i)
+              200 r.Serve.Client.status;
+            Alcotest.(check string) "pipelined body" "{\"ok\":true}"
+              r.Serve.Client.body
+          done))
+
+(* --- limits -------------------------------------------------------------- *)
+
+let oversized_bodies () =
+  let cfg = { (base_cfg ()) with Serve.Server.max_body = 4096 } in
+  with_server ~cfg (fun port ->
+      (* content-length over the cap: rejected before the body uploads *)
+      let c = Serve.Client.connect ~host ~port () in
+      Fun.protect
+        ~finally:(fun () -> Serve.Client.close c)
+        (fun () ->
+          Serve.Client.write_raw c
+            "POST /decompose HTTP/1.1\r\nHost: x\r\nContent-Length: 10000\r\n\r\n";
+          let r = get_ok (Serve.Client.read_response c) in
+          Alcotest.(check int) "oversized content-length -> 413" 413
+            r.Serve.Client.status);
+      (* chunked body growing past the cap *)
+      let c = Serve.Client.connect ~host ~port () in
+      Fun.protect
+        ~finally:(fun () -> Serve.Client.close c)
+        (fun () ->
+          Serve.Client.write_raw c
+            "POST /decompose HTTP/1.1\r\nHost: x\r\nTransfer-Encoding: \
+             chunked\r\n\r\n";
+          (try
+             for _ = 1 to 10 do
+               Serve.Client.write_raw c
+                 (Printf.sprintf "400\r\n%s\r\n" (String.make 1024 'a'))
+             done
+           with Unix.Unix_error _ -> () (* server already answered *));
+          let r = get_ok (Serve.Client.read_response c) in
+          Alcotest.(check int) "oversized chunked body -> 413" 413
+            r.Serve.Client.status);
+      (* an oversized head is 431 *)
+      let c = Serve.Client.connect ~host ~port () in
+      Fun.protect
+        ~finally:(fun () -> Serve.Client.close c)
+        (fun () ->
+          Serve.Client.write_raw c
+            (Printf.sprintf "GET /healthz HTTP/1.1\r\nHost: x\r\nX-Pad: %s\r\n\r\n"
+               (String.make 20000 'p'));
+          let r = get_ok (Serve.Client.read_response c) in
+          Alcotest.(check int) "oversized head -> 431" 431
+            r.Serve.Client.status))
+
+let malformed_requests () =
+  with_server (fun port ->
+      let expect_400 name raw =
+        let c = Serve.Client.connect ~host ~port () in
+        Fun.protect
+          ~finally:(fun () -> Serve.Client.close c)
+          (fun () ->
+            Serve.Client.write_raw c raw;
+            Serve.Client.shutdown_send c;
+            match Serve.Client.read_response c with
+            | Ok r ->
+                Alcotest.(check int) (name ^ " -> 400") 400
+                  r.Serve.Client.status
+            | Error m -> Alcotest.failf "%s: no response (%s)" name m)
+      in
+      expect_400 "garbage request line" "NOT A REQUEST\r\n\r\n";
+      expect_400 "lowercase method" "get /healthz HTTP/1.1\r\n\r\n";
+      expect_400 "bad version" "GET /healthz HTTP/9.9\r\n\r\n";
+      expect_400 "relative target" "GET healthz HTTP/1.1\r\n\r\n";
+      expect_400 "header without colon"
+        "GET /healthz HTTP/1.1\r\nHost x\r\n\r\n";
+      expect_400 "obsolete folding"
+        "GET /healthz HTTP/1.1\r\nHost: x\r\n  folded\r\n\r\n";
+      expect_400 "conflicting content-lengths"
+        "POST /decompose HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: \
+         5\r\n\r\nabcd";
+      expect_400 "negative content-length"
+        "POST /decompose HTTP/1.1\r\nContent-Length: -4\r\n\r\n";
+      expect_400 "chunked and content-length"
+        "POST /decompose HTTP/1.1\r\nContent-Length: 4\r\nTransfer-Encoding: \
+         chunked\r\n\r\n0\r\n\r\n";
+      expect_400 "bad chunk size"
+        "POST /decompose HTTP/1.1\r\nTransfer-Encoding: \
+         chunked\r\n\r\nzz\r\n\r\n";
+      (* after all that abuse, the server still works *)
+      let r = get_ok (Serve.Client.oneshot ~host ~port "GET" "/healthz") in
+      Alcotest.(check int) "server survives malformed input" 200
+        r.Serve.Client.status)
+
+(* --- fuzz ---------------------------------------------------------------- *)
+
+let base_request =
+  Printf.sprintf
+    "POST /decompose?k=2 HTTP/1.1\r\nHost: x\r\nContent-Type: \
+     application/x-hyperbench\r\nContent-Length: %d\r\n\r\n%s"
+    (String.length triangle) triangle
+
+let mutate case =
+  let s = Bytes.of_string base_request in
+  match case mod 6 with
+  | 0 ->
+      (* truncate *)
+      Bytes.sub_string s 0 (1 + rand (Bytes.length s - 1))
+  | 1 ->
+      (* flip 1-4 bytes *)
+      for _ = 0 to rand 4 do
+        Bytes.set s (rand (Bytes.length s)) (Char.chr (rand 256))
+      done;
+      Bytes.to_string s
+  | 2 ->
+      (* garbage prefix *)
+      String.init (1 + rand 64) (fun _ -> Char.chr (rand 256))
+      ^ Bytes.to_string s
+  | 3 ->
+      (* mangled content-length *)
+      let cl =
+        match rand 4 with
+        | 0 -> "99999999999999999999999999"
+        | 1 -> "-17"
+        | 2 -> "0x10"
+        | _ -> "1e3"
+      in
+      Printf.sprintf
+        "POST /decompose HTTP/1.1\r\nContent-Length: %s\r\n\r\n%s" cl
+        triangle
+  | 4 ->
+      (* broken chunked framing *)
+      let sz =
+        match rand 4 with
+        | 0 -> "fffffffff"
+        | 1 -> "-1"
+        | 2 -> ""
+        | _ -> Printf.sprintf "%x" (rand 32)
+      in
+      Printf.sprintf
+        "POST /decompose HTTP/1.1\r\nTransfer-Encoding: \
+         chunked\r\n\r\n%s\r\n%s"
+        sz
+        (String.sub triangle 0 (rand (String.length triangle)))
+  | _ ->
+      (* pathological request line *)
+      let meth = String.make (1 + rand 64) (Char.chr (65 + rand 26)) in
+      Printf.sprintf "%s /%s HTTP/1.%d\r\n\r\n" meth
+        (String.init (rand 32) (fun _ -> Char.chr (32 + rand 96)))
+        (rand 10)
+
+let fuzz_corpus () =
+  with_server (fun port ->
+      for case = 0 to 299 do
+        let raw = mutate case in
+        match Serve.Client.connect ~timeout:5.0 ~host ~port () with
+        | exception Unix.Unix_error (e, _, _) ->
+            Alcotest.failf "case %d: daemon stopped accepting (%s)" case
+              (Unix.error_message e)
+        | c ->
+            Fun.protect
+              ~finally:(fun () -> Serve.Client.close c)
+              (fun () ->
+                (try Serve.Client.write_raw c raw
+                 with Unix.Unix_error _ -> () (* early reset is a fine answer *));
+                Serve.Client.shutdown_send c;
+                (* any response or a clean close is acceptable; a stall
+                   (client timeout) is not *)
+                match Serve.Client.read_response c with
+                | Ok _ | Error "closed" -> ()
+                | Error m when m <> "timeout" -> ()
+                | Error m -> Alcotest.failf "case %d: daemon stalled (%s)" case m)
+      done;
+      let r = get_ok (Serve.Client.oneshot ~host ~port "GET" "/healthz") in
+      Alcotest.(check int) "daemon alive after 300 mangled requests" 200
+        r.Serve.Client.status)
+
+(* --- result cache ------------------------------------------------------- *)
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    Sys.rmdir path
+  end
+  else Sys.remove path
+
+let with_cache_dir f =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "hb_serve_cache_%d" (Unix.getpid ()))
+  in
+  if Sys.file_exists dir then rm_rf dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+let cache_end_to_end () =
+  with_cache_dir (fun dir ->
+      let svc =
+        {
+          svc_default with
+          Benchlib.Service.cache = Some (Benchlib.Result_cache.create ~dir);
+        }
+      in
+      with_server ~svc (fun port ->
+          let before = Kit.Metrics.get (Kit.Metrics.snapshot ()) "cache.hit" in
+          let post () =
+            get_ok
+              (Serve.Client.oneshot ~host ~port ~headers:[ hg_type ]
+                 ~body:triangle "POST" (decompose_target 2))
+          in
+          let first = post () in
+          Alcotest.(check int) "first status" 200 first.Serve.Client.status;
+          Alcotest.(check (option string)) "first is a miss" (Some "miss")
+            (List.assoc_opt "x-hb-cache" first.Serve.Client.headers);
+          let second = post () in
+          Alcotest.(check (option string)) "second is a hit" (Some "hit")
+            (List.assoc_opt "x-hb-cache" second.Serve.Client.headers);
+          Alcotest.(check string) "hit body is byte-identical"
+            first.Serve.Client.body second.Serve.Client.body;
+          let after = Kit.Metrics.get (Kit.Metrics.snapshot ()) "cache.hit" in
+          Alcotest.(check bool) "cache.hit ticked" true (after > before)))
+
+(* --- leaks --------------------------------------------------------------- *)
+
+let count_fds () = Array.length (Sys.readdir "/proc/self/fd")
+
+(* Satellite: no fd or worker leak across 1,000 sequential requests.
+   Fresh connection per request — the shape that leaks if any accept,
+   register or close path forgets an fd. The server runs in-process, so
+   both client- and server-side descriptors are counted here. *)
+let fd_leak_loop () =
+  with_server (fun port ->
+      let target = decompose_target 2 ~extra:"&fuel=200" in
+      let one () =
+        let r =
+          get_ok
+            (Serve.Client.oneshot ~host ~port ~headers:[ hg_type ]
+               ~body:triangle "POST" target)
+        in
+        Alcotest.(check int) "leak-loop request ok" 200 r.Serve.Client.status
+      in
+      (* warm up allocator-level fds (epoll, etc.) before baselining *)
+      for _ = 1 to 20 do one () done;
+      let before = count_fds () in
+      for _ = 1 to 1000 do one () done;
+      (* closed sockets linger briefly in TIME_WAIT but their fds must
+         be gone; allow a little slack for transient accepts in flight *)
+      let after = count_fds () in
+      if after > before + 8 then
+        Alcotest.failf "fd leak: %d before, %d after 1000 requests" before
+          after)
+
+let no_worker_leak_under_isolation () =
+  let svc = { svc_default with Benchlib.Service.isolate = true } in
+  with_server ~svc (fun port ->
+      let target = decompose_target 2 ~extra:"&fuel=200" in
+      for _ = 1 to 30 do
+        let r =
+          get_ok
+            (Serve.Client.oneshot ~host ~port ~headers:[ hg_type ]
+               ~body:triangle "POST" target)
+        in
+        Alcotest.(check int) "isolated request ok" 200 r.Serve.Client.status
+      done;
+      (* every forked sandbox worker must be reaped: no zombies left *)
+      (match Unix.waitpid [ Unix.WNOHANG ] (-1) with
+      | exception Unix.Unix_error (Unix.ECHILD, _, _) -> ()
+      | 0, _ -> Alcotest.fail "sandbox worker still running after requests"
+      | pid, _ -> Alcotest.failf "unreaped sandbox worker %d (zombie)" pid);
+      let before = count_fds () in
+      for _ = 1 to 30 do
+        let r =
+          get_ok
+            (Serve.Client.oneshot ~host ~port ~headers:[ hg_type ]
+               ~body:triangle "POST" target)
+        in
+        Alcotest.(check int) "isolated request ok" 200 r.Serve.Client.status
+      done;
+      let after = count_fds () in
+      if after > before + 8 then
+        Alcotest.failf "fd leak under isolation: %d -> %d" before after)
+
+(* --- admission control --------------------------------------------------- *)
+
+(* Occupy workers deterministically: send request heads whose bodies
+   never complete, so each connection pins one worker in a body read
+   (up to the server's mid-read stall budget) without depending on
+   solver timing. *)
+let occupy ~host ~port n =
+  List.init n (fun _ ->
+      let c = Serve.Client.connect ~host ~port () in
+      Serve.Client.write_raw c
+        (Printf.sprintf
+           "POST /decompose?k=2 HTTP/1.1\r\nHost: x\r\nContent-Type: \
+            application/x-hyperbench\r\nContent-Length: %d\r\n\r\n"
+           (String.length triangle));
+      c)
+
+let queue_full_429 () =
+  let cfg = { (base_cfg ()) with Serve.Server.jobs = 1; queue = 1 } in
+  with_server ~cfg (fun port ->
+      (* worker pinned by an incomplete body; next connection fills the
+         queue; everything after that must be turned away inline *)
+      let pinned = occupy ~host ~port 2 in
+      Fun.protect
+        ~finally:(fun () -> List.iter Serve.Client.close pinned)
+        (fun () ->
+          Thread.delay 0.2;
+          let rejected = ref 0 in
+          for _ = 1 to 5 do
+            match Serve.Client.oneshot ~timeout:2.0 ~host ~port "GET" "/healthz" with
+            | Ok r when r.Serve.Client.status = 429 ->
+                incr rejected;
+                Alcotest.(check bool) "429 carries Retry-After" true
+                  (List.mem_assoc "retry-after" r.Serve.Client.headers)
+            | Ok _ | Error _ -> ()
+          done;
+          if !rejected = 0 then
+            Alcotest.fail "full admission queue never answered 429";
+          (* complete one pinned request: its worker was waiting on the
+             body all along and must now answer *)
+          let c = List.hd pinned in
+          Serve.Client.write_raw c triangle;
+          let r = get_ok (Serve.Client.read_response c) in
+          Alcotest.(check int) "pinned request completes" 200
+            r.Serve.Client.status))
+
+let rate_limit_429 () =
+  let cfg = { (base_cfg ()) with Serve.Server.rate = 5.; burst = 5. } in
+  with_server ~cfg (fun port ->
+      let c = Serve.Client.connect ~host ~port () in
+      Fun.protect
+        ~finally:(fun () -> Serve.Client.close c)
+        (fun () ->
+          let ok = ref 0 and limited = ref 0 in
+          for _ = 1 to 20 do
+            match Serve.Client.request c "GET" "/healthz" with
+            | Ok r when r.Serve.Client.status = 200 -> incr ok
+            | Ok r when r.Serve.Client.status = 429 ->
+                Alcotest.(check bool) "rate 429 carries Retry-After" true
+                  (List.mem_assoc "retry-after" r.Serve.Client.headers);
+                incr limited
+            | Ok r -> Alcotest.failf "unexpected status %d" r.Serve.Client.status
+            | Error m -> Alcotest.failf "rate-limited request failed: %s" m
+          done;
+          Alcotest.(check bool) "burst admitted" true (!ok >= 5);
+          Alcotest.(check bool) "excess limited" true (!limited >= 10)))
+
+(* --- SIGTERM drain (real binary) ----------------------------------------- *)
+
+let exe =
+  Filename.concat
+    (Filename.dirname (Filename.dirname Sys.executable_name))
+    "bin/hyperbench.exe"
+
+let read_port_line fd =
+  (* "hyperbenchd listening on http://127.0.0.1:PORT" *)
+  let buf = Buffer.create 64 in
+  let b = Bytes.create 1 in
+  let deadline = Unix.gettimeofday () +. 10. in
+  let rec go () =
+    if Unix.gettimeofday () > deadline then
+      Alcotest.fail "daemon never printed its listening line";
+    match Unix.read fd b 0 1 with
+    | 0 -> Alcotest.fail "daemon closed stdout before listening"
+    | _ ->
+        if Bytes.get b 0 = '\n' then Buffer.contents buf
+        else begin
+          Buffer.add_char buf (Bytes.get b 0);
+          go ()
+        end
+  in
+  let line = go () in
+  match String.rindex_opt line ':' with
+  | None -> Alcotest.failf "unparseable listening line: %s" line
+  | Some i -> (
+      match
+        int_of_string_opt
+          (String.trim (String.sub line (i + 1) (String.length line - i - 1)))
+      with
+      | Some p -> p
+      | None -> Alcotest.failf "unparseable listening line: %s" line)
+
+let sigterm_drain_finishes_in_flight () =
+  let out_rd, out_wr = Unix.pipe () in
+  let pid =
+    Unix.create_process exe
+      [| exe; "serve"; "--port"; "0"; "--timeout"; "5" |]
+      Unix.stdin out_wr Unix.stderr
+  in
+  Unix.close out_wr;
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close out_rd with Unix.Unix_error _ -> ());
+      (* belt and braces: never leave the daemon behind *)
+      try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ())
+    (fun () ->
+      let port = read_port_line out_rd in
+      (* park a request mid-body, so it is in flight when SIGTERM lands *)
+      let c = Serve.Client.connect ~host ~port () in
+      Fun.protect
+        ~finally:(fun () -> Serve.Client.close c)
+        (fun () ->
+          Serve.Client.write_raw c
+            (Printf.sprintf
+               "POST /decompose?k=2 HTTP/1.1\r\nHost: x\r\nContent-Type: \
+                application/x-hyperbench\r\nContent-Length: %d\r\n\r\n%s"
+               (String.length triangle)
+               (String.sub triangle 0 10));
+          Thread.delay 0.3;
+          Unix.kill pid Sys.sigterm;
+          Thread.delay 0.3;
+          (* the listener must be gone quickly... *)
+          (match Serve.Client.connect ~timeout:1.0 ~host ~port () with
+          | exception Unix.Unix_error _ -> ()
+          | c2 ->
+              (* accepted by a lingering backlog: it must at least close
+                 without serving *)
+              Serve.Client.close c2);
+          (* ...but the accepted request still gets its answer *)
+          Serve.Client.write_raw c
+            (String.sub triangle 10 (String.length triangle - 10));
+          let r = get_ok (Serve.Client.read_response c) in
+          Alcotest.(check int) "in-flight request answered during drain" 200
+            r.Serve.Client.status;
+          Alcotest.(check bool) "drain response says close" true
+            (List.assoc_opt "connection" r.Serve.Client.headers
+            = Some "close"
+            || contains "\"verdict\"" r.Serve.Client.body));
+      match Unix.waitpid [] pid with
+      | _, Unix.WEXITED 0 -> ()
+      | _, Unix.WEXITED n -> Alcotest.failf "daemon exited %d after drain" n
+      | _, (Unix.WSIGNALED n | Unix.WSTOPPED n) ->
+          Alcotest.failf "daemon killed by signal %d" n)
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "routing",
+        [
+          Alcotest.test_case "healthz and metrics" `Quick healthz_and_metrics;
+          Alcotest.test_case "decompose verdicts" `Quick decompose_verdicts;
+          Alcotest.test_case "decompose errors" `Quick decompose_errors;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "keep-alive sequencing" `Quick
+            keep_alive_sequencing;
+          Alcotest.test_case "pipelining" `Quick pipelining;
+          Alcotest.test_case "oversized bodies" `Quick oversized_bodies;
+          Alcotest.test_case "malformed requests" `Quick malformed_requests;
+          Alcotest.test_case "fuzz corpus (300 mangled requests)" `Slow
+            fuzz_corpus;
+        ] );
+      ( "cache",
+        [ Alcotest.test_case "end-to-end cache hit" `Quick cache_end_to_end ] );
+      ( "leaks",
+        [
+          Alcotest.test_case "no fd leak across 1000 requests" `Slow
+            fd_leak_loop;
+          Alcotest.test_case "no worker leak under isolation" `Slow
+            no_worker_leak_under_isolation;
+        ] );
+      ( "admission",
+        [
+          Alcotest.test_case "queue full answers 429" `Quick queue_full_429;
+          Alcotest.test_case "per-client rate limit" `Quick rate_limit_429;
+        ] );
+      ( "drain",
+        [
+          Alcotest.test_case "SIGTERM finishes in-flight requests" `Slow
+            sigterm_drain_finishes_in_flight;
+        ] );
+    ]
