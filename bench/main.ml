@@ -628,6 +628,7 @@ module Serve_bench = struct
         default_timeout = 10.0;
         max_timeout = 30.0;
         max_k = 4;
+        supervisor = Serve.Supervisor.create ();
       }
     in
     let cfg =
@@ -738,6 +739,305 @@ module Serve_bench = struct
         | Some _ | None -> ())
 end
 
+(* --- serve: chaos soak ------------------------------------------------------- *)
+
+(* Seeded chaos soak against an in-process hyperbenchd: well-behaved
+   clients go through [Serve.Client.request_retry] while the Fault
+   harness tears, resets and stalls the wire and kills solve workers,
+   and a rogue thread runs slowloris heads, mid-body stalls and aborted
+   uploads alongside. The run passes only if every well-behaved request
+   was correctly answered (200) or honestly refused (429/503 with
+   Retry-After), a fault-free replay of every 200 returns a
+   byte-identical body (fuel budgets make solves deterministic), the
+   breaker/restart counters actually moved, no fds or zombies leaked,
+   and the drain join stayed bounded. Violations exit 7 — the CI
+   chaos-gate. *)
+module Serve_chaos = struct
+  let default_spec =
+    "stall@serve.read:p0.05:s7;reset@serve.read:p0.03:s8;\
+     torn@serve.write:p0.08:s9;kill@serve.worker:p0.2:s11"
+
+  let count_fds () =
+    if Sys.file_exists "/proc/self/fd" then
+      Some (Array.length (Sys.readdir "/proc/self/fd"))
+    else None
+
+  let main ~seed () =
+    Kit.Metrics.enabled := true;
+    let clients = max 1 (env_int "HB_CHAOS_CLIENTS" 4) in
+    let reqs = max 1 (env_int "HB_CHAOS_REQS" 25) in
+    let fuel =
+      let f = env_int "HB_FUEL" 0 in
+      if f > 0 then f else 50_000
+    in
+    let violations = ref [] in
+    let vmu = Mutex.create () in
+    let violate fmt =
+      Printf.ksprintf
+        (fun m ->
+          Mutex.lock vmu;
+          violations := m :: !violations;
+          Mutex.unlock vmu)
+        fmt
+    in
+    let rng = Kit.Rng.create seed in
+    let corpus =
+      "e1(a,b),e2(b,c),e3(c,a)."
+      :: List.map
+           (fun (nv, nc) ->
+             Hg.Hypergraph.to_string
+               (Gen.Random_csp.random rng ~n_variables:nv ~n_constraints:nc
+                  ~max_arity:3))
+           [ (8, 10); (12, 16); (16, 22) ]
+    in
+    let corpus_arr = Array.of_list corpus in
+    let cache_dir =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "hb_chaos_%d" (Unix.getpid ()))
+    in
+    if Sys.file_exists cache_dir then Serve_bench.rm_rf cache_dir;
+    Unix.mkdir cache_dir 0o755;
+    let svc =
+      {
+        Benchlib.Service.cache =
+          Some (Benchlib.Result_cache.create ~dir:cache_dir);
+        isolate = Kit.Proc.enabled ();
+        mem_mb = None;
+        default_timeout = 5.0;
+        max_timeout = 10.0;
+        max_k = 4;
+        supervisor =
+          Serve.Supervisor.create ~threshold:4 ~cooldown:0.2 ~retries:2 ~seed
+            ();
+      }
+    in
+    let cfg =
+      {
+        (Serve.Server.default_config ()) with
+        Serve.Server.port = 0;
+        jobs = max 2 (env_int "HB_JOBS" 4);
+        queue = 64;
+        rate = 0.;
+        idle_timeout = 2.0;
+        drain_grace = 0.5;
+        mid_read_timeout = 1.0;
+        write_timeout = 5.0;
+      }
+    in
+    let srv = Serve.Server.create cfg (Benchlib.Service.handler svc) in
+    let th = Thread.create (fun () -> Serve.Server.serve srv) () in
+    let port = Serve.Server.port srv in
+    let host = "127.0.0.1" in
+    let target = Printf.sprintf "/decompose?k=3&fuel=%d" fuel in
+    let headers = [ ("Content-Type", "application/x-hyperbench") ] in
+    let fd_before = count_fds () in
+    let joined = ref false in
+    Fun.protect
+      ~finally:(fun () ->
+        Kit.Fault.clear ();
+        if not !joined then begin
+          Serve.Server.stop srv;
+          Thread.join th
+        end;
+        Serve_bench.rm_rf cache_dir)
+      (fun () ->
+        let spec =
+          match Sys.getenv_opt "HB_FAULT" with
+          | Some s when s <> "" -> s
+          | Some _ | None -> default_spec
+        in
+        (match Kit.Fault.configure spec with
+        | Ok () -> ()
+        | Error m ->
+            Printf.eprintf "chaos: bad fault spec: %s\n%!" m;
+            exit 1);
+        Printf.printf "chaos: %d clients x %d reqs under %S\n%!" clients reqs
+          spec;
+        (* (status, body) per well-behaved request; status 0 = gave up *)
+        let record = Array.init clients (fun _ -> Array.make reqs (0, "")) in
+        let ok = Atomic.make 0
+        and refused = Atomic.make 0 in
+        let well_behaved ci =
+          for i = 0 to reqs - 1 do
+            let body = corpus_arr.((ci + i) mod Array.length corpus_arr) in
+            match
+              Serve.Client.request_retry ~headers ~body ~retries:6
+                ~base_delay:0.02 ~max_delay:0.5 ~deadline:20.0
+                ~attempt_timeout:5.0
+                ~seed:(seed + (ci * 1000) + i)
+                ~host ~port "POST" target
+            with
+            | Ok r when r.Serve.Client.status = 200 ->
+                Atomic.incr ok;
+                record.(ci).(i) <- (200, r.Serve.Client.body)
+            | Ok r
+              when (r.Serve.Client.status = 429 || r.Serve.Client.status = 503)
+                   && List.mem_assoc "retry-after" r.Serve.Client.headers ->
+                (* honest refusal that outlived the retry budget *)
+                Atomic.incr refused;
+                record.(ci).(i) <- (r.Serve.Client.status, "")
+            | Ok r ->
+                violate "client %d req %d: dishonest answer %d%s" ci i
+                  r.Serve.Client.status
+                  (if r.Serve.Client.status >= 500 then " without Retry-After"
+                   else "")
+            | Error m -> violate "client %d req %d: retry gave up: %s" ci i m
+          done
+        in
+        (* Rogue traffic: never counted, must also never wedge a worker
+           for longer than the server's own timeouts. *)
+        let rogue_stop = Atomic.make false in
+        let rogue () =
+          let head =
+            Printf.sprintf
+              "POST %s HTTP/1.1\r\nHost: x\r\nContent-Type: \
+               application/x-hyperbench\r\nContent-Length: 999\r\n\r\n"
+              target
+          in
+          while not (Atomic.get rogue_stop) do
+            (try
+               (* slowloris: a header drip that never finishes *)
+               let c = Serve.Client.connect ~timeout:3.0 ~host ~port () in
+               Serve.Client.write_raw c "POST /decompose HTTP/1.1\r\n";
+               Unix.sleepf 0.2;
+               Serve.Client.write_raw c "Host: x\r\n";
+               Unix.sleepf 0.2;
+               Serve.Client.close c;
+               (* mid-body stall, then abandon *)
+               let c = Serve.Client.connect ~timeout:3.0 ~host ~port () in
+               Serve.Client.write_raw c (head ^ "e1(a");
+               Unix.sleepf 0.4;
+               Serve.Client.close c;
+               (* aborted upload: head only, immediate hangup *)
+               let c = Serve.Client.connect ~timeout:3.0 ~host ~port () in
+               Serve.Client.write_raw c head;
+               Serve.Client.close c
+             with Unix.Unix_error _ -> ());
+            Unix.sleepf 0.1
+          done
+        in
+        let rogue_th = Thread.create rogue () in
+        let threads =
+          List.init clients (fun ci -> Thread.create (fun () -> well_behaved ci) ())
+        in
+        List.iter Thread.join threads;
+        Atomic.set rogue_stop true;
+        Thread.join rogue_th;
+        Kit.Fault.clear ();
+        (* chaos over: replay every 200 fault-free; fuel-budgeted solves
+           (and byte-identical cache hits) make the bodies deterministic *)
+        let replayed = ref 0 in
+        Array.iteri
+          (fun ci row ->
+            Array.iteri
+              (fun i (status, body) ->
+                if status = 200 then begin
+                  incr replayed;
+                  let b = corpus_arr.((ci + i) mod Array.length corpus_arr) in
+                  match
+                    Serve.Client.oneshot ~timeout:15.0 ~host ~port ~headers
+                      ~body:b "POST" target
+                  with
+                  | Ok r when r.Serve.Client.status = 200 ->
+                      if r.Serve.Client.body <> body then
+                        violate
+                          "client %d req %d: fault-free replay diverged" ci i
+                  | Ok r ->
+                      violate "client %d req %d: fault-free replay got %d" ci
+                        i r.Serve.Client.status
+                  | Error m ->
+                      violate "client %d req %d: fault-free replay failed: %s"
+                        ci i m
+                end)
+              row)
+          record;
+        (* the episode must be visible in /metrics *)
+        let metrics_body =
+          match Serve.Client.oneshot ~host ~port "GET" "/metrics" with
+          | Ok r when r.Serve.Client.status = 200 -> r.Serve.Client.body
+          | Ok r ->
+              violate "/metrics answered %d" r.Serve.Client.status;
+              ""
+          | Error m ->
+              violate "/metrics failed: %s" m;
+              ""
+        in
+        let snap = Kit.Metrics.snapshot () in
+        let restarts = Kit.Metrics.get snap "serve.worker_restarts" in
+        if restarts = 0 then
+          violate "no worker restarts recorded under kill faults";
+        let contains needle s =
+          let nl = String.length needle and sl = String.length s in
+          let rec at i =
+            i + nl <= sl && (String.sub s i nl = needle || at (i + 1))
+          in
+          at 0
+        in
+        if not (contains "hb_serve_worker_restarts" metrics_body) then
+          violate "/metrics missing hb_serve_worker_restarts";
+        (* bounded, clean drain with everything settled *)
+        let t0 = Unix.gettimeofday () in
+        Serve.Server.stop srv;
+        Thread.join th;
+        joined := true;
+        let drain_s = Unix.gettimeofday () -. t0 in
+        if drain_s > 10.0 then
+          violate "drain took %.1fs (bound 10s)" drain_s;
+        (* no zombie sandbox workers, no fd growth *)
+        (match Unix.waitpid [ Unix.WNOHANG ] (-1) with
+        | exception Unix.Unix_error (Unix.ECHILD, _, _) -> ()
+        | 0, _ -> violate "sandbox worker still running after drain"
+        | pid, _ -> violate "unreaped sandbox worker %d (zombie)" pid);
+        let fd_after = count_fds () in
+        (match (fd_before, fd_after) with
+        | Some b, Some a when a > b + 8 ->
+            violate "fd growth: %d before, %d after" b a
+        | _ -> ());
+        let total = clients * reqs in
+        let ok = Atomic.get ok and refused = Atomic.get refused in
+        Printf.printf
+          "chaos: %d/%d answered, %d honestly refused, %d replayed \
+           byte-identical, %d worker restarts, drain %.2fs\n"
+          ok total refused !replayed restarts drain_s;
+        let json =
+          Kit.Json.(
+            to_string
+              (Obj
+                 [
+                   ("schema", String "hyperbench-chaos/1");
+                   ("seed", Int seed);
+                   ("fault_spec", String spec);
+                   ("clients", Int clients);
+                   ("requests_per_client", Int reqs);
+                   ("answered_200", Int ok);
+                   ("honest_refusals", Int refused);
+                   ("replayed", Int !replayed);
+                   ("worker_restarts", Int restarts);
+                   ("breaker_opened",
+                    Int (Kit.Metrics.get snap "serve.breaker.solver.opened"
+                        + Kit.Metrics.get snap
+                            "serve.breaker.isolation.opened"));
+                   ("drain_seconds", Float drain_s);
+                   ("violations",
+                    List (List.rev_map (fun v -> String v) !violations));
+                 ]))
+        in
+        let path = "BENCH_chaos.json" in
+        let oc = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () -> output_string oc json);
+        Printf.printf "Wrote %s\n" path;
+        if !violations <> [] then begin
+          List.iter
+            (Printf.eprintf "chaos violation: %s\n")
+            (List.rev !violations);
+          Printf.eprintf "chaos: %d violation(s)\n%!"
+            (List.length !violations);
+          exit 7
+        end)
+end
+
 (* --- main ------------------------------------------------------------------- *)
 
 let () =
@@ -839,5 +1139,8 @@ let () =
   end;
   if wants "repo" then Repo_bench.main ~seed ~scale ~jobs ();
   if wants "serve" then Serve_bench.main ~seed ();
+  (* chaos arms the global fault harness, so it never runs by default —
+     only when asked for by name *)
+  if List.mem "chaos" args then Serve_chaos.main ~seed ();
   if wants "perf" then Perf.main ();
   if wants "micro" then micro ()

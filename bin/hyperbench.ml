@@ -917,9 +917,19 @@ let serve_cmd =
     (Cmd.info "serve"
        ~doc:
          "Run hyperbenchd: a persistent HTTP daemon answering POST \
-          /decompose with width and decomposition JSON, with /healthz and \
-          /metrics. Graceful drain on SIGTERM/SIGINT: stop accepting, \
-          answer everything already accepted, exit 0.")
+          /decompose with width and decomposition JSON, with /healthz \
+          (per-subsystem circuit-breaker state) and /metrics. Crashed \
+          solve workers are restarted with backoff; persistent failures \
+          open a breaker and the daemon degrades to cached answers or \
+          honest 503 + Retry-After. Graceful drain on SIGTERM/SIGINT: \
+          stop accepting, answer everything already accepted, exit 0. \
+          Timeouts come from $(b,HB_IDLE) (keep-alive idle, 5 s), \
+          $(b,HB_READ_TIMEOUT) (mid-request stall budget, 10 s), \
+          $(b,HB_WRITE_TIMEOUT) (response send budget, 30 s) and \
+          $(b,HB_DRAIN) (drain grace, 0.25 s); $(b,HB_FAULT) arms the \
+          chaos harness, including the network kinds \
+          stall/reset/torn at serve.read and serve.write and worker \
+          kills at serve.worker.")
     Term.(
       const run $ host $ port $ jobs_arg $ queue $ rate $ max_body
       $ req_timeout $ isolate_arg $ mem_limit $ cache)

@@ -5,6 +5,7 @@ type config = {
   default_timeout : float;
   max_timeout : float;
   max_k : int;
+  supervisor : Serve.Supervisor.t;
 }
 
 let default_config () =
@@ -15,6 +16,7 @@ let default_config () =
     default_timeout = 10.0;
     max_timeout = 60.0;
     max_k = 8;
+    supervisor = Serve.Supervisor.create ();
   }
 
 (* ------------------------------------------------------------------ *)
@@ -205,7 +207,25 @@ let wall_of_budget cfg = function
 
 let run_solve cfg ~meth ~k ~budget h =
   let task = solve_once ~cfg ~meth ~k ~budget h in
+  (* Worker-kill injection is decided here, in the daemon, because under
+     isolation each forked worker carries a fresh copy of the Fault hit
+     counters — a probabilistic clause evaluated in the child would see
+     hit 1 on every request. The global counter in the parent keeps the
+     firing sequence deterministic across requests and retries. *)
+  let kill_worker =
+    match Kit.Fault.hit "serve.worker" with
+    | () -> false
+    | exception Kit.Fault.Injected _ -> true
+  in
   if cfg.isolate then begin
+    let task =
+      if kill_worker then fun () ->
+        (* die like a real crashed worker: Proc's reaper classifies the
+           signal death, not a marshalled exception *)
+        Unix.kill (Unix.getpid ()) Sys.sigabrt;
+        task ()
+      else task
+    in
     let outcomes =
       Kit.Proc.outcomes ~jobs:1 ?mem_mb:cfg.mem_mb
         ~wall:(wall_of_budget cfg budget)
@@ -214,11 +234,33 @@ let run_solve cfg ~meth ~k ~budget h =
     in
     outcomes.(0)
   end
+  else if kill_worker then
+    Kit.Outcome.Crash "injected worker kill at serve.worker"
   else
     (* In-process: the Guard soft memory alarm is process-global and
        would misattribute another thread's allocations to this request,
        so it is disabled; hard memory limits need [isolate]. *)
     Kit.Guard.run ~mem_mb:0 task
+
+(* The subsystem a solve exercises, for breaker accounting. *)
+let subsystem_of cfg = if cfg.isolate then "isolation" else "solver"
+
+(* Self-healing: a crashed worker is restarted (fresh fork next attempt)
+   after a jittered backoff, up to the supervisor's retry budget; every
+   restart is counted and charged to the subsystem's breaker. *)
+let run_solve_supervised cfg ~meth ~k ~budget h =
+  let sup = cfg.supervisor in
+  let br = Serve.Supervisor.breaker sup (subsystem_of cfg) in
+  let rec attempt n =
+    match run_solve cfg ~meth ~k ~budget h with
+    | Kit.Outcome.Crash _ when n < Serve.Supervisor.retries sup ->
+        Serve.Supervisor.restarted sup;
+        Serve.Breaker.failure br;
+        Unix.sleepf (Serve.Supervisor.backoff sup ~attempt:n);
+        attempt (n + 1)
+    | o -> o
+  in
+  attempt 0
 
 (* ------------------------------------------------------------------ *)
 (* HTTP                                                                *)
@@ -273,6 +315,85 @@ let parse_params cfg req =
   in
   (meth, k, budget)
 
+(* The 200 body for a completed solve. One function for both the normal
+   and the degraded (breaker-open, cache-only) path, so a degraded hit
+   is byte-identical to the answer the solver would have produced. *)
+let solved_json h ~meth (s : solved) =
+  Kit.Json.Obj
+    [ ("fingerprint", Kit.Json.String (Hg.Hypergraph.fingerprint h));
+      ("method", Kit.Json.String meth);
+      ("algorithm", Kit.Json.String s.s_algorithm);
+      ("k", Kit.Json.Int s.s_k);
+      ("verdict", Kit.Json.String s.s_verdict);
+      ("width",
+       if s.s_width >= 0 then Kit.Json.Int s.s_width else Kit.Json.Null);
+      ("decomposition",
+       if s.s_decomp = "" then Kit.Json.Null
+       else Kit.Json.String s.s_decomp) ]
+
+let retry_after_header ra =
+  ("Retry-After", string_of_int (max 1 (int_of_float (Float.ceil ra))))
+
+let m_degraded = Kit.Metrics.counter "serve.degraded_hits"
+
+(* Breaker open: the solver subsystem is not to be trusted right now,
+   but a cached definitive verdict is still good — serve it. Otherwise
+   admit we are degraded: 503 with the breaker's honest probe schedule
+   as Retry-After. *)
+let degraded cfg h ~meth ~k ~retry_after:ra =
+  let cached =
+    match cfg.cache with
+    | Some c when meth = "hd" -> (
+        match k with
+        | Some k -> (
+            match Result_cache.find c h ~meth:"hd" ~k with
+            | Some (Result_cache.Yes d) -> Some (yes h d ~k ~alg:"hd")
+            | Some Result_cache.No -> Some (no ~k ~alg:"hd")
+            | None -> None)
+        | None ->
+            (* the width ladder is answerable from cache only if every
+               level up to the first Yes is cached *)
+            let rec go lvl =
+              if lvl > cfg.max_k then Some (no ~k:cfg.max_k ~alg:"hd")
+              else
+                match Result_cache.find c h ~meth:"hd" ~k:lvl with
+                | Some (Result_cache.Yes d) -> Some (yes h d ~k:lvl ~alg:"hd")
+                | Some Result_cache.No -> go (lvl + 1)
+                | None -> None
+            in
+            go 1)
+    | _ -> None
+  in
+  match cached with
+  | Some s ->
+      Kit.Metrics.incr m_degraded;
+      let s = { s with s_cache = "hit" } in
+      json_response 200
+        ~headers:
+          [ ("X-HB-Cache", s.s_cache);
+            ("X-HB-Seconds", "0.000000");
+            ("X-HB-Degraded", "cache") ]
+        (solved_json h ~meth s)
+  | None ->
+      Serve.Http.response
+        ~headers:[ retry_after_header ra; ("X-HB-Degraded", "breaker-open") ]
+        503
+        (Serve.Http.error_body 503
+           "decomposition temporarily unavailable (circuit open)")
+
+(* [X-HB-Deadline: seconds-remaining] — set by [Serve.Client.request_retry].
+   An already-expired deadline is answered 504 without solving; otherwise
+   the advertised remainder caps the solve budget, so the server never
+   burns a worker on an answer the client has stopped waiting for. *)
+let client_deadline req =
+  match Serve.Http.header req "x-hb-deadline" with
+  | None -> Ok None
+  | Some v -> (
+      match float_of_string_opt (String.trim v) with
+      | Some d when d > 0. -> Ok (Some d)
+      | Some _ -> Error ()
+      | None -> Ok None (* unparseable: ignore, header is advisory *))
+
 let decompose cfg req =
   match parse_payload req with
   | Error (status, msg) -> err status msg
@@ -280,57 +401,79 @@ let decompose cfg req =
       match parse_params cfg req with
       | exception Bad_param msg -> err 400 msg
       | meth, k, budget -> (
-          let t0 = Unix.gettimeofday () in
-          match run_solve cfg ~meth ~k ~budget h with
-          | Kit.Outcome.Ok s ->
-              (* In-process solves recorded straight into this domain's
-                 store; only a forked worker's delta needs replaying. *)
-              if cfg.isolate then Kit.Metrics.absorb s.s_stats;
-              let seconds = Unix.gettimeofday () -. t0 in
-              json_response 200
-                ~headers:
-                  [ ("X-HB-Cache", s.s_cache);
-                    ("X-HB-Seconds", Printf.sprintf "%.6f" seconds) ]
-                (Kit.Json.Obj
-                   [ ("fingerprint",
-                      Kit.Json.String (Hg.Hypergraph.fingerprint h));
-                     ("method", Kit.Json.String meth);
-                     ("algorithm", Kit.Json.String s.s_algorithm);
-                     ("k", Kit.Json.Int s.s_k);
-                     ("verdict", Kit.Json.String s.s_verdict);
-                     ("width",
-                      if s.s_width >= 0 then Kit.Json.Int s.s_width
-                      else Kit.Json.Null);
-                     ("decomposition",
-                      if s.s_decomp = "" then Kit.Json.Null
-                      else Kit.Json.String s.s_decomp) ])
-          | Kit.Outcome.Timeout ->
-              (* The watchdog killed the worker: the budget is spent and
-                 the level is whatever the client asked for. *)
-              let seconds = Unix.gettimeofday () -. t0 in
-              json_response 200
-                ~headers:[ ("X-HB-Seconds", Printf.sprintf "%.6f" seconds) ]
-                (Kit.Json.Obj
-                   [ ("fingerprint",
-                      Kit.Json.String (Hg.Hypergraph.fingerprint h));
-                     ("method", Kit.Json.String meth);
-                     ("algorithm", Kit.Json.String meth);
-                     ("k",
-                      match k with
-                      | Some k -> Kit.Json.Int k
-                      | None -> Kit.Json.Null);
-                     ("verdict", Kit.Json.String "timeout");
-                     ("width", Kit.Json.Null);
-                     ("decomposition", Kit.Json.Null) ])
-          | Kit.Outcome.Out_of_memory ->
-              err 503 "solver exceeded its memory budget"
-          | Kit.Outcome.Stack_overflow -> err 500 "solver stack overflow"
-          | Kit.Outcome.Crash msg ->
-              err 500
-                ("solver crashed: "
-                ^ (match String.index_opt msg '\n' with
-                  | Some i -> String.sub msg 0 i
-                  | None -> msg))))
+          match client_deadline req with
+          | Error () -> err 504 "client deadline already expired"
+          | Ok dl -> (
+              let budget =
+                match (budget, dl) with
+                | Seconds s, Some d -> Seconds (Float.min s d)
+                | b, _ -> b
+              in
+              let br =
+                Serve.Supervisor.breaker cfg.supervisor (subsystem_of cfg)
+              in
+              match Serve.Breaker.acquire br with
+              | `Reject ra -> degraded cfg h ~meth ~k ~retry_after:ra
+              | `Proceed | `Probe -> (
+                  let t0 = Unix.gettimeofday () in
+                  match run_solve_supervised cfg ~meth ~k ~budget h with
+                  | Kit.Outcome.Ok s ->
+                      Serve.Breaker.success br;
+                      (* In-process solves recorded straight into this
+                         domain's store; only a forked worker's delta
+                         needs replaying. *)
+                      if cfg.isolate then Kit.Metrics.absorb s.s_stats;
+                      let seconds = Unix.gettimeofday () -. t0 in
+                      json_response 200
+                        ~headers:
+                          [ ("X-HB-Cache", s.s_cache);
+                            ("X-HB-Seconds", Printf.sprintf "%.6f" seconds) ]
+                        (solved_json h ~meth s)
+                  | Kit.Outcome.Timeout ->
+                      (* The watchdog killed the worker: the budget is
+                         spent and the level is whatever the client asked
+                         for. Containment doing its job is subsystem
+                         health, not failure. *)
+                      Serve.Breaker.success br;
+                      let seconds = Unix.gettimeofday () -. t0 in
+                      json_response 200
+                        ~headers:
+                          [ ("X-HB-Seconds", Printf.sprintf "%.6f" seconds) ]
+                        (Kit.Json.Obj
+                           [ ("fingerprint",
+                              Kit.Json.String (Hg.Hypergraph.fingerprint h));
+                             ("method", Kit.Json.String meth);
+                             ("algorithm", Kit.Json.String meth);
+                             ("k",
+                              match k with
+                              | Some k -> Kit.Json.Int k
+                              | None -> Kit.Json.Null);
+                             ("verdict", Kit.Json.String "timeout");
+                             ("width", Kit.Json.Null);
+                             ("decomposition", Kit.Json.Null) ])
+                  | Kit.Outcome.Out_of_memory ->
+                      Serve.Breaker.success br;
+                      Serve.Http.response
+                        ~headers:[ ("Retry-After", "1") ]
+                        503
+                        (Serve.Http.error_body 503
+                           "solver exceeded its memory budget")
+                  | Kit.Outcome.Stack_overflow ->
+                      Serve.Breaker.success br;
+                      err 500 "solver stack overflow"
+                  | Kit.Outcome.Crash msg ->
+                      (* Out of restart budget: charge the breaker and
+                         answer with its honest probe schedule. *)
+                      Serve.Breaker.failure br;
+                      Serve.Http.response
+                        ~headers:
+                          [ retry_after_header (Serve.Breaker.retry_after br) ]
+                        503
+                        (Serve.Http.error_body 503
+                           ("solver crashed: "
+                           ^ (match String.index_opt msg '\n' with
+                             | Some i -> String.sub msg 0 i
+                             | None -> msg)))))))
 
 let usage =
   Kit.Json.to_string
@@ -352,7 +495,24 @@ let handler cfg =
     Serve.Router.create
       [ ("GET", "/", fun _ -> Serve.Http.response 200 usage);
         ("GET", "/healthz",
-         fun _ -> Serve.Http.response 200 "{\"ok\":true}");
+         fun _ ->
+           (* Liveness plus supervision detail: ok is false only while
+              some subsystem's breaker is open (the status stays 200 —
+              the daemon itself is alive and still answering). *)
+           let subs = Serve.Supervisor.subsystems cfg.supervisor in
+           let ok =
+             List.for_all (fun (_, st) -> st <> Serve.Breaker.Open) subs
+           in
+           Serve.Http.response 200
+             (Kit.Json.to_string
+                (Kit.Json.Obj
+                   [ ("ok", Kit.Json.Bool ok);
+                     ("subsystems",
+                      Kit.Json.Obj
+                        (List.map
+                           (fun (n, st) ->
+                             (n, Kit.Json.String (Serve.Breaker.state_name st)))
+                           subs)) ])));
         ("GET", "/metrics",
          fun _ ->
            Serve.Http.response ~content_type:"text/plain; version=0.0.4"

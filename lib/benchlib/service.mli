@@ -19,7 +19,27 @@
     Response bodies are deterministic — timing lives in the
     [X-HB-Seconds] header, and [X-HB-Cache: hit|miss|off] reports cache
     participation — so a cache hit is byte-identical to the original
-    response. *)
+    response.
+
+    {2 Self-healing}
+
+    Every solve is charged to a subsystem breaker ([isolation] when
+    forking, [solver] in-process) owned by [supervisor]. A crashed
+    worker is restarted with jittered backoff up to the supervisor's
+    retry budget (each restart ticks [serve.worker_restarts]); a crash
+    that survives the restarts answers 503 with the breaker's honest
+    [Retry-After]. While a breaker is open, [POST /decompose] degrades
+    instead of failing: a request whose fingerprint has a cached
+    definitive verdict is answered 200 from cache (byte-identical body,
+    [X-HB-Degraded: cache]), anything else gets 503 + [Retry-After]
+    from the half-open probe schedule. Worker-kill chaos is injected at
+    the [serve.worker] {!Kit.Fault} site, decided in the daemon so the
+    firing sequence stays deterministic under isolation.
+
+    Clients advertise their remaining budget in [X-HB-Deadline]
+    (seconds, set by {!Serve.Client.request_retry}): an expired
+    deadline is answered 504 without solving, otherwise it caps the
+    solve's time budget. *)
 
 type config = {
   cache : Result_cache.t option;
@@ -28,16 +48,21 @@ type config = {
   default_timeout : float;  (** seconds, when the request names none *)
   max_timeout : float;  (** ceiling on client-requested budgets *)
   max_k : int;  (** ladder ceiling when no [k] is given *)
+  supervisor : Serve.Supervisor.t;
+      (** breakers + worker restart policy — see {!Serve.Supervisor} *)
 }
 
 val default_config : unit -> config
 (** [cache] from [HB_CACHE], [isolate] from [HB_ISOLATE], [mem_mb] from
-    [HB_MEM_MB], timeouts 10 s default / 60 s max, [max_k] 8. *)
+    [HB_MEM_MB], timeouts 10 s default / 60 s max, [max_k] 8, a fresh
+    default [supervisor]. *)
 
 val handler : config -> Serve.Http.request -> Serve.Http.response
 (** Routes:
     - [GET /] — usage document;
-    - [GET /healthz] — liveness, always [200 {"ok":true}];
+    - [GET /healthz] — liveness plus per-subsystem breaker state,
+      [200 {"ok":bool,"subsystems":{...}}] ([ok] false while any
+      breaker is open — the daemon itself is alive either way);
     - [GET /metrics] — Prometheus text rendering of {!Kit.Metrics};
     - [POST /decompose?k=..&method=..&timeout=..&fuel=..] — solve.
 
@@ -46,4 +71,6 @@ val handler : config -> Serve.Http.request -> Serve.Http.response
     [hd] runs the width ladder [k = 1..max_k]. [fuel] switches to the
     deterministic fuel budget (tests). Errors: 400 bad parameters, 404 /
     405 routing, 415 unknown content type, 422 unparseable payload, 500
-    solver crash, 503 out of memory. *)
+    solver stack overflow, 503 + [Retry-After] out of memory / crash
+    beyond the restart budget / breaker open on a cache miss, 504
+    expired [X-HB-Deadline]. *)

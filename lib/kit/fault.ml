@@ -1,4 +1,8 @@
-type kind = Crash | Oom | Kill | Truncate | Hang
+type kind = Crash | Oom | Kill | Truncate | Hang | Stall | Reset | Torn
+
+let is_net = function
+  | Stall | Reset | Torn -> true
+  | Crash | Oom | Kill | Truncate | Hang -> false
 
 exception Injected of string
 
@@ -26,6 +30,9 @@ let kind_name = function
   | Kill -> "kill"
   | Truncate -> "truncate"
   | Hang -> "hang"
+  | Stall -> "stall"
+  | Reset -> "reset"
+  | Torn -> "torn"
 
 let parse_clause s =
   let fail m = Error (Printf.sprintf "bad fault clause %S: %s" s m) in
@@ -39,10 +46,14 @@ let parse_clause s =
         | "kill" -> Some Kill
         | "truncate" -> Some Truncate
         | "hang" -> Some Hang
+        | "stall" -> Some Stall
+        | "reset" -> Some Reset
+        | "torn" -> Some Torn
         | _ -> None
       in
       match kind with
-      | None -> fail "unknown kind (crash|oom|kill|truncate|hang)"
+      | None ->
+          fail "unknown kind (crash|oom|kill|truncate|hang|stall|reset|torn)"
       | Some kind -> (
           let rest = String.sub s (at + 1) (String.length s - at - 1) in
           match String.index_opt rest ':' with
@@ -146,7 +157,7 @@ let hit site =
   | clauses ->
       List.iter
         (fun c ->
-          if c.site = site && c.kind <> Truncate then begin
+          if c.site = site && c.kind <> Truncate && not (is_net c.kind) then begin
             let n = 1 + Atomic.fetch_and_add c.count 1 in
             if fires c n then begin
               match c.kind with
@@ -163,10 +174,29 @@ let hit site =
                     (Injected
                        (Printf.sprintf "injected %s at %s (hit %d)"
                           (kind_name c.kind) site n))
-              | Truncate -> ()
+              | Truncate | Stall | Reset | Torn -> ()
             end
           end)
         clauses
+
+(* Network-fault query: unlike [hit], nothing is raised — the wire layer
+   asks whether an armed stall/reset/torn clause fires at this site and
+   acts the fault out itself (sleeping past a timeout, closing a socket
+   mid-write). First firing clause in spec order wins; every net clause
+   at the site still counts its hit, so a spec with several clauses keeps
+   deterministic hit numbering whether or not an earlier one fires. *)
+let net site =
+  match Atomic.get state with
+  | [] -> None
+  | clauses ->
+      List.fold_left
+        (fun acc c ->
+          if c.site = site && is_net c.kind then begin
+            let n = 1 + Atomic.fetch_and_add c.count 1 in
+            if acc = None && fires c n then Some c.kind else acc
+          end
+          else acc)
+        None clauses
 
 let cut site =
   match Atomic.get state with

@@ -18,10 +18,11 @@
 
     {v kind@site:trigger v}
 
-    where [kind] is [crash], [oom], [kill], [truncate] or [hang]; [site]
-    is the
+    where [kind] is [crash], [oom], [kill], [truncate], [hang], or one
+    of the network kinds [stall], [reset], [torn]; [site] is the
     site name (e.g. [deadline.poll], [instance.cq-rand-003],
-    [portfolio.balsep], [hypergraph.parse]); and [trigger] is
+    [portfolio.balsep], [hypergraph.parse], [serve.read], [serve.write],
+    [client.read], [client.write], [serve.worker]); and [trigger] is
 
     - [N] — fire exactly once, at the Nth hit of the site (1-based,
       counted globally across domains with an atomic counter);
@@ -40,9 +41,22 @@
     it escapes {!Guard.run} and every soft budget. Only the hard
     wall-clock watchdog of {!Proc} (campaigns under [HB_ISOLATE=1] /
     [--isolate]) terminates it; do not arm it in an un-isolated run you
-    are not prepared to kill. *)
+    are not prepared to kill.
 
-type kind = Crash | Oom | Kill | Truncate | Hang
+    {2 Network kinds}
+
+    [stall], [reset] and [torn] are {e acted out} by the wire layer
+    rather than raised: a socket read/write path calls {!net} and, when
+    a clause fires, simulates the hostile peer itself — [stall] blocks
+    until the path's own timeout budget expires, [reset] behaves as an
+    abrupt connection reset, [torn] delivers a partial write and then
+    closes the socket for real (the peer observes a torn response).
+    Sites: [serve.read] / [serve.write] in the daemon's
+    {!Serve.Http} layer, [client.read] / [client.write] in
+    {!Serve.Client}. Example:
+    [stall@serve.read:p0.1:s7;torn@serve.write:3]. *)
+
+type kind = Crash | Oom | Kill | Truncate | Hang | Stall | Reset | Torn
 
 exception Injected of string
 (** Raised by {!hit} at an armed [crash] or [kill] site; the payload
@@ -72,3 +86,10 @@ val hit : string -> unit
 val cut : string -> int option
 (** Count one hit of a [truncate] site; [Some bytes] when this hit
     fires, telling the caller to keep only a prefix of its input. *)
+
+val net : string -> kind option
+(** Count one hit of a network site; [Some (Stall | Reset | Torn)] when
+    an armed network clause fires there, telling the wire layer which
+    hostile-peer behaviour to act out. Never raises; one atomic load
+    when disarmed. Non-network kinds at the site are ignored (they
+    belong to {!hit}), and vice versa. *)

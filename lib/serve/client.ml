@@ -1,4 +1,4 @@
-type t = { fd : Unix.file_descr; mutable buf : string }
+type t = { fd : Unix.file_descr; mutable buf : string; timeout : float }
 
 type response = {
   status : int;
@@ -11,21 +11,42 @@ type response = {
 let ignore_sigpipe =
   lazy (Sys.set_signal Sys.sigpipe Sys.Signal_ignore)
 
+(* The socket must be closed on every exit path out of [connect] — a
+   refused connection per attempt in a retry loop must not leak an fd
+   per attempt. *)
 let connect ?(timeout = 30.) ~host ~port () =
   Lazy.force ignore_sigpipe;
   let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-  try
+  match
     Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
     (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout
      with Unix.Unix_error _ | Invalid_argument _ -> ());
-    { fd; buf = "" }
-  with e ->
-    (try Unix.close fd with Unix.Unix_error _ -> ());
-    raise e
+    (try Unix.setsockopt_float fd Unix.SO_SNDTIMEO timeout
+     with Unix.Unix_error _ | Invalid_argument _ -> ())
+  with
+  | () -> { fd; buf = ""; timeout }
+  | exception e ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      raise e
 
 let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
 
 let write_raw t s =
+  (match Kit.Fault.net "client.write" with
+  | None -> ()
+  | Some Kit.Fault.Torn ->
+      (* send a real prefix, then vanish: the peer sees a torn request *)
+      let b = Bytes.unsafe_of_string s in
+      let half = max 1 (Bytes.length b / 2) in
+      (try ignore (Unix.write t.fd b 0 half) with Unix.Unix_error _ -> ());
+      (try Unix.shutdown t.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+      raise (Unix.Unix_error (Unix.EPIPE, "write", "fault: torn"))
+  | Some Kit.Fault.Reset ->
+      (try Unix.shutdown t.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+      raise (Unix.Unix_error (Unix.ECONNRESET, "write", "fault: reset"))
+  | Some _ ->
+      Unix.sleepf (Float.min t.timeout 30.);
+      raise (Unix.Unix_error (Unix.ETIMEDOUT, "write", "fault: stall")));
   let b = Bytes.unsafe_of_string s in
   let off = ref 0 in
   while !off < Bytes.length b do
@@ -38,6 +59,13 @@ let shutdown_send t =
 exception Err of string
 
 let refill t =
+  (match Kit.Fault.net "client.read" with
+  | None -> ()
+  | Some Kit.Fault.Stall ->
+      (* pretend the server went silent; surface as the read timeout *)
+      Unix.sleepf (Float.min t.timeout 30.);
+      raise (Err "timeout")
+  | Some _ -> raise (Err "closed"));
   let chunk = Bytes.create 8192 in
   let n =
     try Unix.read t.fd chunk 0 8192 with
@@ -135,3 +163,82 @@ let oneshot ?timeout ~host ~port ?headers ?body meth target =
       Fun.protect
         ~finally:(fun () -> close t)
         (fun () -> request t ?headers ?body meth target)
+
+(* ---- retrying client ------------------------------------------------ *)
+
+(* SplitMix-style avalanche: jitter must be a pure function of
+   (seed, attempt) so a seeded chaos run retries identically. *)
+let mix seed n =
+  let h = ref (0x1E3779B97F4A7C15 lxor (seed * 0x2545F4914F6CDD1D)) in
+  h := !h lxor (n * 0x7F51AFD7ED558CCD);
+  h := (!h lxor (!h lsr 33)) * 0x44CEB9FE1A85EC53;
+  h := !h lxor (!h lsr 29);
+  !h land max_int
+
+let retry_after_of headers =
+  match List.assoc_opt "retry-after" headers with
+  | Some v -> (
+      match float_of_string_opt (String.trim v) with
+      | Some x when x >= 0. -> Some x
+      | _ -> None)
+  | None -> None
+
+(* Only these are safe to replay: the server either never ran the
+   request (connect failure, 429/503 admission rejections) or invites
+   the replay explicitly (Retry-After), and /decompose is deterministic
+   and cached so a torn-response replay cannot diverge. *)
+let retryable_status s = s = 429 || s = 503
+
+let request_retry ?(headers = []) ?body ?(retries = 5) ?(base_delay = 0.05)
+    ?(max_delay = 2.0) ?(deadline = 30.) ?attempt_timeout ?(seed = 0) ~host
+    ~port meth target =
+  let started = Unix.gettimeofday () in
+  let remaining () = deadline -. (Unix.gettimeofday () -. started) in
+  let backoff attempt =
+    let base =
+      Float.min max_delay (base_delay *. (2. ** float_of_int attempt))
+    in
+    let jitter = float_of_int (mix seed attempt land 0xFFFF) /. 65536. *. 0.5 in
+    base *. (1. +. jitter)
+  in
+  let attempt_once () =
+    let rem = remaining () in
+    if rem <= 0. then Error "deadline exhausted"
+    else
+      let timeout =
+        match attempt_timeout with
+        | Some a -> Float.min a rem
+        | None -> rem
+      in
+      (* the server enforces this bound too — see X-HB-Deadline in
+         Benchlib.Service *)
+      let headers = ("X-HB-Deadline", Printf.sprintf "%.3f" rem) :: headers in
+      oneshot ~timeout ~host ~port ~headers ?body meth target
+  in
+  let rec go attempt =
+    let result = attempt_once () in
+    let final =
+      match result with
+      | Ok r -> not (retryable_status r.status)
+      | Error _ -> false
+    in
+    if final || attempt >= retries then result
+    else
+      let delay =
+        let b = backoff attempt in
+        match result with
+        | Ok r -> (
+            match retry_after_of r.headers with
+            | Some ra -> Float.max ra b
+            | None -> b)
+        | Error _ -> b
+      in
+      (* If honoring the delay would blow the budget, the last honest
+         answer is better than a doomed extra attempt. *)
+      if delay >= remaining () then result
+      else begin
+        Unix.sleepf delay;
+        go (attempt + 1)
+      end
+  in
+  go 0

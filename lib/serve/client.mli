@@ -12,8 +12,9 @@ type response = {
 }
 
 val connect : ?timeout:float -> host:string -> port:int -> unit -> t
-(** [timeout] (default 30 s) bounds each read while awaiting a
-    response. *)
+(** [timeout] (default 30 s) bounds each read and each write. The
+    socket is closed on every failure path — a refused connection in a
+    retry loop never leaks an fd. *)
 
 val close : t -> unit
 
@@ -39,3 +40,28 @@ val oneshot :
   ?headers:(string * string) list -> ?body:string -> string -> string ->
   (response, string) result
 (** Fresh connection, one request, close. *)
+
+val request_retry :
+  ?headers:(string * string) list ->
+  ?body:string ->
+  ?retries:int ->
+  ?base_delay:float ->
+  ?max_delay:float ->
+  ?deadline:float ->
+  ?attempt_timeout:float ->
+  ?seed:int ->
+  host:string -> port:int -> string -> string ->
+  (response, string) result
+(** [request_retry ~host ~port meth target]: {!oneshot} with up to
+    [retries] (default 5) replays and exponential backoff from
+    [base_delay] (50 ms) to [max_delay] (2 s) with deterministic jitter
+    from [seed]. Only idempotent-safe outcomes are replayed: transport
+    errors (connect refused, torn/reset/stalled responses) and 429/503
+    answers — for those, the server's [Retry-After] header, when larger
+    than the computed backoff, is honored instead. The whole call is
+    bounded by [deadline] seconds (default 30): each attempt gets the
+    remaining budget (further capped by [attempt_timeout] if given) and
+    advertises it to the server in an [X-HB-Deadline] header, which
+    {!Benchlib.Service} enforces. When waiting out the next delay would
+    exhaust the budget, the last honest answer is returned instead of a
+    doomed extra attempt. *)

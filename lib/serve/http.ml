@@ -31,6 +31,7 @@ let reason = function
   | 431 -> "Request Header Fields Too Large"
   | 500 -> "Internal Server Error"
   | 503 -> "Service Unavailable"
+  | 504 -> "Gateway Timeout"
   | s when s >= 200 && s < 300 -> "OK"
   | s when s >= 400 && s < 500 -> "Bad Request"
   | _ -> "Error"
@@ -77,23 +78,41 @@ let keep_alive_requested req =
 (* Connections                                                         *)
 (* ------------------------------------------------------------------ *)
 
+(* Default per-read stall budget once a request has started. Generous
+   enough for slow genuine clients, small enough that a slowloris peer
+   cannot pin a worker for long. *)
+let default_mid_read_timeout = 10.0
+let default_write_timeout = 30.0
+
 type conn = {
   fd : Unix.file_descr;
   who : string;
   mutable buf : string;  (* bytes read but not yet consumed *)
   scratch : Bytes.t;  (* per-connection read buffer — conns cross threads *)
+  mid_read : float;  (* per-read stall budget once a request has started *)
+  send_timeout : float;  (* per-response write budget *)
+  abort : unit -> bool;  (* the server is draining — shed stalled peers *)
+  grace : float;  (* extra seconds a blocked read gets once [abort] *)
+  mutable abort_seen : float;  (* when this conn first observed [abort] *)
 }
 
-let conn ?(client = "-") fd =
-  { fd; who = client; buf = ""; scratch = Bytes.create 8192 }
+let conn ?(client = "-") ?(mid_read_timeout = default_mid_read_timeout)
+    ?(write_timeout = default_write_timeout) ?(abort = fun () -> false)
+    ?(grace = infinity) fd =
+  {
+    fd;
+    who = client;
+    buf = "";
+    scratch = Bytes.create 8192;
+    mid_read = mid_read_timeout;
+    send_timeout = write_timeout;
+    abort;
+    grace;
+    abort_seen = neg_infinity;
+  }
+
 let client c = c.who
 let buffered c = String.length c.buf > 0
-
-(* Per-read stall budget once a request has started. Generous enough for
-   slow genuine clients, small enough that a slowloris peer cannot pin a
-   worker for long. *)
-let mid_read_timeout = 10.0
-let write_timeout = 30.0
 
 type read_error =
   | Eof
@@ -111,17 +130,55 @@ let set_rcvtimeo fd secs =
 
 (* Read more bytes into [c.buf]. [started] selects which timeout error a
    stall maps to. Raises [Fail] on eof/timeout/reset. A connection is
-   owned by exactly one worker at a time. *)
+   owned by exactly one worker at a time.
+
+   The wait is sliced so a blocked read notices [abort] (drain) within a
+   slice and then gets only [grace] more seconds, not its whole timeout:
+   SIGTERM with a mid-body-stalled peer must not pin the join for the
+   full stall budget. A slice that returns data costs nothing extra —
+   slicing only runs while the peer is silent. *)
 let refill c ~timeout ~started =
-  set_rcvtimeo c.fd timeout;
-  let n =
-    try Unix.read c.fd c.scratch 0 (Bytes.length c.scratch) with
-    | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
-        raise (Fail (if started then Mid_timeout else Idle_timeout))
-    | Unix.Unix_error _ -> raise (Fail Eof)
+  let stalled =
+    (* Injected peer behaviour (chaos harness): a stall pretends the
+       socket stays silent so the genuine timeout/drain machinery below
+       decides the outcome; reset/torn surface as an abrupt close. *)
+    match Kit.Fault.net "serve.read" with
+    | Some (Kit.Fault.Reset | Kit.Fault.Torn) -> raise (Fail Eof)
+    | Some Kit.Fault.Stall -> true
+    | _ -> false
   in
-  if n = 0 then raise (Fail Eof);
-  c.buf <- c.buf ^ Bytes.sub_string c.scratch 0 n
+  let deadline = Unix.gettimeofday () +. timeout in
+  let rec wait () =
+    let now = Unix.gettimeofday () in
+    let limit =
+      if c.abort () then begin
+        if c.abort_seen = neg_infinity then c.abort_seen <- now;
+        Float.min deadline (c.abort_seen +. c.grace)
+      end
+      else deadline
+    in
+    if now >= limit then
+      raise (Fail (if started then Mid_timeout else Idle_timeout));
+    let slice = Float.min (limit -. now) 0.25 in
+    let n =
+      if stalled then begin
+        Unix.sleepf slice;
+        -1
+      end
+      else begin
+        set_rcvtimeo c.fd slice;
+        try Unix.read c.fd c.scratch 0 (Bytes.length c.scratch) with
+        | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+          ->
+            -1
+        | Unix.Unix_error _ -> raise (Fail Eof)
+      end
+    in
+    if n = 0 then raise (Fail Eof)
+    else if n < 0 then wait ()
+    else c.buf <- c.buf ^ Bytes.sub_string c.scratch 0 n
+  in
+  wait ()
 
 let take c n =
   let s = String.sub c.buf 0 n in
@@ -288,7 +345,7 @@ let content_length headers =
 
 let read_exact c n =
   while String.length c.buf < n do
-    refill c ~timeout:mid_read_timeout ~started:true
+    refill c ~timeout:c.mid_read ~started:true
   done;
   take c n
 
@@ -299,7 +356,7 @@ let read_line c ~cap =
     | Some i -> i
     | None ->
         if String.length c.buf > cap then raise (Fail (Bad "chunk line too long"));
-        refill c ~timeout:mid_read_timeout ~started:true;
+        refill c ~timeout:c.mid_read ~started:true;
         find ()
   in
   let i = find () in
@@ -362,7 +419,7 @@ let read_request ~idle ~max_head ~max_body c =
           if String.length c.buf > max_head then raise (Fail Head_too_large);
           let started = started || String.length c.buf > 0 in
           refill c
-            ~timeout:(if started then mid_read_timeout else idle)
+            ~timeout:(if started then c.mid_read else idle)
             ~started;
           head_loop started
     in
@@ -417,12 +474,30 @@ let read_request ~idle ~max_head ~max_body c =
 (* write_response                                                      *)
 (* ------------------------------------------------------------------ *)
 
-let write_all fd s =
+let write_all c s =
+  (match Kit.Fault.net "serve.write" with
+  | Some Kit.Fault.Torn ->
+      (* Deliver a genuinely torn response: a prefix of the bytes, then a
+         hard close — the peer sees a short body, not a clean error. *)
+      let keep = max 1 (String.length s / 2) in
+      (try ignore (Unix.write_substring c.fd s 0 keep)
+       with Unix.Unix_error _ -> ());
+      (try Unix.shutdown c.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+      raise Exit
+  | Some Kit.Fault.Reset ->
+      (try Unix.shutdown c.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+      raise Exit
+  | Some Kit.Fault.Stall ->
+      (* The peer stops reading and our send buffer is full: burn the
+         write budget, then fail the write like SO_SNDTIMEO would. *)
+      Unix.sleepf (Float.min c.send_timeout 30.);
+      raise Exit
+  | _ -> ());
   let b = Bytes.unsafe_of_string s in
   let n = Bytes.length b in
   let off = ref 0 in
   while !off < n do
-    let w = Unix.write fd b !off (n - !off) in
+    let w = Unix.write c.fd b !off (n - !off) in
     if w <= 0 then raise Exit;
     off := !off + w
   done
@@ -446,8 +521,8 @@ let write_response c ~keep_alive r =
   Buffer.add_string b "\r\n";
   Buffer.add_string b r.body;
   try
-    (try Unix.setsockopt_float c.fd Unix.SO_SNDTIMEO write_timeout
+    (try Unix.setsockopt_float c.fd Unix.SO_SNDTIMEO c.send_timeout
      with Unix.Unix_error _ | Invalid_argument _ -> ());
-    write_all c.fd (Buffer.contents b);
+    write_all c (Buffer.contents b);
     true
   with Exit | Unix.Unix_error _ -> false

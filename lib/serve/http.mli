@@ -59,7 +59,28 @@ val keep_alive_requested : request -> bool
 type conn
 (** One TCP connection with its buffer of read-but-unconsumed bytes. *)
 
-val conn : ?client:string -> Unix.file_descr -> conn
+val conn :
+  ?client:string ->
+  ?mid_read_timeout:float ->
+  ?write_timeout:float ->
+  ?abort:(unit -> bool) ->
+  ?grace:float ->
+  Unix.file_descr ->
+  conn
+(** [mid_read_timeout] (default 10 s) bounds each read once a request
+    has started — the slowloris budget; [write_timeout] (default 30 s)
+    bounds each response write. [abort] is polled while a read waits
+    (the server passes its draining flag): once it turns true, the
+    blocked read gets only [grace] more seconds (default: no bound)
+    before timing out, so a mid-body-stalled peer cannot pin drain for
+    its whole stall budget.
+
+    Chaos sites: reads consult [Kit.Fault.net "serve.read"] (a fired
+    [stall] keeps the socket silent until the applicable timeout;
+    [reset]/[torn] surface as an abrupt close) and writes consult
+    ["serve.write"] ([torn] sends a prefix then hard-closes, so the peer
+    observes a genuinely torn response). Disarmed cost: one atomic load
+    per read/write. *)
 
 val client : conn -> string
 

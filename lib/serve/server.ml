@@ -9,6 +9,8 @@ type config = {
   max_head : int;
   idle_timeout : float;
   drain_grace : float;
+  mid_read_timeout : float;
+  write_timeout : float;
 }
 
 let env_int name default =
@@ -40,8 +42,10 @@ let default_config () =
     burst = Float.max rate 8.;
     max_body = env_int "HB_MAX_BODY" (8 * 1024 * 1024);
     max_head = 16 * 1024;
-    idle_timeout = 5.0;
-    drain_grace = 0.25;
+    idle_timeout = env_float "HB_IDLE" 5.0;
+    drain_grace = env_float "HB_DRAIN" 0.25;
+    mid_read_timeout = env_float "HB_READ_TIMEOUT" 10.0;
+    write_timeout = env_float "HB_WRITE_TIMEOUT" 30.0;
   }
 
 (* Metrics: registered once at module init; recording is a no-op unless
@@ -69,6 +73,8 @@ type t = {
   qc : Condition.t;
   q : (Unix.file_descr * string) Queue.t;
   limiter : Rate_limit.t;
+  completed : int Atomic.t;  (* responses written — feeds the drain-rate
+                                estimate behind queue-full Retry-After *)
 }
 
 (* A peer that closes mid-response must surface as EPIPE from write, not
@@ -103,6 +109,7 @@ let create cfg handler =
     qc = Condition.create ();
     q = Queue.create ();
     limiter = Rate_limit.create ~rate:cfg.rate ~burst:cfg.burst;
+    completed = Atomic.make 0;
   }
 
 let port t = t.bound_port
@@ -115,7 +122,19 @@ let close_conn fd =
 
 (* One HTTP connection, start to close. Runs in a worker thread. *)
 let serve_connection t fd who =
-  let conn = Http.conn ~client:who fd in
+  let conn =
+    Http.conn ~client:who ~mid_read_timeout:t.cfg.mid_read_timeout
+      ~write_timeout:t.cfg.write_timeout
+      ~abort:(fun () -> Atomic.get t.stopping)
+      ~grace:t.cfg.drain_grace fd
+  in
+  (* Every answered request counts toward the drain rate, whether or not
+     the peer was still there to read it. *)
+  let write_response conn ~keep_alive r =
+    let ok = Http.write_response conn ~keep_alive r in
+    Atomic.incr t.completed;
+    ok
+  in
   let rec loop () =
     let draining = Atomic.get t.stopping in
     let idle = if draining then t.cfg.drain_grace else t.cfg.idle_timeout in
@@ -126,22 +145,22 @@ let serve_connection t fd who =
     | Error (Http.Eof | Http.Idle_timeout) -> ()
     | Error Http.Mid_timeout ->
         ignore
-          (Http.write_response conn ~keep_alive:false
+          (write_response conn ~keep_alive:false
              (Http.response 408 (Http.error_body 408 "request timed out")))
     | Error (Http.Bad msg) ->
         Kit.Metrics.incr m_http_400;
         ignore
-          (Http.write_response conn ~keep_alive:false
+          (write_response conn ~keep_alive:false
              (Http.response 400 (Http.error_body 400 msg)))
     | Error Http.Head_too_large ->
         Kit.Metrics.incr m_http_400;
         ignore
-          (Http.write_response conn ~keep_alive:false
+          (write_response conn ~keep_alive:false
              (Http.response 431 (Http.error_body 431 "request head too large")))
     | Error Http.Body_too_large ->
         Kit.Metrics.incr m_http_413;
         ignore
-          (Http.write_response conn ~keep_alive:false
+          (write_response conn ~keep_alive:false
              (Http.response 413
                 (Http.error_body 413
                    (Printf.sprintf "request body exceeds %d bytes"
@@ -155,7 +174,7 @@ let serve_connection t fd who =
               Http.keep_alive_requested req && not (Atomic.get t.stopping)
             in
             let ok =
-              Http.write_response conn ~keep_alive
+              write_response conn ~keep_alive
                 (Http.response
                    ~headers:
                      [ ("Retry-After",
@@ -180,7 +199,7 @@ let serve_connection t fd who =
             Kit.Metrics.incr m_responses;
             let draining = Atomic.get t.stopping in
             let keep_alive = Http.keep_alive_requested req && not draining in
-            let ok = Http.write_response conn ~keep_alive resp in
+            let ok = write_response conn ~keep_alive resp in
             (* While draining, still answer requests the peer already
                pipelined into our buffer — they were accepted. *)
             if ok && (keep_alive || (draining && Http.buffered conn)) then
@@ -208,7 +227,16 @@ let worker t () =
   in
   next ()
 
-let reject_queue_full fd =
+(* Honest queue-full Retry-After: how long until [queue_len + 1] requests
+   drain at the observed completion rate (responses/second), clamped to
+   [1, 60]. A rate that has collapsed to zero means the server is wedged
+   and 60 is the honest answer. *)
+let retry_after_estimate ~queue_len ~rate =
+  if rate <= 0. then 60
+  else
+    max 1 (min 60 (int_of_float (Float.ceil (float_of_int (queue_len + 1) /. rate))))
+
+let reject_queue_full fd ~retry_after =
   Kit.Metrics.incr m_rej_queue;
   let body = Http.error_body 429 "server busy, admission queue full" in
   let head =
@@ -216,11 +244,11 @@ let reject_queue_full fd =
       "HTTP/1.1 429 Too Many Requests\r\n\
        Server: hyperbenchd\r\n\
        Content-Type: application/json\r\n\
-       Retry-After: 1\r\n\
+       Retry-After: %d\r\n\
        Content-Length: %d\r\n\
        Connection: close\r\n\
        \r\n"
-      (String.length body)
+      retry_after (String.length body)
   in
   (* Best effort, and never block the acceptor on a slow peer. *)
   try
@@ -238,9 +266,28 @@ let serve t =
   let workers =
     List.init (max 1 t.cfg.jobs) (fun _ -> Thread.create (worker t) ())
   in
+  (* Drain-rate EWMA (responses/second), sampled from [t.completed] on
+     >=0.5 s ticks of the accept loop. Seeded optimistically at one
+     request per worker-second so a cold server doesn't claim to be
+     wedged. *)
+  let ewma = ref (float_of_int (max 1 t.cfg.jobs)) in
+  let last_sample = ref (Unix.gettimeofday ()) in
+  let last_completed = ref (Atomic.get t.completed) in
+  let sample_rate () =
+    let now = Unix.gettimeofday () in
+    let dt = now -. !last_sample in
+    if dt >= 0.5 then begin
+      let done_ = Atomic.get t.completed in
+      let inst = float_of_int (done_ - !last_completed) /. dt in
+      ewma := (0.7 *. !ewma) +. (0.3 *. inst);
+      last_sample := now;
+      last_completed := done_
+    end
+  in
   let rec accept_loop () =
     if Atomic.get t.stopping then ()
     else begin
+      sample_rate ();
       (match Unix.select [ t.lfd ] [] [] 0.2 with
       | [], _, _ -> ()
       | _ :: _, _, _ -> (
@@ -251,14 +298,16 @@ let serve t =
               Kit.Metrics.incr m_connections;
               let who = string_of_sockaddr peer in
               Mutex.lock t.qm;
-              let full = Queue.length t.q >= max 1 t.cfg.queue in
+              let queue_len = Queue.length t.q in
+              let full = queue_len >= max 1 t.cfg.queue in
               if not full then begin
                 Queue.push (fd, who) t.q;
                 Condition.signal t.qc
               end;
               Mutex.unlock t.qm;
               if full then begin
-                reject_queue_full fd;
+                reject_queue_full fd
+                  ~retry_after:(retry_after_estimate ~queue_len ~rate:!ewma);
                 close_conn fd
               end)
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());

@@ -7,7 +7,10 @@
     thread that calls {!serve}; [jobs] worker threads pop accepted
     connections from a bounded queue and speak HTTP on them. When the
     queue is full the acceptor answers 429 + [Retry-After] inline and
-    closes — backpressure costs one write, never a worker.
+    closes — backpressure costs one write, never a worker. The
+    [Retry-After] value is derived from the live queue depth and an
+    EWMA of the observed drain rate (see {!retry_after_estimate}), not
+    a constant.
 
     Drain: {!stop} only flips an atomic (it is installable directly as a
     [SIGTERM] handler). The acceptor notices within its 0.2 s [select]
@@ -25,13 +28,26 @@ type config = {
   burst : float;  (** token-bucket burst, default [max rate 8] *)
   max_body : int;  (** request-body cap in bytes, default [HB_MAX_BODY] *)
   max_head : int;  (** request-head cap in bytes *)
-  idle_timeout : float;  (** keep-alive idle close, seconds *)
-  drain_grace : float;  (** idle wait while draining, seconds *)
+  idle_timeout : float;  (** keep-alive idle close, seconds, default [HB_IDLE] *)
+  drain_grace : float;  (** idle wait while draining, seconds, default [HB_DRAIN] *)
+  mid_read_timeout : float;
+      (** stall budget mid-request (slowloris guard), seconds, default
+          [HB_READ_TIMEOUT] *)
+  write_timeout : float;
+      (** per-[write] send budget for responses, seconds, default
+          [HB_WRITE_TIMEOUT] *)
 }
 
 val default_config : unit -> config
 (** Defaults above, with [HB_PORT] / [HB_JOBS] / [HB_QUEUE] / [HB_RATE] /
-    [HB_MAX_BODY] read from the environment. *)
+    [HB_MAX_BODY] / [HB_IDLE] / [HB_DRAIN] / [HB_READ_TIMEOUT] /
+    [HB_WRITE_TIMEOUT] read from the environment. *)
+
+val retry_after_estimate : queue_len:int -> rate:float -> int
+(** Honest queue-full [Retry-After]: seconds until [queue_len + 1]
+    requests drain at [rate] responses/second, clamped to [\[1, 60\]];
+    [60] when the rate has collapsed to zero. Pure — exposed for
+    tests. *)
 
 type t
 

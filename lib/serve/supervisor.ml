@@ -1,0 +1,76 @@
+(* Self-healing for the serving path: a registry of per-subsystem
+   circuit breakers plus the restart policy (capped exponential backoff
+   with deterministic jitter) for crashed solve workers. *)
+
+type t = {
+  mu : Mutex.t;
+  mutable breakers : (string * Breaker.t) list;
+  now : unit -> float;
+  threshold : int;
+  cooldown : float;
+  max_cooldown : float;
+  retries : int;
+  backoff_base : float;
+  backoff_max : float;
+  seed : int;
+  m_restarts : Kit.Metrics.counter;
+}
+
+let create ?(now = Unix.gettimeofday) ?(threshold = 5) ?(cooldown = 1.0)
+    ?(max_cooldown = 30.0) ?(retries = 2) ?(backoff_base = 0.05)
+    ?(backoff_max = 0.5) ?(seed = 0) () =
+  {
+    mu = Mutex.create ();
+    breakers = [];
+    now;
+    threshold;
+    cooldown;
+    max_cooldown;
+    retries = max 0 retries;
+    backoff_base = Float.max backoff_base 0.001;
+    backoff_max = Float.max backoff_max backoff_base;
+    seed;
+    m_restarts = Kit.Metrics.counter "serve.worker_restarts";
+  }
+
+let breaker t name =
+  Mutex.lock t.mu;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mu)
+    (fun () ->
+      match List.assoc_opt name t.breakers with
+      | Some b -> b
+      | None ->
+          let b =
+            Breaker.create ~now:t.now ~threshold:t.threshold
+              ~cooldown:t.cooldown ~max_cooldown:t.max_cooldown name
+          in
+          t.breakers <- t.breakers @ [ (name, b) ];
+          b)
+
+let subsystems t =
+  Mutex.lock t.mu;
+  let bs = t.breakers in
+  Mutex.unlock t.mu;
+  List.map (fun (n, b) -> (n, Breaker.state b)) bs
+
+let retries t = t.retries
+
+(* SplitMix-style avalanche — the jitter must be deterministic per
+   (seed, attempt) so chaos runs are reproducible. *)
+let mix seed n =
+  let h = ref (0x1E3779B97F4A7C15 lxor (seed * 0x2545F4914F6CDD1D)) in
+  h := !h lxor (n * 0x7F51AFD7ED558CCD);
+  h := (!h lxor (!h lsr 33)) * 0x44CEB9FE1A85EC53;
+  h := !h lxor (!h lsr 29);
+  !h land max_int
+
+let backoff t ~attempt =
+  let base = Float.min t.backoff_max (t.backoff_base *. (2. ** float_of_int attempt)) in
+  (* jitter in [0, 0.5) of the base — de-synchronises retry storms *)
+  let jitter =
+    float_of_int (mix t.seed attempt land 0xFFFF) /. 65536. *. 0.5
+  in
+  base *. (1. +. jitter)
+
+let restarted t = Kit.Metrics.incr t.m_restarts

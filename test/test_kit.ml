@@ -615,6 +615,40 @@ let fault_probability_deterministic () =
     true
     (n > 30 && n < 90)
 
+let fault_net_kinds () =
+  (* stall/reset/torn parse, are invisible to [hit], and fire through
+     [net] at their Nth trigger. *)
+  with_faults "stall@w.read:2;torn@w.write:1" (fun () ->
+      Alcotest.(check bool) "armed" true (Kit.Fault.armed ());
+      (* hit never acts on net kinds, whatever the counter says *)
+      Kit.Fault.hit "w.read";
+      Kit.Fault.hit "w.read";
+      Alcotest.(check bool) "net miss on 1st read hit" true
+        (Kit.Fault.net "w.read" = None);
+      Alcotest.(check bool) "net stall on 2nd read hit" true
+        (Kit.Fault.net "w.read" = Some Kit.Fault.Stall);
+      Alcotest.(check bool) "nth fires once" true
+        (Kit.Fault.net "w.read" = None);
+      Alcotest.(check bool) "torn on 1st write" true
+        (Kit.Fault.net "w.write" = Some Kit.Fault.Torn);
+      Alcotest.(check bool) "other sites untouched" true
+        (Kit.Fault.net "w.other" = None));
+  with_faults "reset@w.r:1" (fun () ->
+      Alcotest.(check bool) "reset fires" true
+        (Kit.Fault.net "w.r" = Some Kit.Fault.Reset));
+  (* net clauses share the deterministic probability machinery *)
+  let fired () =
+    List.init 200 (fun _ -> Kit.Fault.net "w.p" <> None)
+  in
+  let a = with_faults "torn@w.p:p0.3:s7" fired in
+  let b = with_faults "torn@w.p:p0.3:s7" fired in
+  Alcotest.(check bool) "seeded net pattern reproducible" true (a = b);
+  let n = List.length (List.filter Fun.id a) in
+  Alcotest.(check bool)
+    (Printf.sprintf "net rate plausible for p=0.3 (%d/200)" n)
+    true
+    (n > 30 && n < 90)
+
 let fault_truncate () =
   with_faults "truncate@t.cut:2x5" (fun () ->
       Alcotest.(check bool) "first hit passes" true (Kit.Fault.cut "t.cut" = None);
@@ -768,6 +802,7 @@ let () =
           Alcotest.test_case "probability deterministic" `Quick
             fault_probability_deterministic;
           Alcotest.test_case "truncate" `Quick fault_truncate;
+          Alcotest.test_case "network kinds" `Quick fault_net_kinds;
         ] );
       ( "json",
         [

@@ -29,6 +29,7 @@ let svc_default =
     default_timeout = 5.0;
     max_timeout = 10.0;
     max_k = 4;
+    supervisor = Serve.Supervisor.create ();
   }
 
 let base_cfg () =
@@ -61,10 +62,16 @@ let decompose_target ?(extra = "") k =
 (* --- routing and verdicts ----------------------------------------------- *)
 
 let healthz_and_metrics () =
-  with_server (fun port ->
+  (* fresh supervisor: the exact healthz pin assumes no subsystem has
+     been exercised yet *)
+  let svc =
+    { svc_default with
+      Benchlib.Service.supervisor = Serve.Supervisor.create () }
+  in
+  with_server ~svc (fun port ->
       let r = get_ok (Serve.Client.oneshot ~host ~port "GET" "/healthz") in
       Alcotest.(check int) "healthz status" 200 r.Serve.Client.status;
-      Alcotest.(check string) "healthz body" "{\"ok\":true}"
+      Alcotest.(check string) "healthz body" "{\"ok\":true,\"subsystems\":{}}"
         r.Serve.Client.body;
       let m = get_ok (Serve.Client.oneshot ~host ~port "GET" "/metrics") in
       Alcotest.(check int) "metrics status" 200 m.Serve.Client.status;
@@ -181,8 +188,8 @@ let pipelining () =
             Alcotest.(check int)
               (Printf.sprintf "pipelined response %d" i)
               200 r.Serve.Client.status;
-            Alcotest.(check string) "pipelined body" "{\"ok\":true}"
-              r.Serve.Client.body
+            Alcotest.(check bool) "pipelined body" true
+              (contains "{\"ok\":true" r.Serve.Client.body)
           done))
 
 (* --- limits -------------------------------------------------------------- *)
@@ -488,8 +495,16 @@ let queue_full_429 () =
             match Serve.Client.oneshot ~timeout:2.0 ~host ~port "GET" "/healthz" with
             | Ok r when r.Serve.Client.status = 429 ->
                 incr rejected;
-                Alcotest.(check bool) "429 carries Retry-After" true
-                  (List.mem_assoc "retry-after" r.Serve.Client.headers)
+                (* derived from queue depth / drain rate: an integer in
+                   the estimator's clamp range *)
+                (match
+                   List.assoc_opt "retry-after" r.Serve.Client.headers
+                 with
+                | None -> Alcotest.fail "queue-full 429 missing Retry-After"
+                | Some v -> (
+                    match int_of_string_opt v with
+                    | Some ra when ra >= 1 && ra <= 60 -> ()
+                    | _ -> Alcotest.failf "bad queue-full Retry-After %S" v))
             | Ok _ | Error _ -> ()
           done;
           if !rejected = 0 then
@@ -610,6 +625,243 @@ let sigterm_drain_finishes_in_flight () =
       | _, (Unix.WSIGNALED n | Unix.WSTOPPED n) ->
           Alcotest.failf "daemon killed by signal %d" n)
 
+(* --- robustness: faults, breaker, retry, deadlines ----------------------- *)
+
+let with_faults spec f =
+  (match Kit.Fault.configure spec with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m);
+  Fun.protect ~finally:Kit.Fault.clear f
+
+(* Satellite: Serve.Client.connect must close its socket on every failure
+   path. Hammer a port that refuses connections and check the process fd
+   table stays flat — the shape that leaks one fd per retry if connect
+   ever raises past an open socket. *)
+let connect_failure_fd_loop () =
+  let probe = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.bind probe (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  let port =
+    match Unix.getsockname probe with
+    | Unix.ADDR_INET (_, p) -> p
+    | Unix.ADDR_UNIX _ -> 0
+  in
+  Unix.close probe;
+  let before = count_fds () in
+  for _ = 1 to 200 do
+    match Serve.Client.connect ~host ~port () with
+    | exception Unix.Unix_error _ -> ()
+    | c -> Serve.Client.close c (* port got reused; still must not leak *)
+  done;
+  (* the retrying client goes through the same connect path per attempt *)
+  (match
+     Serve.Client.request_retry ~retries:3 ~base_delay:0.005 ~deadline:2.0
+       ~host ~port "GET" "/healthz"
+   with
+  | Ok r -> Alcotest.failf "closed port answered %d" r.Serve.Client.status
+  | Error _ -> ());
+  let after = count_fds () in
+  if after > before + 2 then
+    Alcotest.failf "connect leaked fds: %d before, %d after" before after
+
+(* Satellite: the mid-request stall budget is configurable and enforced —
+   a slowloris body gets its 408 on the configured clock, not the old
+   hardcoded 10 s one. *)
+let slowloris_mid_read_408 () =
+  let cfg = { (base_cfg ()) with Serve.Server.mid_read_timeout = 0.3 } in
+  with_server ~cfg (fun port ->
+      let c = Serve.Client.connect ~host ~port () in
+      Fun.protect
+        ~finally:(fun () -> Serve.Client.close c)
+        (fun () ->
+          Serve.Client.write_raw c
+            (Printf.sprintf
+               "POST /decompose?k=2 HTTP/1.1\r\nHost: x\r\nContent-Type: \
+                application/x-hyperbench\r\nContent-Length: %d\r\n\r\n%s"
+               (String.length triangle)
+               (String.sub triangle 0 8));
+          let t0 = Unix.gettimeofday () in
+          let r = get_ok (Serve.Client.read_response c) in
+          let took = Unix.gettimeofday () -. t0 in
+          Alcotest.(check int) "stalled body answered 408" 408
+            r.Serve.Client.status;
+          if took > 5.0 then
+            Alcotest.failf "408 took %.1fs despite 0.3s budget" took))
+
+(* Satellite: queue-full Retry-After is computed from queue depth and
+   drain rate. Exact pins on the pure estimator, and a range check on
+   the wire. *)
+let retry_after_estimate_pins () =
+  let est ~queue_len ~rate = Serve.Server.retry_after_estimate ~queue_len ~rate in
+  Alcotest.(check int) "8 queued at 4/s" 3 (est ~queue_len:8 ~rate:4.0);
+  Alcotest.(check int) "empty queue still waits a beat" 1
+    (est ~queue_len:0 ~rate:10.0);
+  Alcotest.(check int) "exact division rounds up from the +1" 3
+    (est ~queue_len:9 ~rate:4.0);
+  Alcotest.(check int) "collapsed rate is honest worst case" 60
+    (est ~queue_len:3 ~rate:0.0);
+  Alcotest.(check int) "clamped above" 60 (est ~queue_len:100_000 ~rate:1.0);
+  Alcotest.(check int) "clamped below" 1 (est ~queue_len:0 ~rate:1_000_000.)
+
+(* Satellite: SIGTERM while one client is mid-body-stalled. The drain
+   must answer the well-behaved in-flight request, cut the stalled one
+   loose within drain_grace, and join — not sit out the 30 s stall
+   budget. *)
+let drain_under_chaos () =
+  let cfg =
+    { (base_cfg ()) with
+      Serve.Server.jobs = 2;
+      drain_grace = 0.6;
+      mid_read_timeout = 30.0 }
+  in
+  let srv = Serve.Server.create cfg (Benchlib.Service.handler svc_default) in
+  let th = Thread.create (fun () -> Serve.Server.serve srv) () in
+  let port = Serve.Server.port srv in
+  let head n =
+    Printf.sprintf
+      "POST /decompose?k=2 HTTP/1.1\r\nHost: x\r\nContent-Type: \
+       application/x-hyperbench\r\nContent-Length: %d\r\n\r\n%s"
+      (String.length triangle)
+      (String.sub triangle 0 n)
+  in
+  let stalled = Serve.Client.connect ~host ~port () in
+  let good = Serve.Client.connect ~host ~port () in
+  Fun.protect
+    ~finally:(fun () ->
+      Serve.Client.close stalled;
+      Serve.Client.close good)
+    (fun () ->
+      Serve.Client.write_raw stalled (head 8);
+      Serve.Client.write_raw good (head 10);
+      Thread.delay 0.3; (* both workers parked in body reads *)
+      Serve.Server.stop srv;
+      let t0 = Unix.gettimeofday () in
+      (* the cooperative client finishes its upload promptly *)
+      Serve.Client.write_raw good
+        (String.sub triangle 10 (String.length triangle - 10));
+      let r = get_ok (Serve.Client.read_response good) in
+      Alcotest.(check int) "well-behaved in-flight request answered" 200
+        r.Serve.Client.status;
+      Thread.join th;
+      let took = Unix.gettimeofday () -. t0 in
+      (* grace 0.6s + poll slices + slack, never the 30s stall budget *)
+      if took > 5.0 then
+        Alcotest.failf "drain took %.1fs with a stalled client" took;
+      (* the stalled connection was timed out, not served *)
+      match Serve.Client.read_response stalled with
+      | Error _ -> ()
+      | Ok r ->
+          Alcotest.(check int) "stalled client got the timeout answer" 408
+            r.Serve.Client.status)
+
+let square = "e1(a,b),e2(b,c),e3(c,d),e4(d,a)."
+
+(* Tentpole: worker crashes open the breaker; while open, cached
+   fingerprints still answer 200 byte-identically and everything else
+   gets an honest 503 + Retry-After; the half-open probe closes it. *)
+let breaker_degrades_and_recovers () =
+  with_cache_dir (fun dir ->
+      let svc =
+        { svc_default with
+          Benchlib.Service.cache = Some (Benchlib.Result_cache.create ~dir);
+          supervisor =
+            Serve.Supervisor.create ~threshold:2 ~cooldown:0.3 ~retries:0 ()
+        }
+      in
+      with_server ~svc (fun port ->
+          let post body =
+            get_ok
+              (Serve.Client.oneshot ~host ~port ~headers:[ hg_type ] ~body
+                 "POST" (decompose_target 2))
+          in
+          (* warm the cache while healthy *)
+          let healthy = post triangle in
+          Alcotest.(check int) "healthy solve" 200 healthy.Serve.Client.status;
+          with_faults "kill@serve.worker:p1.0:s1" (fun () ->
+              (* two consecutive crashes trip the threshold-2 breaker;
+                 both must be honest 503s with Retry-After *)
+              for i = 1 to 2 do
+                let r = post square in
+                Alcotest.(check int)
+                  (Printf.sprintf "crash %d answers 503" i)
+                  503 r.Serve.Client.status;
+                Alcotest.(check bool)
+                  (Printf.sprintf "crash %d carries Retry-After" i)
+                  true
+                  (List.mem_assoc "retry-after" r.Serve.Client.headers)
+              done;
+              (* open: cached fingerprint still served, byte-identical *)
+              let degraded = post triangle in
+              Alcotest.(check int) "degraded cache hit" 200
+                degraded.Serve.Client.status;
+              Alcotest.(check (option string)) "marked degraded"
+                (Some "cache")
+                (List.assoc_opt "x-hb-degraded" degraded.Serve.Client.headers);
+              Alcotest.(check string) "degraded body byte-identical"
+                healthy.Serve.Client.body degraded.Serve.Client.body;
+              (* open: cache miss is refused honestly, without solving *)
+              let miss = post square in
+              Alcotest.(check int) "open breaker rejects misses" 503
+                miss.Serve.Client.status;
+              Alcotest.(check bool) "rejection carries Retry-After" true
+                (List.mem_assoc "retry-after" miss.Serve.Client.headers);
+              let hz =
+                get_ok (Serve.Client.oneshot ~host ~port "GET" "/healthz")
+              in
+              Alcotest.(check bool) "healthz reports the open breaker" true
+                (contains "\"ok\":false" hz.Serve.Client.body
+                && contains "\"solver\":\"open\"" hz.Serve.Client.body));
+          (* faults gone, cooldown over: the half-open probe heals it *)
+          Thread.delay 0.4;
+          let probe = post square in
+          Alcotest.(check int) "probe request solves and closes" 200
+            probe.Serve.Client.status;
+          let hz = get_ok (Serve.Client.oneshot ~host ~port "GET" "/healthz") in
+          Alcotest.(check bool) "healthz healthy again" true
+            (contains "\"ok\":true" hz.Serve.Client.body
+            && contains "\"solver\":\"closed\"" hz.Serve.Client.body);
+          (* the episode is visible in /metrics *)
+          let m = get_ok (Serve.Client.oneshot ~host ~port "GET" "/metrics") in
+          Alcotest.(check bool) "breaker transitions exported" true
+            (contains "hb_serve_breaker_solver_opened" m.Serve.Client.body
+            && contains "hb_serve_breaker_solver_rejected" m.Serve.Client.body)))
+
+(* Tentpole: a torn response (server writes a prefix then hard-closes)
+   is recovered by the retrying client without the caller noticing. *)
+let request_retry_survives_torn () =
+  with_server (fun port ->
+      with_faults "torn@serve.write:1" (fun () ->
+          match
+            Serve.Client.request_retry ~headers:[ hg_type ] ~body:triangle
+              ~retries:3 ~base_delay:0.01 ~deadline:10.0 ~host ~port "POST"
+              (decompose_target 2)
+          with
+          | Error m -> Alcotest.failf "retry client gave up: %s" m
+          | Ok r ->
+              Alcotest.(check int) "recovered after torn response" 200
+                r.Serve.Client.status;
+              Alcotest.(check bool) "full body arrived" true
+                (contains "\"verdict\":\"yes\"" r.Serve.Client.body)))
+
+(* Tentpole: the server enforces the client's advertised deadline. *)
+let expired_deadline_504 () =
+  with_server (fun port ->
+      let r =
+        get_ok
+          (Serve.Client.oneshot ~host ~port
+             ~headers:[ hg_type; ("X-HB-Deadline", "0") ]
+             ~body:triangle "POST" (decompose_target 2))
+      in
+      Alcotest.(check int) "expired deadline refused" 504
+        r.Serve.Client.status;
+      (* a live deadline passes through *)
+      let ok =
+        get_ok
+          (Serve.Client.oneshot ~host ~port
+             ~headers:[ hg_type; ("X-HB-Deadline", "5.000") ]
+             ~body:triangle "POST" (decompose_target 2))
+      in
+      Alcotest.(check int) "live deadline solves" 200 ok.Serve.Client.status)
+
 let () =
   Alcotest.run "serve"
     [
@@ -647,5 +899,22 @@ let () =
         [
           Alcotest.test_case "SIGTERM finishes in-flight requests" `Slow
             sigterm_drain_finishes_in_flight;
+          Alcotest.test_case "drain under chaos (stalled client)" `Slow
+            drain_under_chaos;
+        ] );
+      ( "robustness",
+        [
+          Alcotest.test_case "connect failures leak no fds" `Quick
+            connect_failure_fd_loop;
+          Alcotest.test_case "slowloris 408 on configured budget" `Quick
+            slowloris_mid_read_408;
+          Alcotest.test_case "retry-after estimate pins" `Quick
+            retry_after_estimate_pins;
+          Alcotest.test_case "breaker degrades and recovers" `Slow
+            breaker_degrades_and_recovers;
+          Alcotest.test_case "request_retry survives torn response" `Quick
+            request_retry_survives_torn;
+          Alcotest.test_case "expired client deadline answers 504" `Quick
+            expired_deadline_504;
         ] );
     ]
