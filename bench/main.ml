@@ -1038,6 +1038,76 @@ module Serve_chaos = struct
         end)
 end
 
+(* --- fuzz: adversarial parser soak ------------------------------------------ *)
+
+(* Runs the seeded fuzz harness over all four frontends and writes
+   BENCH_fuzz.json with per-format parse/reject/crash counts. Crash-freedom
+   is the gate: any failure exits 7, like a chaos violation. *)
+module Fuzz_bench = struct
+  let main ~seed ~cases () =
+    Printf.printf "fuzz: %d cases per format, seed %d\n%!" cases seed;
+    let summaries =
+      List.map
+        (fun fmt ->
+          let t0 = Unix.gettimeofday () in
+          let s = Benchlib.Fuzz_driver.run fmt ~cases ~seed in
+          let dt = Unix.gettimeofday () -. t0 in
+          Printf.printf
+            "fuzz: %-5s parsed %6d  rejected %6d  crashes %d  (%.2fs)\n%!"
+            (Benchlib.Fuzz_driver.format_name fmt)
+            s.Benchlib.Fuzz_driver.parsed s.rejected (List.length s.failures)
+            dt;
+          (s, dt))
+        Benchlib.Fuzz_driver.all_formats
+    in
+    let json =
+      Kit.Json.(
+        to_string
+          (Obj
+             [
+               ("schema", String "hyperbench-fuzz/1");
+               ("seed", Int seed);
+               ("cases_per_format", Int cases);
+               ( "formats",
+                 List
+                   (List.map
+                      (fun ((s : Benchlib.Fuzz_driver.summary), dt) ->
+                        Obj
+                          [
+                            ( "format",
+                              String (Benchlib.Fuzz_driver.format_name s.fmt)
+                            );
+                            ("parsed", Int s.parsed);
+                            ("rejected", Int s.rejected);
+                            ("crashes", Int (List.length s.failures));
+                            ("seconds", Float dt);
+                          ])
+                      summaries) );
+             ]))
+    in
+    let path = "BENCH_fuzz.json" in
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> output_string oc json);
+    Printf.printf "Wrote %s\n" path;
+    let crashes =
+      List.concat_map (fun ((s : Benchlib.Fuzz_driver.summary), _) ->
+          List.map
+            (fun (f : Benchlib.Fuzz_driver.failure) ->
+              Printf.sprintf "%s case %d: %s"
+                (Benchlib.Fuzz_driver.format_name s.fmt)
+                f.index f.outcome)
+            s.failures)
+        summaries
+    in
+    if crashes <> [] then begin
+      List.iter (Printf.eprintf "fuzz crash: %s\n") crashes;
+      Printf.eprintf "fuzz: %d crash(es)\n%!" (List.length crashes);
+      exit 7
+    end
+end
+
 (* --- main ------------------------------------------------------------------- *)
 
 let () =
@@ -1142,5 +1212,9 @@ let () =
   (* chaos arms the global fault harness, so it never runs by default —
      only when asked for by name *)
   if List.mem "chaos" args then Serve_chaos.main ~seed ();
+  (* the fuzz soak is an explicit leg too: thousands of adversarial parses
+     are gate material, not default micro-bench material *)
+  if List.mem "fuzz" args then
+    Fuzz_bench.main ~seed ~cases:(env_int "HB_FUZZ_CASES" 2000) ();
   if wants "perf" then Perf.main ();
   if wants "micro" then micro ()

@@ -14,6 +14,7 @@ let exit_xcsp = 3
 let exit_sql = 4
 let exit_decomp = 5
 let exit_repo = 6
+let exit_fuzz = 8
 let exit_uncaught = 125
 
 (* Commands are [int Term.t]s under [Cmd.eval']: a failed step prints one
@@ -463,7 +464,16 @@ let convert_sql_cmd =
       | Some p -> tag exit_sql (with_path p (read_schema_file p))
     in
     let* results =
-      tag exit_sql (with_path path (Sql.Convert.sql_to_hypergraphs ~schema sql))
+      match Sql.Convert.sql_to_hypergraphs_report ~schema sql with
+      | Ok r -> Ok r
+      | Error ds ->
+          (* The caret report is the diagnostic; the summary line below it
+             (via [let*]) keeps the one-line-on-stderr contract. *)
+          prerr_string (Kit.Diag.render_all ~file:path ~source:sql ds);
+          Error
+            ( exit_sql,
+              Printf.sprintf "%s: %d error%s" path (List.length ds)
+                (if List.length ds = 1 then "" else "s") )
     in
     List.iter
       (fun (id, conv) ->
@@ -490,7 +500,17 @@ let convert_sql_cmd =
 
 let convert_xcsp_cmd =
   let run path =
-    let* h = tag exit_xcsp (with_path path (Xcsp3.Xcsp.read_file path)) in
+    let* src = tag exit_xcsp (with_path path (read_file path)) in
+    let* h =
+      match Xcsp3.Xcsp.read_report src with
+      | Ok h -> Ok h
+      | Error ds ->
+          prerr_string (Kit.Diag.render_all ~file:path ~source:src ds);
+          Error
+            ( exit_xcsp,
+              Printf.sprintf "%s: %d error%s" path (List.length ds)
+                (if List.length ds = 1 then "" else "s") )
+    in
     print_string (Hg.Hypergraph.to_string h);
     0
   in
@@ -934,6 +954,92 @@ let serve_cmd =
       const run $ host $ port $ jobs_arg $ queue $ rate $ max_body
       $ req_timeout $ isolate_arg $ mem_limit $ cache)
 
+(* --- fuzz ------------------------------------------------------------------ *)
+
+let fuzz_cmd =
+  let run format cases seed out =
+    let* formats =
+      if format = "all" then Ok Benchlib.Fuzz_driver.all_formats
+      else
+        match Benchlib.Fuzz_driver.format_of_string format with
+        | Some f -> Ok [ f ]
+        | None ->
+            Error
+              ( exit_fuzz,
+                "unknown format: " ^ format ^ " (expected sql|xcsp|hg|hbx|all)"
+              )
+    in
+    let crashed = ref false in
+    List.iter
+      (fun fmt ->
+        let name = Benchlib.Fuzz_driver.format_name fmt in
+        let t0 = Unix.gettimeofday () in
+        let s = Benchlib.Fuzz_driver.run fmt ~cases ~seed in
+        let dt = Unix.gettimeofday () -. t0 in
+        Printf.printf
+          "%-5s %6d cases  parsed %6d  rejected %6d  crashes %d  (%.2fs)\n%!"
+          name s.Benchlib.Fuzz_driver.cases s.parsed s.rejected
+          (List.length s.failures) dt;
+        List.iter
+          (fun (f : Benchlib.Fuzz_driver.failure) ->
+            crashed := true;
+            Printf.eprintf "hyperbench: fuzz %s seed %d case %d: %s\n%!" name
+              seed f.index f.outcome;
+            let path = Printf.sprintf "%s-%s-%d.bin" out name f.index in
+            let oc = open_out_bin path in
+            output_string oc f.shrunk;
+            close_out oc;
+            Printf.eprintf
+              "hyperbench: shrunk reproducer (%d of %d bytes) written to %s\n%!"
+              (String.length f.shrunk)
+              (String.length f.input)
+              path)
+          s.failures)
+      formats;
+    if !crashed then exit_fuzz else 0
+  in
+  let format =
+    Arg.(
+      value & opt string "all"
+      & info [ "format" ] ~docv:"FMT"
+          ~doc:"Frontend to fuzz: $(b,sql), $(b,xcsp), $(b,hg), $(b,hbx) or \
+                $(b,all).")
+  in
+  let cases =
+    Arg.(
+      value & opt int 2000
+      & info [ "cases" ] ~docv:"N" ~doc:"Cases per format.")
+  in
+  let default_seed =
+    match Option.bind (Sys.getenv_opt "HB_FUZZ_SEED") int_of_string_opt with
+    | Some s -> s
+    | None -> 2019
+  in
+  let seed =
+    Arg.(
+      value & opt int default_seed
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:
+            "Base seed; case i derives its own stream from (SEED, i), so a \
+             reported case replays without regenerating its predecessors \
+             (default: $(b,HB_FUZZ_SEED) or 2019).")
+  in
+  let out =
+    Arg.(
+      value & opt string "fuzz-failure"
+      & info [ "out" ] ~docv:"PREFIX"
+          ~doc:"Prefix for shrunk-reproducer artifacts ($(docv)-FMT-CASE.bin).")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Throw N deterministic adversarial inputs (grammar-level \
+          pathologies plus byte mutations of valid corpora) at each parsing \
+          frontend and require a clean Ok/Error from every one — any crash, \
+          stack overflow or memory blow-up fails with exit code 8 and a \
+          ddmin-shrunk reproducer on disk.")
+    Term.(const run $ format $ cases $ seed $ out)
+
 let () =
   let info =
     Cmd.info "hyperbench" ~version:"1.0"
@@ -950,7 +1056,7 @@ let () =
       [
         build_cmd; list_cmd; analyze_cmd; decompose_cmd; validate_cmd;
         improve_cmd; convert_sql_cmd; convert_xcsp_cmd; stats_cmd;
-        repo_cmd; merge_journals_cmd; campaign_cmd; serve_cmd;
+        repo_cmd; merge_journals_cmd; campaign_cmd; serve_cmd; fuzz_cmd;
       ]
   in
   (* Last-resort containment: anything that escapes a command becomes one

@@ -31,19 +31,30 @@ let media_type (req : Serve.Http.request) =
       | Some i -> String.lowercase_ascii (String.trim (String.sub v 0 i))
       | None -> String.lowercase_ascii (String.trim v))
 
-(* [Error (status, msg)] carries the HTTP status for the failure. *)
+(* A parse failure keeps the structured diagnostics so the 422 body can
+   carry machine-readable positions alongside the rendered report; only
+   unknown media types stay a plain 415. *)
+type payload_error =
+  | Unsupported of string
+  | Invalid of { format : string; source : string; diags : Kit.Diag.t list }
+
 let parse_payload (req : Serve.Http.request) =
   let body = req.Serve.Http.body in
+  let invalid format diags =
+    Error (Invalid { format; source = body; diags })
+  in
   match media_type req with
-  | "text/plain" | "application/x-hyperbench" ->
-      Result.map_error (fun e -> (422, "HG parse error: " ^ e))
-        (Hg.Hypergraph.parse body)
-  | "application/x-hyperbench-binary" | "application/octet-stream" ->
-      Result.map_error (fun e -> (422, "binary decode error: " ^ e))
-        (Hg.Binary.of_string body)
+  | "text/plain" | "application/x-hyperbench" -> (
+      match Hg.Hypergraph.parse_report body with
+      | Ok h -> Ok h
+      | Error ds -> invalid "hg" ds)
+  | "application/x-hyperbench-binary" | "application/octet-stream" -> (
+      match Hg.Binary.of_string_report body with
+      | Ok h -> Ok h
+      | Error d -> invalid "hbx" [ d ])
   | "application/sql" | "text/x-sql" -> (
-      match Sql.Convert.sql_to_hypergraphs body with
-      | Error e -> Error (422, "SQL parse error: " ^ e)
+      match Sql.Convert.sql_to_hypergraphs_report body with
+      | Error ds -> invalid "sql" ds
       | Ok convs -> (
           match
             List.find_map
@@ -51,11 +62,17 @@ let parse_payload (req : Serve.Http.request) =
               convs
           with
           | Some h -> Ok h
-          | None -> Error (422, "SQL contained no convertible query")))
-  | "application/xml" | "text/xml" | "application/x-xcsp" ->
-      Result.map_error (fun e -> (422, "XCSP parse error: " ^ e))
-        (Xcsp3.Xcsp.read body)
-  | mt -> Error (415, "unsupported content type: " ^ mt)
+          | None ->
+              invalid "sql"
+                [
+                  Kit.Diag.error (Kit.Diag.point 0)
+                    "SQL contained no convertible query";
+                ]))
+  | "application/xml" | "text/xml" | "application/x-xcsp" -> (
+      match Xcsp3.Xcsp.read_report body with
+      | Ok h -> Ok h
+      | Error ds -> invalid "xcsp" ds)
+  | mt -> Error (Unsupported mt)
 
 (* ------------------------------------------------------------------ *)
 (* Solving                                                             *)
@@ -272,6 +289,21 @@ let json_response ?(headers = []) status (j : Kit.Json.t) =
 let err status msg =
   Serve.Http.response status (Serve.Http.error_body status msg)
 
+(* 422 body: positions as data for tools, the caret report for humans. *)
+let payload_err = function
+  | Unsupported mt ->
+      err 415 ("unsupported content type: " ^ mt)
+  | Invalid { format; source; diags } ->
+      json_response 422
+        (Kit.Json.Obj
+           [
+             ("error", Kit.Json.String "parse failure");
+             ("format", Kit.Json.String format);
+             ("diagnostics", Kit.Diag.all_to_json ~source diags);
+             ( "rendered",
+               Kit.Json.String (Kit.Diag.render_all ~source diags) );
+           ])
+
 let methods = [ "hd"; "balsep"; "localbip"; "globalbip"; "portfolio" ]
 
 exception Bad_param of string
@@ -396,7 +428,7 @@ let client_deadline req =
 
 let decompose cfg req =
   match parse_payload req with
-  | Error (status, msg) -> err status msg
+  | Error pe -> payload_err pe
   | Ok h -> (
       match parse_params cfg req with
       | exception Bad_param msg -> err 400 msg

@@ -24,7 +24,7 @@ let to_string h =
   write buf h;
   Buffer.contents buf
 
-let read s pos =
+let read_report s pos =
   try
     let nv = V.read s pos in
     let ne = V.read s pos in
@@ -49,14 +49,34 @@ let read s pos =
     in
     match Hypergraph.create ~vertex_names ~edge_names members with
     | h -> Ok h
-    | exception Invalid_argument m -> Error m
-  with V.Corrupt m -> Error ("binary hypergraph: " ^ m)
+    | exception Invalid_argument m ->
+        Error (Kit.Diag.error (Kit.Diag.point 0) m)
+  with V.Corrupt m ->
+    (* [pos] points at (or just past) the byte that betrayed the
+       corruption — a usable anchor for hexdump-style triage. *)
+    Error (Kit.Diag.error (Kit.Diag.point !pos) ("binary hypergraph: " ^ m))
+
+let read s pos =
+  match read_report s pos with
+  | Ok _ as ok -> ok
+  | Error d -> Error d.Kit.Diag.message
+
+let of_string_report s =
+  match Kit.Limits.check_input s with
+  | Some d -> Error d
+  | None -> (
+      let pos = ref 0 in
+      match read_report s pos with
+      | Error _ as e -> e
+      | Ok h ->
+          if !pos <> String.length s then
+            Error
+              (Kit.Diag.error
+                 (Kit.Diag.span !pos (String.length s))
+                 "binary hypergraph: trailing bytes")
+          else Ok h)
 
 let of_string s =
-  let pos = ref 0 in
-  match read s pos with
-  | Error _ as e -> e
-  | Ok h ->
-      if !pos <> String.length s then
-        Error "binary hypergraph: trailing bytes"
-      else Ok h
+  match of_string_report s with
+  | Ok _ as ok -> ok
+  | Error d -> Error d.Kit.Diag.message

@@ -31,3 +31,11 @@ val read : string -> int ref -> (Hypergraph.t, string) result
 
 val of_string : string -> (Hypergraph.t, string) result
 (** {!read} from offset 0, requiring the whole string to be consumed. *)
+
+val read_report : string -> int ref -> (Hypergraph.t, Kit.Diag.t) result
+(** Like {!read}; the diagnostic's span anchors at the byte offset
+    where corruption was detected. *)
+
+val of_string_report : string -> (Hypergraph.t, Kit.Diag.t) result
+(** Like {!of_string} with the structured diagnostic; inputs over
+    [HB_MAX_INPUT] bytes are refused up front. *)

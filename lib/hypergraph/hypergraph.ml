@@ -214,17 +214,27 @@ let to_string h = Format.asprintf "%a" pp h
 
 (* --- parsing ------------------------------------------------------------ *)
 
-let parse text =
+exception Hg_error of Kit.Diag.t
+
+let parse_report text =
   let pos = ref 0 in
   let len = String.length text in
-  let error msg =
-    (* Count lines up to the failure point so diagnostics can be shown as
-       file:line by the CLI. *)
-    let line = ref 1 in
-    for i = 0 to Stdlib.min (!pos - 1) (len - 1) do
-      if text.[i] = '\n' then incr line
-    done;
-    Error (Printf.sprintf "line %d: parse error at offset %d: %s" !line !pos msg)
+  let diags = ref [] in
+  let ndiags = ref 0 in
+  let max_errors = 20 in
+  let record d =
+    if !ndiags < max_errors then begin
+      diags := d :: !diags;
+      incr ndiags
+    end
+  in
+  let error ?start msg =
+    let span =
+      match start with
+      | Some s -> Kit.Diag.span s !pos
+      | None -> Kit.Diag.point !pos
+    in
+    raise (Hg_error (Kit.Diag.error span msg))
   in
   let skip_ws () =
     let continue = ref true in
@@ -246,24 +256,25 @@ let parse text =
   in
   (* A name is either a bare identifier or a '"'-quoted string with '\'
      escapes (the form [pp] emits for names outside the identifier
-     alphabet). [Error] is reserved for an unterminated quote; a plain
-     missing name is [Ok None] so callers keep their own diagnostics. *)
+     alphabet). Raises on an unterminated quote; a plain missing name
+     is [None] so callers keep their own diagnostics. *)
   let name_token () =
     if !pos < len && text.[!pos] = '"' then begin
+      let start = !pos in
       incr pos;
       let buf = Buffer.create 16 in
       let rec go () =
-        if !pos >= len then error "unterminated quoted name"
+        if !pos >= len then error ~start "unterminated quoted name"
         else
           match text.[!pos] with
           | '"' ->
               incr pos;
-              Ok (Some (Buffer.contents buf))
+              Some (Buffer.contents buf)
           | '\\' when !pos + 1 < len ->
               Buffer.add_char buf text.[!pos + 1];
               pos := !pos + 2;
               go ()
-          | '\\' -> error "unterminated quoted name"
+          | '\\' -> error ~start "unterminated quoted name"
           | c ->
               Buffer.add_char buf c;
               incr pos;
@@ -271,60 +282,108 @@ let parse text =
       in
       go ()
     end
-    else Ok (ident ())
+    else ident ()
   in
-  let rec atoms acc =
-    skip_ws ();
-    if !pos >= len then Ok (List.rev acc)
-    else
-      match name_token () with
-      | Error m -> Error m
-      | Ok None -> error "expected edge name"
-      | Ok (Some name) -> (
-          skip_ws ();
-          if !pos >= len || text.[!pos] <> '(' then error "expected '('"
-          else begin
-            incr pos;
-            let rec verts vacc =
-              skip_ws ();
-              match name_token () with
-              | Error m -> Error m
-              | Ok None -> error "expected vertex name"
-              | Ok (Some v) -> (
-                  skip_ws ();
-                  if !pos < len && text.[!pos] = ',' then begin
-                    incr pos;
-                    verts (v :: vacc)
-                  end
-                  else if !pos < len && text.[!pos] = ')' then begin
-                    incr pos;
-                    Ok (List.rev (v :: vacc))
-                  end
-                  else error "expected ',' or ')'")
-            in
-            match verts [] with
-            | Error _ as e -> e
-            | Ok vs -> (
+  let parse_edge () =
+    match name_token () with
+    | None -> error "expected edge name"
+    | Some name ->
+        skip_ws ();
+        if !pos >= len || text.[!pos] <> '(' then error "expected '('"
+        else begin
+          incr pos;
+          let rec verts vacc =
+            skip_ws ();
+            match name_token () with
+            | None -> error "expected vertex name"
+            | Some v -> (
                 skip_ws ();
                 if !pos < len && text.[!pos] = ',' then begin
                   incr pos;
-                  atoms ((name, vs) :: acc)
+                  verts (v :: vacc)
                 end
-                else if !pos < len && text.[!pos] = '.' then begin
+                else if !pos < len && text.[!pos] = ')' then begin
                   incr pos;
-                  skip_ws ();
-                  if !pos < len then error "trailing input after '.'"
-                  else Ok (List.rev ((name, vs) :: acc))
+                  List.rev (v :: vacc)
                 end
-                else if !pos >= len then Ok (List.rev ((name, vs) :: acc))
-                else error "expected ',' or '.' after edge")
-          end)
+                else error "expected ',' or ')'")
+          in
+          (name, verts [])
+        end
   in
-  match atoms [] with
-  | Error _ as e -> e
-  | Ok [] -> Error "empty hypergraph"
-  | Ok pairs -> (
-      try Ok (of_named_edges pairs) with Invalid_argument m -> Error m)
+  (* Panic-mode sync after a broken edge: swallow up to the edge's
+     closing ')' (plus a following ','), or a bare ',' or the final
+     '.', so the next edge can still be tried and one pass reports
+     every broken atom. Always makes progress. *)
+  let sync_edge () =
+    while
+      !pos < len
+      && (match text.[!pos] with ',' | ')' | '.' -> false | _ -> true)
+    do
+      incr pos
+    done;
+    if !pos < len then begin
+      match text.[!pos] with
+      | ')' ->
+          incr pos;
+          skip_ws ();
+          if !pos < len && text.[!pos] = ',' then incr pos
+      | ',' | '.' -> incr pos
+      | _ -> ()
+    end
+  in
+  let rec atoms acc =
+    skip_ws ();
+    if !pos >= len || !ndiags >= max_errors then List.rev acc
+    else
+      match parse_edge () with
+      | exception Hg_error d ->
+          record d;
+          sync_edge ();
+          atoms acc
+      | (name, vs) ->
+          skip_ws ();
+          if !pos < len && text.[!pos] = ',' then begin
+            incr pos;
+            atoms ((name, vs) :: acc)
+          end
+          else if !pos < len && text.[!pos] = '.' then begin
+            incr pos;
+            skip_ws ();
+            if !pos < len then begin
+              record
+                (Kit.Diag.error (Kit.Diag.span !pos len)
+                   "trailing input after '.'");
+              pos := len
+            end;
+            List.rev ((name, vs) :: acc)
+          end
+          else if !pos >= len then List.rev ((name, vs) :: acc)
+          else begin
+            record
+              (Kit.Diag.error (Kit.Diag.point !pos)
+                 "expected ',' or '.' after edge");
+            atoms ((name, vs) :: acc)
+          end
+  in
+  match Kit.Limits.check_input text with
+  | Some d -> Error [ d ]
+  | None -> (
+      let pairs = atoms [] in
+      match List.rev !diags with
+      | _ :: _ as ds -> Error ds
+      | [] -> (
+          if pairs = [] then
+            Error [ Kit.Diag.error (Kit.Diag.point 0) "empty hypergraph" ]
+          else
+            try Ok (of_named_edges pairs)
+            with Invalid_argument m ->
+              Error [ Kit.Diag.error (Kit.Diag.point 0) m ]))
+
+let parse text =
+  match parse_report text with
+  | Ok _ as ok -> ok
+  | Error ds -> Error (Kit.Diag.to_message ~source:text ds)
 
 let parse_file path =
   match open_in_bin path with
@@ -345,6 +404,9 @@ let parse_file path =
                 | Some keep when keep < String.length s -> String.sub s 0 keep
                 | Some _ | None -> s
               in
-              parse s
+              (match parse_report s with
+              | Ok _ as ok -> ok
+              | Error ds ->
+                  Error (Kit.Diag.to_message ~file:path ~source:s ds))
           | exception End_of_file -> Error (path ^ ": truncated file")
           | exception Sys_error m -> Error m)

@@ -1,0 +1,438 @@
+(* Seeded adversarial generators. Everything below is a pure function
+   of the Rng stream: no wall clock, no global state, so a failing
+   (seed, index) pair replays bit-identically. *)
+
+let buf_add_rep b n s =
+  for _ = 1 to n do
+    Buffer.add_string b s
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Byte-level mutation                                                *)
+(* ------------------------------------------------------------------ *)
+
+let mutate rng s =
+  if String.length s = 0 then "\x00"
+  else begin
+    let b = Bytes.of_string s in
+    let result = ref b in
+    let ops = 1 + Rng.int rng 4 in
+    for _ = 1 to ops do
+      let b = !result in
+      let n = Bytes.length b in
+      if n = 0 then result := Bytes.of_string "\xff"
+      else
+        match Rng.int rng 6 with
+        | 0 ->
+            (* flip one byte *)
+            let i = Rng.int rng n in
+            Bytes.set b i (Char.chr (Rng.int rng 256))
+        | 1 ->
+            (* delete a slice *)
+            let i = Rng.int rng n in
+            let len = min (n - i) (1 + Rng.int rng 16) in
+            let out = Bytes.create (n - len) in
+            Bytes.blit b 0 out 0 i;
+            Bytes.blit b (i + len) out i (n - i - len);
+            result := out
+        | 2 ->
+            (* insert random bytes *)
+            let i = Rng.int rng (n + 1) in
+            let len = 1 + Rng.int rng 16 in
+            let ins = Bytes.init len (fun _ -> Char.chr (Rng.int rng 256)) in
+            let out = Bytes.create (n + len) in
+            Bytes.blit b 0 out 0 i;
+            Bytes.blit ins 0 out i len;
+            Bytes.blit b i out (i + len) (n - i);
+            result := out
+        | 3 ->
+            (* duplicate a slice in place *)
+            let i = Rng.int rng n in
+            let len = min (n - i) (1 + Rng.int rng 32) in
+            let out = Bytes.create (n + len) in
+            Bytes.blit b 0 out 0 (i + len);
+            Bytes.blit b i out (i + len) len;
+            Bytes.blit b (i + len) out (i + 2 * len) (n - i - len);
+            result := out
+        | 4 ->
+            (* truncate *)
+            let keep = Rng.int rng n in
+            result := Bytes.sub b 0 keep
+        | _ ->
+            (* overwrite a slice with a constant *)
+            let i = Rng.int rng n in
+            let len = min (n - i) (1 + Rng.int rng 32) in
+            let c = Rng.pick rng [| '\x00'; '\xff'; '('; ','; '<'; '&' |] in
+            Bytes.fill b i len c
+    done;
+    let out = Bytes.to_string !result in
+    if out = s then out ^ "\x7f" else out
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Shared name material                                               *)
+(* ------------------------------------------------------------------ *)
+
+let hostile_name rng =
+  match Rng.int rng 6 with
+  | 0 -> "a"
+  | 1 -> "a" ^ string_of_int (Rng.int rng 4)
+  (* control chars / spaces belong inside quoted names *)
+  | 2 -> "x\x01y"
+  | 3 -> "a b"
+  | 4 -> String.make (1 + Rng.int rng 64) 'z'
+  | _ -> "\xc3\xa9\xff"
+
+(* ------------------------------------------------------------------ *)
+(* SQL                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let sql rng =
+  let b = Buffer.create 256 in
+  (match Rng.int rng 9 with
+  | 0 ->
+      (* parenthesis bomb: an expression nested past HB_PARSE_DEPTH *)
+      let d = 50 + Rng.int rng 400 in
+      Buffer.add_string b "SELECT ";
+      buf_add_rep b d "(";
+      Buffer.add_string b "x";
+      buf_add_rep b d ")";
+      Buffer.add_string b " FROM t"
+  | 1 ->
+      (* deep EXISTS chain *)
+      let d = 20 + Rng.int rng 150 in
+      Buffer.add_string b "SELECT a FROM t0 WHERE ";
+      for i = 1 to d do
+        Buffer.add_string b
+          (Printf.sprintf "EXISTS (SELECT b FROM t%d WHERE " i)
+      done;
+      Buffer.add_string b "1 = 1";
+      buf_add_rep b d ")"
+  | 2 ->
+      (* deep IN (subquery) chain *)
+      let d = 20 + Rng.int rng 150 in
+      Buffer.add_string b "SELECT a FROM t WHERE a IN ";
+      for _ = 1 to d do
+        Buffer.add_string b "(SELECT a FROM t WHERE a IN "
+      done;
+      Buffer.add_string b "(SELECT a FROM t)";
+      buf_add_rep b d ")"
+  | 3 ->
+      (* giant IN list *)
+      let n = 500 + Rng.int rng 3000 in
+      Buffer.add_string b "SELECT a FROM t WHERE a IN (";
+      for i = 0 to n - 1 do
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_string b (string_of_int (Rng.int rng 1000))
+      done;
+      Buffer.add_string b ")"
+  | 4 ->
+      (* long CTE chain, each view reading the previous *)
+      let n = 2 + Rng.int rng 60 in
+      Buffer.add_string b "WITH v0 AS (SELECT a FROM base)";
+      for i = 1 to n do
+        Buffer.add_string b
+          (Printf.sprintf ", v%d AS (SELECT a FROM v%d)" i (i - 1))
+      done;
+      Buffer.add_string b (Printf.sprintf " SELECT a FROM v%d" n)
+  | 5 ->
+      (* ambiguous / duplicate aliases and NOT chains *)
+      let d = Rng.int rng 300 in
+      Buffer.add_string b "SELECT t.a, t.a FROM r AS t, s AS t WHERE ";
+      buf_add_rep b d "NOT ";
+      Buffer.add_string b "t.a = t.b"
+  | 6 ->
+      (* unterminated string / comment *)
+      if Rng.bool rng then
+        Buffer.add_string b "SELECT 'abc FROM t WHERE x = 1"
+      else Buffer.add_string b "SELECT a /* no end FROM t"
+  | 7 ->
+      (* keyword soup with control characters *)
+      let n = 5 + Rng.int rng 60 in
+      for _ = 1 to n do
+        Buffer.add_string b
+          (Rng.pick rng
+             [|
+               "SELECT"; "FROM"; "WHERE"; "("; ")"; ","; ";"; "JOIN";
+               "ON"; "AND"; "OR"; "NOT"; "IN"; "EXISTS"; "'"; "\x00";
+               "--x\n"; "0x"; "1e"; "."; "=";
+             |]);
+        Buffer.add_char b ' '
+      done
+  | _ ->
+      (* several broken statements in one file: exercises recovery *)
+      let n = 2 + Rng.int rng 4 in
+      for i = 0 to n - 1 do
+        if Rng.bool rng then
+          Buffer.add_string b
+            (Printf.sprintf "SELECT a%d FROM WHERE x%d;\n" i i)
+        else
+          Buffer.add_string b
+            (Printf.sprintf "SELECT %s FROM t%d GROUP BY;\n"
+               (hostile_name rng) i)
+      done);
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* XCSP3 XML                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let xcsp rng =
+  let b = Buffer.create 256 in
+  (match Rng.int rng 8 with
+  | 0 ->
+      (* element nesting past the depth bound *)
+      let d = 50 + Rng.int rng 400 in
+      Buffer.add_string b "<instance>";
+      for _ = 1 to d do Buffer.add_string b "<g>" done;
+      Buffer.add_string b "x";
+      for _ = 1 to d do Buffer.add_string b "</g>" done;
+      Buffer.add_string b "</instance>"
+  | 1 ->
+      (* entity pathology: undefined, unterminated, recursive-looking *)
+      Buffer.add_string b "<instance><variables><var id=\"x\">";
+      Buffer.add_string b
+        (Rng.pick rng
+           [|
+             "&undefined;"; "&amp"; "&#x41;&#65;"; "&&&;";
+             "&amp;amp;lt;"; "& loose &";
+           |]);
+      Buffer.add_string b "</var></variables></instance>"
+  | 2 ->
+      (* CDATA tricks: nesting markers, split terminators *)
+      Buffer.add_string b "<instance><constraints><extension><supports>";
+      Buffer.add_string b
+        (Rng.pick rng
+           [|
+             "<![CDATA[ <![CDATA[ inner ]]>";
+             "<![CDATA[ ]] > ]]>";
+             "<![CDATA[ unterminated ";
+             "<![CDATA[a]]><![CDATA[b]]>";
+           |]);
+      Buffer.add_string b "</supports></extension></constraints></instance>"
+  | 3 ->
+      (* huge attribute value *)
+      let n = 1024 + Rng.int rng 65536 in
+      Buffer.add_string b "<instance><variables><var id=\"";
+      buf_add_rep b n "A";
+      Buffer.add_string b "\" note=\"";
+      buf_add_rep b (Rng.int rng 1024) "&amp;";
+      Buffer.add_string b "\"/></variables></instance>"
+  | 4 ->
+      (* unterminated comment / misc junk *)
+      Buffer.add_string b
+        (Rng.pick rng
+           [|
+             "<?xml version=\"1.0\"?><!-- never closed <instance/>";
+             "<!DOCTYPE instance [ <!ENTITY x \"y\"> ]><instance/>";
+             "<instance><!-- a <!-- b --> c --></instance>";
+             "<instance";
+           |])
+  | 5 ->
+      (* array-size bombs *)
+      Buffer.add_string b "<instance><variables><array id=\"x\" size=\"";
+      Buffer.add_string b
+        (Rng.pick rng
+           [|
+             "[999999999]"; "[100000][100000]"; "[3][-1]"; "[]";
+             "[1][2][3][4][5][6][7][8]";
+           |]);
+      Buffer.add_string b
+        "\"> 0..1 </array></variables><constraints><extension>\
+         <list> x[] </list><supports>(0)</supports></extension>\
+         </constraints></instance>"
+  | 6 ->
+      (* mismatched / duplicate structure *)
+      Buffer.add_string b
+        (Rng.pick rng
+           [|
+             "<instance><variables></instance></variables>";
+             "<instance><variables/><variables/></instance>";
+             "<instance><var id=\"a\" id=\"a\">1..2</var></instance>";
+             "<instance><constraints><group></group></constraints>\
+              </instance>";
+           |])
+  | _ ->
+      (* tag soup *)
+      let n = 5 + Rng.int rng 80 in
+      for _ = 1 to n do
+        Buffer.add_string b
+          (Rng.pick rng
+             [|
+               "<a>"; "</a>"; "<"; ">"; "/>"; "<b x='"; "'"; "\"";
+               "<![CDATA["; "]]>"; "<!--"; "-->"; "&#"; ";"; "x";
+             |])
+      done);
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* HG text                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let hg rng =
+  let b = Buffer.create 256 in
+  (match Rng.int rng 7 with
+  | 0 ->
+      (* duplicate edge names, shared vertices *)
+      let n = 2 + Rng.int rng 20 in
+      for i = 0 to n - 1 do
+        if i > 0 then Buffer.add_string b ",\n";
+        Buffer.add_string b "e(a,b)"
+      done;
+      Buffer.add_char b '.'
+  | 1 ->
+      (* quoted names with control chars / embedded quotes *)
+      Buffer.add_string b
+        (Rng.pick rng
+           [|
+             "\"e\x01\"(\"a\nb\",c).";
+             "\"e\"\"x\"(a,b).";
+             "\"unterminated(a,b).";
+             "\"\"(a).";
+           |])
+  | 2 ->
+      (* giant single edge *)
+      let n = 500 + Rng.int rng 5000 in
+      Buffer.add_string b "big(";
+      for i = 0 to n - 1 do
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_string b "v";
+        Buffer.add_string b (string_of_int i)
+      done;
+      Buffer.add_string b ")."
+  | 3 ->
+      (* separator abuse *)
+      Buffer.add_string b
+        (Rng.pick rng
+           [|
+             "e1(a,b),,e2(b,c)."; "e1(a,b)"; "e1(a,b)..";
+             "e1(,)."; "e1(a,)."; "(a,b)."; "e1)a,b(."; ",";
+             "e1(a,b) e2(b,c).";
+           |])
+  | 4 ->
+      (* comment tricks *)
+      Buffer.add_string b
+        (Rng.pick rng
+           [|
+             "% only a comment\n";
+             "e1(a,%hidden\nb).";
+             "e1(a,b).% trailing";
+             "%\x00binary\ne1(a,b).";
+           |])
+  | 5 ->
+      (* many tiny edges *)
+      let n = 100 + Rng.int rng 2000 in
+      for i = 0 to n - 1 do
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_string b (Printf.sprintf "e%d(v%d,v%d)" i i (i + 1))
+      done;
+      Buffer.add_char b '.'
+  | _ ->
+      (* raw noise with format punctuation *)
+      let n = 5 + Rng.int rng 120 in
+      for _ = 1 to n do
+        Buffer.add_string b
+          (Rng.pick rng
+             [| "("; ")"; ","; "."; "a"; "\""; "%"; "\n"; "\x02"; " " |])
+      done);
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Binary hypergraph (hbx)                                            *)
+(* ------------------------------------------------------------------ *)
+
+let varint b n =
+  let n = ref n in
+  let continue = ref true in
+  while !continue do
+    let byte = !n land 0x7f in
+    n := !n lsr 7;
+    if !n = 0 then begin
+      Buffer.add_char b (Char.chr byte);
+      continue := false
+    end
+    else Buffer.add_char b (Char.chr (byte lor 0x80))
+  done
+
+let hbx rng =
+  let b = Buffer.create 64 in
+  (match Rng.int rng 6 with
+  | 0 ->
+      (* plausible header with absurd counts *)
+      varint b (Rng.pick rng [| 1000000000; max_int; 0 |]);
+      varint b (Rng.pick rng [| 1000000000; max_int; 0 |]);
+      for _ = 1 to Rng.int rng 32 do
+        Buffer.add_char b (Char.chr (Rng.int rng 256))
+      done
+  | 1 ->
+      (* overlong varint: continuation bit forever *)
+      buf_add_rep b (2 + Rng.int rng 20) "\xff";
+      Buffer.add_char b '\x01'
+  | 2 ->
+      (* tiny valid-looking graph, then surgical damage *)
+      varint b 2;
+      varint b 1;
+      varint b 1; Buffer.add_char b 'a';
+      varint b 1; Buffer.add_char b 'b';
+      varint b 1; Buffer.add_char b 'e';
+      varint b 2; varint b 0; varint b 1;
+      let s = Buffer.contents b in
+      Buffer.clear b;
+      Buffer.add_string b (mutate rng s)
+  | 3 ->
+      (* truncated mid-structure *)
+      varint b 3;
+      varint b 2;
+      varint b 5;
+      Buffer.add_string b "ab"
+  | 4 ->
+      (* name length lies about remaining bytes *)
+      varint b 1;
+      varint b 1;
+      varint b 100000;
+      Buffer.add_string b "short"
+  | _ ->
+      (* pure noise *)
+      let n = Rng.int rng 256 in
+      for _ = 1 to n do
+        Buffer.add_char b (Char.chr (Rng.int rng 256))
+      done);
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Shrinking                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let shrink ?(rounds = 8) pred input =
+  (* ddmin-lite: try removing progressively smaller chunks while the
+     predicate keeps holding. Deterministic and bounded. *)
+  let current = ref input in
+  let changed = ref true in
+  let pass = ref 0 in
+  while !changed && !pass < rounds do
+    incr pass;
+    changed := false;
+    let chunk = ref (max 1 (String.length !current / 2)) in
+    while !chunk >= 1 do
+      let i = ref 0 in
+      while !i < String.length !current do
+        let s = !current in
+        let n = String.length s in
+        let len = min !chunk (n - !i) in
+        if len > 0 then begin
+          let candidate =
+            String.sub s 0 !i ^ String.sub s (!i + len) (n - !i - len)
+          in
+          if pred candidate then begin
+            current := candidate;
+            changed := true
+            (* keep [i] in place: the next chunk slid into position *)
+          end
+          else i := !i + len
+        end
+        else i := n
+      done;
+      chunk := if !chunk = 1 then 0 else !chunk / 2
+    done
+  done;
+  !current

@@ -1,0 +1,40 @@
+(** Deterministic adversarial input generation and shrinking.
+
+    Two modes, both seeded through {!Rng} so every case is reproducible
+    from [(seed, index)] alone:
+
+    - {b grammar mode} ({!sql}, {!xcsp}, {!hg}, {!hbx}) builds inputs
+      that are structurally close to each format but tuned to hurt:
+      deep CTE/EXISTS/IN nesting past [HB_PARSE_DEPTH], giant IN lists,
+      ambiguous aliases, pathological XML entities and CDATA splits,
+      duplicate and control-character names, pseudo-varint streams;
+    - {b mutation mode} ({!mutate}) applies byte-level damage (flips,
+      splices, truncation, duplication) to a valid corpus input.
+
+    The consumer's invariant is crash-freedom: a parser fed any of
+    these must return [Ok] or a structured [Error] — never raise, never
+    overflow the stack, never exceed the memory budget. {!shrink}
+    reduces a failing input to a near-minimal reproducer. *)
+
+val mutate : Rng.t -> string -> string
+(** One to four random byte-level mutations of the input. Never returns
+    the input unchanged unless it is empty. *)
+
+val sql : Rng.t -> string
+(** Adversarial SQL: hostile but recognisable SELECT statements. *)
+
+val xcsp : Rng.t -> string
+(** Adversarial XCSP3 XML documents. *)
+
+val hg : Rng.t -> string
+(** Adversarial HG text-format hypergraphs. *)
+
+val hbx : Rng.t -> string
+(** Adversarial binary-hypergraph byte strings (varint streams). *)
+
+val shrink : ?rounds:int -> (string -> bool) -> string -> string
+(** [shrink pred input] — given [pred input = true] (the failure
+    reproduces), repeatedly removes chunks (ddmin-style halving) while
+    the predicate stays true, returning a smaller input on which [pred]
+    still holds. Deterministic; at most [rounds] (default 8) full
+    passes. *)

@@ -25,6 +25,11 @@ let run ?mem_mb f =
   let mem_mb = match mem_mb with Some _ as m -> m | None -> mem_budget_mb () in
   match with_mem_alarm mem_mb f with
   | v -> Outcome.Ok v
+  | exception Stack_overflow ->
+      (* A fresh overflow leaves almost no stack headroom, so classify
+         directly without capturing a backtrace — the capture itself
+         could overflow again on the way to reporting. *)
+      Outcome.Stack_overflow
   | exception e ->
       let backtrace = Printexc.get_backtrace () in
       let outcome = Outcome.classify e ~backtrace in

@@ -40,6 +40,7 @@ and select = {
   group_by : expr list;
   having : cond option;
   order_by : expr list;
+  span : Kit.Diag.span;  (* byte range of the SELECT in its source *)
 }
 
 and query =
@@ -62,6 +63,7 @@ let empty_select =
     group_by = [];
     having = None;
     order_by = [];
+    span = Kit.Diag.point 0;
   }
 
 let cmp_op_to_string = function

@@ -5,7 +5,9 @@ type token =
   | Punct of string
   | Eof
 
-type t = { tokens : token array; mutable index : int }
+type spanned = { tok : token; span : Kit.Diag.span }
+
+type t = { tokens : spanned array; mutable index : int }
 
 let is_ident_start c =
   (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
@@ -14,13 +16,22 @@ let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9') || c = '$'
 
 let is_digit c = c >= '0' && c <= '9'
 
+(* One recovering pass: local lexical mistakes become diagnostics and
+   scanning continues, so a broken file reports every bad literal in one
+   go instead of stopping at the first. *)
 let tokenize src =
   let len = String.length src in
   let out = ref [] in
+  let diags = ref [] in
   let i = ref 0 in
-  let error msg = Error (Printf.sprintf "SQL lexer error at offset %d: %s" !i msg) in
+  let emit start tok =
+    out := { tok; span = Kit.Diag.span start !i } :: !out
+  in
+  let report start msg =
+    diags := Kit.Diag.error (Kit.Diag.span start !i) msg :: !diags
+  in
   let rec loop () =
-    if !i >= len then Ok (List.rev (Eof :: !out))
+    if !i >= len then ()
     else begin
       let c = src.[!i] in
       if c = ' ' || c = '\t' || c = '\n' || c = '\r' then begin
@@ -32,6 +43,7 @@ let tokenize src =
         loop ()
       end
       else if c = '/' && !i + 1 < len && src.[!i + 1] = '*' then begin
+        let start = !i in
         let closed = ref false in
         i := !i + 2;
         while (not !closed) && !i + 1 < len do
@@ -41,26 +53,34 @@ let tokenize src =
           end
           else incr i
         done;
-        if !closed then loop () else error "unterminated comment"
+        if not !closed then begin
+          i := len;
+          report start "unterminated comment"
+        end;
+        loop ()
       end
       else if is_ident_start c then begin
         let start = !i in
         while !i < len && is_ident_char src.[!i] do incr i done;
-        out := Ident (String.sub src start (!i - start)) :: !out;
+        emit start (Ident (String.sub src start (!i - start)));
         loop ()
       end
       else if is_digit c then begin
         let start = !i in
         while !i < len && (is_digit src.[!i] || src.[!i] = '.') do incr i done;
-        out := Number (String.sub src start (!i - start)) :: !out;
+        emit start (Number (String.sub src start (!i - start)));
         loop ()
       end
       else if c = '\'' then begin
         (* SQL strings; '' escapes a quote. *)
+        let start = !i in
         let buf = Buffer.create 16 in
         incr i;
         let rec scan () =
-          if !i >= len then error "unterminated string"
+          if !i >= len then begin
+            report start "unterminated string";
+            emit start (String (Buffer.contents buf))
+          end
           else if src.[!i] = '\'' then
             if !i + 1 < len && src.[!i + 1] = '\'' then begin
               Buffer.add_char buf '\'';
@@ -69,8 +89,7 @@ let tokenize src =
             end
             else begin
               incr i;
-              out := String (Buffer.contents buf) :: !out;
-              loop ()
+              emit start (String (Buffer.contents buf))
             end
           else begin
             Buffer.add_char buf src.[!i];
@@ -78,49 +97,72 @@ let tokenize src =
             scan ()
           end
         in
-        scan ()
+        scan ();
+        loop ()
       end
       else if c = '"' then begin
         (* Double-quoted identifiers. *)
-        let close = try String.index_from src (!i + 1) '"' with Not_found -> -1 in
-        if close < 0 then error "unterminated quoted identifier"
-        else begin
-          out := Ident (String.sub src (!i + 1) (close - !i - 1)) :: !out;
-          i := close + 1;
-          loop ()
+        let start = !i in
+        let close =
+          try String.index_from src (!i + 1) '"' with Not_found -> -1
+        in
+        if close < 0 then begin
+          let rest = String.sub src (!i + 1) (len - !i - 1) in
+          i := len;
+          report start "unterminated quoted identifier";
+          emit start (Ident rest)
         end
+        else begin
+          let name = String.sub src (!i + 1) (close - !i - 1) in
+          i := close + 1;
+          emit start (Ident name)
+        end;
+        loop ()
       end
       else begin
-        let two =
-          if !i + 1 < len then String.sub src !i 2 else ""
-        in
+        let start = !i in
+        let two = if !i + 1 < len then String.sub src !i 2 else "" in
         match two with
         | "<=" | ">=" | "<>" | "!=" | "==" | "||" ->
-            out := Punct (if two = "!=" then "<>" else if two = "==" then "=" else two) :: !out;
             i := !i + 2;
+            emit start
+              (Punct
+                 (if two = "!=" then "<>" else if two = "==" then "=" else two));
             loop ()
         | _ -> (
             match c with
             | '(' | ')' | ',' | '.' | '=' | '<' | '>' | '+' | '-' | '*' | '/'
             | ';' | '%' ->
-                out := Punct (String.make 1 c) :: !out;
                 incr i;
+                emit start (Punct (String.make 1 c));
                 loop ()
-            | _ -> error (Printf.sprintf "unexpected character %C" c))
+            | _ ->
+                incr i;
+                report start (Printf.sprintf "unexpected character %C" c);
+                loop ())
       end
     end
   in
-  loop ()
+  loop ();
+  let eof = { tok = Eof; span = Kit.Diag.point len } in
+  (List.rev (eof :: !out), List.rev !diags)
 
 let create src =
-  match tokenize src with
-  | Ok tokens -> Ok { tokens = Array.of_list tokens; index = 0 }
-  | Error _ as e -> e
+  match Kit.Limits.check_input src with
+  | Some d -> Error d
+  | None ->
+      let tokens, diags = tokenize src in
+      Ok ({ tokens = Array.of_list tokens; index = 0 }, diags)
 
-let peek t = t.tokens.(t.index)
+let peek t = t.tokens.(t.index).tok
+
+let peek_span t = t.tokens.(t.index).span
+
+let prev_end t =
+  if t.index = 0 then 0 else t.tokens.(t.index - 1).span.Kit.Diag.stop
 
 let next t =
-  let tok = t.tokens.(t.index) in
+  let { tok; _ } = t.tokens.(t.index) in
   if tok <> Eof then t.index <- t.index + 1;
   tok
 

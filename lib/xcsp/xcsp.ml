@@ -4,6 +4,12 @@ type instance = {
   scopes : string list list;
 }
 
+(* An <array size="..."> expands to one variable name per cell, so the
+   cell count is an allocation the input controls directly; cap it so a
+   "size=\"[999999999]\"" bomb is ignored like any other malformed size
+   instead of eating the heap. *)
+let max_array_cells = 1_000_000
+
 (* "[3]" -> [3]; "[2][4]" -> [2;4] *)
 let parse_dims s =
   let s = String.trim s in
@@ -24,7 +30,16 @@ let parse_dims s =
       end
     end
   done;
-  if !ok && !out <> [] then Some (List.rev !out) else None
+  if !ok && !out <> [] then begin
+    let cells =
+      List.fold_left
+        (fun acc n ->
+          if acc > max_array_cells / n then max_array_cells + 1 else acc * n)
+        1 !out
+    in
+    if cells > max_array_cells then None else Some (List.rev !out)
+  end
+  else None
 
 let expand_array id dims =
   let rec go prefix = function
@@ -53,11 +68,8 @@ let scope_tokens text =
   done;
   List.rev !out
 
-let parse src =
-  match Xml.parse src with
-  | Error _ as e -> e
-  | Ok root -> (
-      match Xml.tag root with
+let analyze root =
+  match Xml.tag root with
       | Some "instance" -> (
           let name = Option.value (Xml.attr root "id") ~default:"instance" in
           match Xml.find_child root "variables" with
@@ -143,8 +155,24 @@ let parse src =
                   in
                   List.iter walk (Xml.children cons_el);
                   Ok { name; variables; scopes = List.rev !scopes }))
-      | Some t -> Error (Printf.sprintf "XCSP: unexpected root element <%s>" t)
-      | None -> Error "XCSP: no root element")
+  | Some t -> Error (Printf.sprintf "XCSP: unexpected root element <%s>" t)
+  | None -> Error "XCSP: no root element"
+
+let parse_report src =
+  match Xml.parse_report src with
+  | Error _ as e -> e
+  | Ok root -> (
+      match analyze root with
+      | Ok _ as ok -> ok
+      | Error msg ->
+          (* Semantic errors have no better anchor than the document
+             start; they still travel in the one diagnostic shape. *)
+          Error [ Kit.Diag.error (Kit.Diag.point 0) msg ])
+
+let parse src =
+  match parse_report src with
+  | Ok _ as ok -> ok
+  | Error ds -> Error (Kit.Diag.to_message ~source:src ds)
 
 let parse_file path =
   match open_in_bin path with
@@ -178,6 +206,14 @@ let to_hypergraph inst =
 
 let read src =
   match parse src with Error _ as e -> e | Ok inst -> to_hypergraph inst
+
+let read_report src =
+  match parse_report src with
+  | Error _ as e -> e
+  | Ok inst -> (
+      match to_hypergraph inst with
+      | Ok _ as ok -> ok
+      | Error msg -> Error [ Kit.Diag.error (Kit.Diag.point 0) msg ])
 
 let read_file path =
   match parse_file path with Error _ as e -> e | Ok inst -> to_hypergraph inst

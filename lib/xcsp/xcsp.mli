@@ -22,6 +22,10 @@ type instance = {
 val parse : string -> (instance, string) result
 val parse_file : string -> (instance, string) result
 
+val parse_report : string -> (instance, Kit.Diag.t list) result
+(** Like {!parse} but XML errors keep their byte spans; semantic errors
+    (missing sections, bad root) anchor at offset 0. *)
+
 val to_hypergraph : instance -> (Hg.Hypergraph.t, string) result
 (** Fails when a constraint references an undeclared variable or the
     instance has no constraints. Variables not occurring in any scope are
@@ -29,6 +33,9 @@ val to_hypergraph : instance -> (Hg.Hypergraph.t, string) result
 
 val read : string -> (Hg.Hypergraph.t, string) result
 (** [parse] followed by [to_hypergraph]. *)
+
+val read_report : string -> (Hg.Hypergraph.t, Kit.Diag.t list) result
+(** Like {!read} with structured diagnostics. *)
 
 val read_file : string -> (Hg.Hypergraph.t, string) result
 

@@ -2,7 +2,7 @@ type node =
   | Element of string * (string * string) list * node list
   | Text of string
 
-exception Xml_error of string
+exception Xml_error of Kit.Diag.t
 
 let decode_entities s =
   if not (String.contains s '&') then s
@@ -37,10 +37,16 @@ let decode_entities s =
     Buffer.contents buf
   end
 
-let parse src =
+let parse_report src =
   let len = String.length src in
   let pos = ref 0 in
-  let error msg = raise (Xml_error (Printf.sprintf "XML error at offset %d: %s" !pos msg)) in
+  let max_depth = Kit.Limits.max_depth () in
+  let error msg =
+    raise (Xml_error (Kit.Diag.error (Kit.Diag.point !pos) msg))
+  in
+  let error_at start msg =
+    raise (Xml_error (Kit.Diag.error (Kit.Diag.span start !pos) msg))
+  in
   let peek_char () = if !pos < len then Some src.[!pos] else None in
   let skip_ws () =
     while
@@ -64,7 +70,10 @@ let parse src =
       search !pos
     with
     | Some i -> pos := i + String.length close
-    | None -> error (Printf.sprintf "missing %s" close)
+    | None ->
+        let start = !pos in
+        pos := len;
+        error_at start (Printf.sprintf "missing %s" close)
   in
   let is_name_char c =
     (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
@@ -84,9 +93,13 @@ let parse src =
     skip_ws ();
     match peek_char () with
     | Some (('"' | '\'') as q) ->
+        let start = !pos in
         incr pos;
         let close = try String.index_from src !pos q with Not_found -> -1 in
-        if close < 0 then error "unterminated attribute value";
+        if close < 0 then begin
+          pos := len;
+          error_at start "unterminated attribute value"
+        end;
         let v = String.sub src !pos (close - !pos) in
         pos := close + 1;
         (n, decode_entities v)
@@ -107,7 +120,27 @@ let parse src =
       skip_misc ()
     end
   in
-  let rec element () =
+  let cdata () =
+    (* Caller matched "<![CDATA[". Contents are literal: no entity
+       decoding, no nesting — the section ends at the first "]]>". *)
+    pos := !pos + 9;
+    let start = !pos in
+    let rec search i =
+      if i + 3 > len then begin
+        pos := len;
+        error_at start "missing ]]>"
+      end
+      else if String.sub src i 3 = "]]>" then i
+      else search (i + 1)
+    in
+    let stop = search !pos in
+    let text = String.sub src start (stop - start) in
+    pos := stop + 3;
+    text
+  in
+  let rec element depth =
+    if depth >= max_depth then
+      raise (Xml_error (Kit.Limits.depth_error ~at:!pos));
     if peek_char () <> Some '<' then error "expected '<'";
     incr pos;
     let tag = name () in
@@ -131,14 +164,16 @@ let parse src =
     match kind with
     | `Selfclosing -> Element (tag, attributes, [])
     | `Open ->
-        let children = content tag [] in
+        let children = content depth tag [] in
         Element (tag, attributes, children)
-  and content closing acc =
+  and content depth closing acc =
     if !pos >= len then error (Printf.sprintf "missing </%s>" closing)
     else if starts_with "<!--" then begin
       skip_until "-->";
-      content closing acc
+      content depth closing acc
     end
+    else if starts_with "<![CDATA[" then
+      content depth closing (Text (cdata ()) :: acc)
     else if starts_with "</" then begin
       pos := !pos + 2;
       let n = name () in
@@ -149,22 +184,34 @@ let parse src =
         error (Printf.sprintf "mismatched </%s>, expected </%s>" n closing);
       List.rev acc
     end
-    else if peek_char () = Some '<' then content closing (element () :: acc)
+    else if peek_char () = Some '<' then
+      content depth closing (element (depth + 1) :: acc)
     else begin
       let start = !pos in
       while !pos < len && src.[!pos] <> '<' do incr pos done;
       let text = String.sub src start (!pos - start) in
-      if String.trim text = "" then content closing acc
-      else content closing (Text (decode_entities text) :: acc)
+      if String.trim text = "" then content depth closing acc
+      else content depth closing (Text (decode_entities text) :: acc)
     end
   in
-  try
-    skip_misc ();
-    let root = element () in
-    skip_misc ();
-    if !pos < len then Error "trailing content after root element"
-    else Ok root
-  with Xml_error m -> Error m
+  match Kit.Limits.check_input src with
+  | Some d -> Error [ d ]
+  | None -> (
+      try
+        skip_misc ();
+        let root = element 0 in
+        skip_misc ();
+        if !pos < len then
+          Error
+            [ Kit.Diag.error (Kit.Diag.point !pos)
+                "trailing content after root element" ]
+        else Ok root
+      with Xml_error d -> Error [ d ])
+
+let parse src =
+  match parse_report src with
+  | Ok _ as ok -> ok
+  | Error ds -> Error (Kit.Diag.to_message ~source:src ds)
 
 let tag = function Element (t, _, _) -> Some t | Text _ -> None
 

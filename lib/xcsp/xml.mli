@@ -1,14 +1,25 @@
 (** A small XML parser, sufficient for XCSP3-style instance files:
     elements, attributes (single or double quoted), text, comments,
-    processing instructions/declarations, self-closing tags and the five
-    predefined entities. No DTD, CDATA or namespace handling. *)
+    processing instructions/declarations, self-closing tags, CDATA
+    sections and the five predefined entities. No DTD or namespace
+    handling.
+
+    The descent is resource-bounded: element nesting past
+    [HB_PARSE_DEPTH] and inputs over [HB_MAX_INPUT] bytes return a
+    clean [Error] instead of overflowing the stack or chewing through
+    an absurd payload. Errors carry byte spans via {!Kit.Diag}. *)
 
 type node =
   | Element of string * (string * string) list * node list
   | Text of string
 
 val parse : string -> (node, string) result
-(** Parse a document; returns its single root element. *)
+(** Parse a document; returns its single root element. The error
+    string is the first diagnostic rendered as
+    ["line:col: error: message"]. *)
+
+val parse_report : string -> (node, Kit.Diag.t list) result
+(** Like {!parse} but with the structured diagnostics. *)
 
 val tag : node -> string option
 val attr : node -> string -> string option

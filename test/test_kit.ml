@@ -732,6 +732,151 @@ let pool_run_outcome () =
   check_jobs 1;
   check_jobs 4
 
+(* --- diag -------------------------------------------------------------- *)
+
+let contains_sub s sub =
+  try
+    ignore (Str.search_forward (Str.regexp_string sub) s 0);
+    true
+  with Not_found -> false
+
+let diag_positions () =
+  let src = "ab\ncde\n\nf" in
+  let check_pos name off line col =
+    let p = Kit.Diag.position src off in
+    Alcotest.(check (pair int int)) name (line, col)
+      (p.Kit.Diag.line, p.Kit.Diag.col)
+  in
+  check_pos "start" 0 1 1;
+  check_pos "mid line 1" 1 1 2;
+  check_pos "newline belongs to its line" 2 1 3;
+  check_pos "line 2" 3 2 1;
+  check_pos "empty line" 7 3 1;
+  check_pos "last char" 8 4 1;
+  (* Clamped, never raising: one past the end and far past the end. *)
+  check_pos "eof" 9 4 2;
+  check_pos "way past eof" 1000 4 2
+
+let diag_render () =
+  let src = "SELECT a\nFROM t WHERE ???\n" in
+  let d = Kit.Diag.error (Kit.Diag.span 22 25) "no such operator" in
+  let r = Kit.Diag.render ~file:"q.sql" ~source:src d in
+  Alcotest.(check bool) "header" true
+    (String.length r > 0
+    && String.sub r 0 (String.length "q.sql:2:14: error:")
+       = "q.sql:2:14: error:");
+  Alcotest.(check bool) "caret line present" true
+    (contains_sub r "^^^");
+  Alcotest.(check string) "one_line" "q.sql:2:14: error: no such operator"
+    (Kit.Diag.one_line ~file:"q.sql" ~source:src d);
+  (* to_message summarises several diagnostics in one line. *)
+  let more = Kit.Diag.error (Kit.Diag.point 0) "first" in
+  let m = Kit.Diag.to_message ~source:src [ d; more ] in
+  Alcotest.(check string) "to_message picks lowest offset + counts rest"
+    "1:1: error: first (+1 more error)" m
+
+let diag_json () =
+  let src = "x\nyz" in
+  let d = Kit.Diag.error (Kit.Diag.span 2 4) "bad" in
+  let j = Kit.Diag.to_json ~source:src d in
+  let get f name =
+    match Option.bind (Kit.Json.member name j) f with
+    | Some v -> v
+    | None -> Alcotest.failf "missing %s" name
+  in
+  Alcotest.(check string) "severity" "error"
+    (get Kit.Json.string_value "severity");
+  Alcotest.(check int) "line" 2 (get Kit.Json.to_int "line");
+  Alcotest.(check int) "col" 1 (get Kit.Json.to_int "col");
+  Alcotest.(check int) "offset" 2 (get Kit.Json.to_int "offset");
+  Alcotest.(check int) "end_offset" 4 (get Kit.Json.to_int "end_offset");
+  Alcotest.(check string) "message" "bad" (get Kit.Json.string_value "message");
+  (* all_to_json sorts by span start. *)
+  let l =
+    Kit.Diag.all_to_json ~source:src
+      [ d; Kit.Diag.error (Kit.Diag.point 0) "earlier" ]
+  in
+  match Kit.Json.to_list l with
+  | Some [ a; _ ] ->
+      Alcotest.(check (option string)) "sorted" (Some "earlier")
+        (Option.bind (Kit.Json.member "message" a) Kit.Json.string_value)
+  | _ -> Alcotest.fail "expected a two-element list"
+
+(* --- limits ------------------------------------------------------------ *)
+
+let limits_env () =
+  (* The knobs are re-read on every call, so a putenv takes effect
+     immediately; an unparsable value falls back to the default. *)
+  let with_env name v f =
+    let old = Sys.getenv_opt name in
+    Unix.putenv name v;
+    Fun.protect
+      ~finally:(fun () ->
+        Unix.putenv name (Option.value old ~default:""))
+      f
+  in
+  with_env "HB_PARSE_DEPTH" "17" (fun () ->
+      Alcotest.(check int) "depth knob" 17 (Kit.Limits.max_depth ()));
+  with_env "HB_PARSE_DEPTH" "not-a-number" (fun () ->
+      Alcotest.(check int) "bad depth -> default" Kit.Limits.default_depth
+        (Kit.Limits.max_depth ()));
+  with_env "HB_MAX_INPUT" "10" (fun () ->
+      Alcotest.(check int) "input knob" 10 (Kit.Limits.max_input ());
+      (match Kit.Limits.check_input "elevenbytes" with
+      | Some d ->
+          Alcotest.(check bool) "mentions the knob" true
+            (contains_sub d.Kit.Diag.message "HB_MAX_INPUT")
+      | None -> Alcotest.fail "11 bytes must exceed a 10-byte cap");
+      Alcotest.(check bool) "under the cap" true
+        (Kit.Limits.check_input "tenbytes!!" = None))
+
+(* --- fuzz -------------------------------------------------------------- *)
+
+let fuzz_determinism () =
+  (* Same seed, same stream — byte-identical generations, per generator. *)
+  List.iter
+    (fun (name, gen) ->
+      let a = List.init 50 (fun i -> gen (Kit.Rng.create (1000 + i))) in
+      let b = List.init 50 (fun i -> gen (Kit.Rng.create (1000 + i))) in
+      Alcotest.(check bool) (name ^ " deterministic") true (a = b))
+    [
+      ("sql", Kit.Fuzz.sql); ("xcsp", Kit.Fuzz.xcsp);
+      ("hg", Kit.Fuzz.hg); ("hbx", Kit.Fuzz.hbx);
+    ]
+
+let fuzz_mutate_changes () =
+  let base = "p(a, b), q(b, c)." in
+  for seed = 0 to 99 do
+    let m = Kit.Fuzz.mutate (Kit.Rng.create seed) base in
+    if m = base then Alcotest.failf "mutation %d returned input unchanged" seed
+  done
+
+let fuzz_shrink () =
+  (* Predicate: contains the byte 'X'. Shrinking must keep it while
+     discarding the padding around it. *)
+  let input = String.make 400 'a' ^ "X" ^ String.make 400 'b' in
+  let pred s = String.contains s 'X' in
+  let s = Kit.Fuzz.shrink pred input in
+  Alcotest.(check bool) "still fails" true (pred s);
+  Alcotest.(check bool) "much smaller" true (String.length s < 100);
+  (* A predicate nothing satisfies after removal: input comes back. *)
+  Alcotest.(check string) "irreducible input survives" "X"
+    (Kit.Fuzz.shrink pred "X")
+
+(* --- guard: real stack overflow (not a pre-raised exception) ------------ *)
+
+let guard_stack_overflow_real () =
+  (* An actual runaway recursion — the exception is raised by the runtime
+     with the stack nearly exhausted, which is exactly the state where a
+     careless handler (e.g. one that captures a backtrace first) would
+     overflow again and abort the process. *)
+  let rec boom n = 1 + boom (n + 1) in
+  (match Kit.Guard.run (fun () -> boom 0) with
+  | Kit.Outcome.Stack_overflow -> ()
+  | o -> Alcotest.failf "expected stack_overflow, got %s" (Kit.Outcome.label o));
+  Alcotest.(check bool) "still alive" true
+    (Kit.Guard.run (fun () -> 1) = Kit.Outcome.Ok 1)
+
 let () =
   let qt = QCheck_alcotest.to_alcotest in
   Alcotest.run "kit"
@@ -819,5 +964,20 @@ let () =
             metrics_disabled_fast_path;
           Alcotest.test_case "local delta" `Quick metrics_local_delta;
           Alcotest.test_case "absorb replays a snapshot" `Quick metrics_absorb;
+        ] );
+      ( "diag",
+        [
+          Alcotest.test_case "positions" `Quick diag_positions;
+          Alcotest.test_case "render" `Quick diag_render;
+          Alcotest.test_case "json" `Quick diag_json;
+        ] );
+      ( "limits", [ Alcotest.test_case "env knobs" `Quick limits_env ] );
+      ( "fuzz",
+        [
+          Alcotest.test_case "determinism" `Quick fuzz_determinism;
+          Alcotest.test_case "mutate changes input" `Quick fuzz_mutate_changes;
+          Alcotest.test_case "shrink" `Quick fuzz_shrink;
+          Alcotest.test_case "guard catches real overflow" `Quick
+            guard_stack_overflow_real;
         ] );
     ]

@@ -448,6 +448,77 @@ let pack_detects_corruption () =
         (List.length loaded < List.length instances && loaded <> []));
   rm_rf dir
 
+(* ---------- mutation properties (hostile bytes) ---------- *)
+
+(* Byte-damaged binary blobs must decode to a clean [Error] or a graph
+   that is internally consistent — never an exception, never a graph
+   whose re-encoding disagrees with itself. (A mutation CAN decode Ok:
+   e.g. a flipped byte inside a name changes the name, not the frame.) *)
+let prop_binary_mutation_safe () =
+  let rng = Rng.create 31 in
+  let ok = ref 0 and err = ref 0 in
+  for i = 0 to n_cases - 1 do
+    let h = gen_hg rng in
+    let blob = Hg.Binary.to_string h in
+    let mutated = Kit.Fuzz.mutate rng blob in
+    match Hg.Binary.of_string mutated with
+    | Error _ -> incr err
+    | Ok h' ->
+        incr ok;
+        (* Fingerprint cross-check: decode of re-encode agrees. *)
+        let reencoded = Hg.Binary.to_string h' in
+        (match Hg.Binary.of_string reencoded with
+        | Error m -> Alcotest.failf "case %d: re-encode undecodable: %s" i m
+        | Ok h'' ->
+            if H.fingerprint h' <> H.fingerprint h'' then
+              Alcotest.failf "case %d: fingerprint unstable after mutation" i)
+    | exception e ->
+        Alcotest.failf "case %d: decoder raised %s" i (Printexc.to_string e)
+  done;
+  (* The sweep must exercise both outcomes, else the property is vacuous. *)
+  Alcotest.(check bool) "saw rejections" true (!err > 0);
+  Alcotest.(check bool) "sweep ran" true (!ok + !err = n_cases)
+
+(* Same property one level up: byte-damaged .hbr shards must load as
+   [Ok] with entries skipped or a clean [Error] — and every instance
+   that does load must carry a self-consistent graph. *)
+let pack_mutation_safe () =
+  let instances = B.Repository.build ~seed:7 ~scale:0.05 () in
+  let rng = Rng.create 77 in
+  for case = 0 to 49 do
+    let dir = tmpdir () in
+    B.Repository.pack ~dir ~shards:2 instances;
+    let shards =
+      Sys.readdir dir |> Array.to_list
+      |> List.filter (fun f -> Filename.check_suffix f ".hbr")
+      |> List.map (Filename.concat dir)
+    in
+    let shard = List.nth shards (Rng.int rng (List.length shards)) in
+    let data =
+      let ic = open_in_bin shard in
+      let s = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      s
+    in
+    let oc = open_out_bin shard in
+    output_string oc (Kit.Fuzz.mutate rng data);
+    close_out oc;
+    (match B.Repository.load_pack ~dir with
+    | Error _ -> ()
+    | Ok { B.Repository.instances = loaded; skipped = _ } ->
+        List.iter
+          (fun (inst : B.Instance.t) ->
+            let h = inst.B.Instance.hg in
+            match Hg.Binary.of_string (Hg.Binary.to_string h) with
+            | Ok h' when H.fingerprint h = H.fingerprint h' -> ()
+            | _ -> Alcotest.failf "case %d: loaded instance inconsistent" case)
+          loaded
+    | exception e ->
+        Alcotest.failf "case %d: load_pack raised %s" case
+          (Printexc.to_string e));
+    rm_rf dir
+  done
+
 let () =
   Alcotest.run "repo_cache"
     [
@@ -489,6 +560,12 @@ let () =
             pack_roundtrip_sharded;
           Alcotest.test_case "pack corruption skipped, not trusted" `Quick
             pack_detects_corruption;
+        ] );
+      ( "mutation",
+        [
+          Alcotest.test_case "binary blobs (500 cases)" `Quick
+            prop_binary_mutation_safe;
+          Alcotest.test_case "pack shards (50 cases)" `Quick pack_mutation_safe;
         ] );
       ( "journal",
         [

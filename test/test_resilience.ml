@@ -209,8 +209,10 @@ let truncated_parse_is_an_error () =
       Alcotest.(check int) "one warning" 1 (List.length skipped);
       (match skipped with
       | [ (_, msg) ] ->
-          Alcotest.(check bool) "diagnostic carries line info" true
-            (String.length msg >= 4 && String.sub msg 0 4 = "line")
+          (* The unified Kit.Diag shape: "[file:]line:col: error: ...". *)
+          Alcotest.(check bool) "diagnostic carries line:col info" true
+            (Str.string_match
+               (Str.regexp "\\(.*:\\)?[0-9]+:[0-9]+: error:") msg 0)
       | _ -> Alcotest.fail "expected a single skip entry"));
   Sys.readdir dir |> Array.iter (fun f -> Sys.remove (Filename.concat dir f));
   Sys.rmdir dir

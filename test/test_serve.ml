@@ -128,6 +128,37 @@ let decompose_errors () =
       in
       let r = post (decompose_target 2) "e1(a," [ hg_type ] in
       Alcotest.(check int) "garbage HG -> 422" 422 r.Serve.Client.status;
+      (* The 422 body is structured: machine-readable positions plus the
+         rendered caret report. *)
+      (match Kit.Json.of_string r.Serve.Client.body with
+      | Error m -> Alcotest.failf "422 body is not JSON: %s" m
+      | Ok j -> (
+          Alcotest.(check (option string)) "format tagged" (Some "hg")
+            (Option.bind (Kit.Json.member "format" j) Kit.Json.string_value);
+          match
+            Option.bind (Kit.Json.member "diagnostics" j) Kit.Json.to_list
+          with
+          | Some (d :: _) ->
+              Alcotest.(check bool) "diagnostic has a line" true
+                (Option.bind (Kit.Json.member "line" d) Kit.Json.to_int <> None)
+          | _ -> Alcotest.fail "422 body lacks diagnostics"));
+      (* A multiply-broken SQL body reports several positions in one pass. *)
+      let bad_sql = "SELECT a FROM t WHERE (b = 1;\nSELECT FROM WHERE;\n" in
+      let r =
+        post (decompose_target 2) bad_sql
+          [ ("Content-Type", "application/sql") ]
+      in
+      Alcotest.(check int) "broken SQL -> 422" 422 r.Serve.Client.status;
+      (match Kit.Json.of_string r.Serve.Client.body with
+      | Error m -> Alcotest.failf "SQL 422 body is not JSON: %s" m
+      | Ok j -> (
+          match
+            Option.bind (Kit.Json.member "diagnostics" j) Kit.Json.to_list
+          with
+          | Some ds ->
+              Alcotest.(check bool) "several diagnostics" true
+                (List.length ds >= 2)
+          | None -> Alcotest.fail "SQL 422 body lacks diagnostics"));
       let r =
         post (decompose_target 2) triangle
           [ ("Content-Type", "application/x-tar") ]

@@ -178,17 +178,93 @@ let parse_errors () =
 
 let lexer_features () =
   (match Sql.Lexer.create "SELECT 'it''s' -- comment\n /* block */ x" with
-  | Error m -> Alcotest.fail m
-  | Ok l ->
+  | Error d -> Alcotest.fail d.Kit.Diag.message
+  | Ok (l, diags) ->
+      Alcotest.(check int) "no diagnostics" 0 (List.length diags);
       let rec all acc =
         match Sql.Lexer.next l with
         | Sql.Lexer.Eof -> List.rev acc
         | t -> all (t :: acc)
       in
       Alcotest.(check int) "three tokens" 3 (List.length (all [])));
+  (* The lexer recovers from an unterminated string: the statement still
+     tokenizes, with one diagnostic pointing at the opening quote. *)
   match Sql.Lexer.create "SELECT 'unterminated" with
+  | Error d -> Alcotest.fail d.Kit.Diag.message
+  | Ok (_, diags) -> (
+      match diags with
+      | [ d ] ->
+          Alcotest.(check bool) "mentions the string" true
+            (String.length d.Kit.Diag.message > 0);
+          Alcotest.(check int) "span starts at the quote" 7
+            d.Kit.Diag.span.Kit.Diag.start
+      | ds -> Alcotest.failf "expected one diagnostic, got %d" (List.length ds))
+
+(* Tentpole acceptance: a file with three independent mistakes reports
+   several distinct file:line:col diagnostics with carets in one pass. *)
+let multi_error_report () =
+  let src =
+    "SELECT a FROM WHERE x = 1;\n\
+     SELECT 'unterminated;\n\
+     SELECT b FROM t GROUP BY;\n"
+  in
+  match Sql.Parser.parse_report src with
+  | Ok _ -> Alcotest.fail "broken file must not parse"
+  | Error ds ->
+      Alcotest.(check bool)
+        (Printf.sprintf "at least 2 diagnostics (got %d)" (List.length ds))
+        true
+        (List.length ds >= 2);
+      (* Diagnostics must land on at least two distinct lines. *)
+      let lines =
+        List.sort_uniq compare
+          (List.map
+             (fun d ->
+               (Kit.Diag.position src d.Kit.Diag.span.Kit.Diag.start)
+                 .Kit.Diag.line)
+             ds)
+      in
+      Alcotest.(check bool) "distinct lines" true (List.length lines >= 2);
+      let rendered = Kit.Diag.render_all ~file:"bad.sql" ~source:src ds in
+      Alcotest.(check bool) "file:line:col prefix" true
+        (String.length rendered > 0
+        && Str.string_match (Str.regexp "bad\\.sql:[0-9]+:[0-9]+: error:")
+             rendered 0);
+      Alcotest.(check bool) "carets rendered" true
+        (String.contains rendered '^')
+
+let depth_bound () =
+  (* A parenthesis bomb twice the depth bound must come back as a clean
+     Error naming the knob — not Stack_overflow. *)
+  let depth = Kit.Limits.max_depth () * 2 in
+  let src =
+    "SELECT " ^ String.make depth '(' ^ "x" ^ String.make depth ')'
+    ^ " FROM t"
+  in
+  (match Sql.Parser.parse src with
+  | Error m ->
+      Alcotest.(check bool) "names the knob" true
+        (let re = Str.regexp_string "HB_PARSE_DEPTH" in
+         try
+           ignore (Str.search_forward re m 0);
+           true
+         with Not_found -> false)
+  | Ok _ -> Alcotest.fail "paren bomb must not parse");
+  (* NOT chains recurse through a different path. *)
+  let nots = String.concat " " (List.init depth (fun _ -> "NOT")) in
+  match Sql.Parser.parse ("SELECT a FROM t WHERE " ^ nots ^ " a = 1") with
   | Error _ -> ()
-  | Ok _ -> Alcotest.fail "unterminated string should fail"
+  | Ok _ -> Alcotest.fail "NOT bomb must not parse"
+
+let select_spans () =
+  let src = "SELECT a FROM t WHERE a = 1" in
+  match Sql.Parser.parse src with
+  | Error m -> Alcotest.fail m
+  | Ok { body = Select s; _ } ->
+      Alcotest.(check int) "span starts at SELECT" 0 s.Sql.Ast.span.Kit.Diag.start;
+      Alcotest.(check int) "span covers the statement" (String.length src)
+        s.Sql.Ast.span.Kit.Diag.stop
+  | Ok _ -> Alcotest.fail "expected a plain select"
 
 let aggregates_and_groupby () =
   let results =
@@ -242,5 +318,8 @@ let () =
         [
           Alcotest.test_case "parse errors" `Quick parse_errors;
           Alcotest.test_case "lexer" `Quick lexer_features;
+          Alcotest.test_case "multi-error report" `Quick multi_error_report;
+          Alcotest.test_case "depth bound" `Quick depth_bound;
+          Alcotest.test_case "select spans" `Quick select_spans;
         ] );
     ]

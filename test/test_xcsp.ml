@@ -138,6 +138,97 @@ let xcsp_errors () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "wrong root should fail"
 
+(* --- hostile inputs ---------------------------------------------------- *)
+
+let xml_unterminated_comment () =
+  (* A comment that never closes must be a positioned error, not a hang
+     or a silent EOF. *)
+  match Xcsp3.Xml.parse_report "<a><!-- this comment never ends" with
+  | Ok _ -> Alcotest.fail "unterminated comment should fail"
+  | Error ds ->
+      Alcotest.(check bool) "has a diagnostic" true (ds <> []);
+      let d = List.hd ds in
+      Alcotest.(check bool) "span inside input" true
+        (d.Kit.Diag.span.Kit.Diag.start <= 31)
+
+let xml_cdata () =
+  (* CDATA is literal: no entity decoding, markup characters are text. *)
+  (match Xcsp3.Xml.parse "<a><![CDATA[<b>&amp;</b>]]></a>" with
+  | Error m -> Alcotest.fail m
+  | Ok root ->
+      Alcotest.(check string) "literal content" "<b>&amp;</b>"
+        (Xcsp3.Xml.text_content root);
+      Alcotest.(check int) "no child elements" 0
+        (List.length
+           (List.filter
+              (fun n -> Xcsp3.Xml.tag n <> None)
+              (Xcsp3.Xml.children root))));
+  (* A CDATA section cannot nest: the first ]]> closes it, the rest is
+     ordinary (here: invalid) content. *)
+  (match Xcsp3.Xml.parse "<a><![CDATA[x<![CDATA[y]]></a>" with
+  | Error m -> Alcotest.fail m
+  | Ok root ->
+      Alcotest.(check string) "first ]]> closes" "x<![CDATA[y"
+        (Xcsp3.Xml.text_content root));
+  (* Unterminated CDATA is an error, not an infinite scan. *)
+  match Xcsp3.Xml.parse "<a><![CDATA[never closed" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unterminated CDATA should fail"
+
+let xml_megabyte_attribute () =
+  (* An attribute value of a megabyte is legal and must survive intact
+     (and in linear time). *)
+  let big = String.make 1_000_000 'v' in
+  let src = Printf.sprintf {|<a huge="%s"><b/></a>|} big in
+  match Xcsp3.Xml.parse src with
+  | Error m -> Alcotest.fail m
+  | Ok root -> (
+      match Xcsp3.Xml.attr root "huge" with
+      | Some v -> Alcotest.(check int) "length preserved" 1_000_000 (String.length v)
+      | None -> Alcotest.fail "attribute lost")
+
+let xml_undefined_entity () =
+  (* Unknown entities pass through verbatim — benchmark files in the wild
+     contain bare ampersands and we must not lose bytes around them. *)
+  match Xcsp3.Xml.parse "<a>&unknown; &#x26; &amp;</a>" with
+  | Error m -> Alcotest.fail m
+  | Ok root ->
+      let t = String.trim (Xcsp3.Xml.text_content root) in
+      Alcotest.(check bool) "verbatim unknown entity" true
+        (String.length t >= 9 && String.sub t 0 9 = "&unknown;")
+
+let xml_depth_bound () =
+  (* Nesting twice past HB_PARSE_DEPTH must come back as a clean error
+     mentioning the knob, never Stack_overflow. *)
+  let n = 2 * Kit.Limits.max_depth () in
+  let buf = Buffer.create (8 * n) in
+  for _ = 1 to n do Buffer.add_string buf "<d>" done;
+  Buffer.add_string buf "x";
+  for _ = 1 to n do Buffer.add_string buf "</d>" done;
+  match Xcsp3.Xml.parse (Buffer.contents buf) with
+  | Ok _ -> Alcotest.fail "depth bomb should fail"
+  | Error m ->
+      Alcotest.(check bool) "names the knob" true
+        (try
+           ignore (Str.search_forward (Str.regexp_string "HB_PARSE_DEPTH") m 0);
+           true
+         with Not_found -> false)
+
+let xcsp_array_size_bomb () =
+  (* A single declared dimension of 999999999 cells must be refused before
+     any allocation, as must a product of dimensions that overflows. *)
+  List.iter
+    (fun size ->
+      let src =
+        Printf.sprintf
+          {|<instance><variables><array id="a" size="%s"> 0..1 </array></variables><constraints><allDifferent> a[] </allDifferent></constraints></instance>|}
+          size
+      in
+      match Xcsp3.Xcsp.read src with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "array bomb %s should fail" size)
+    [ "[999999999]"; "[100000][100000]"; "[4611686018427387904][4]" ]
+
 let roundtrip () =
   let rng = Kit.Rng.create 5 in
   for i = 1 to 20 do
@@ -161,6 +252,12 @@ let () =
           Alcotest.test_case "declaration + comments" `Quick xml_declaration_comment;
           Alcotest.test_case "entities" `Quick xml_entities;
           Alcotest.test_case "errors" `Quick xml_errors;
+          Alcotest.test_case "unterminated comment" `Quick
+            xml_unterminated_comment;
+          Alcotest.test_case "cdata" `Quick xml_cdata;
+          Alcotest.test_case "megabyte attribute" `Quick xml_megabyte_attribute;
+          Alcotest.test_case "undefined entity" `Quick xml_undefined_entity;
+          Alcotest.test_case "depth bound" `Quick xml_depth_bound;
         ] );
       ( "xcsp",
         [
@@ -169,6 +266,7 @@ let () =
           Alcotest.test_case "matrix arrays" `Quick xcsp_matrix_array;
           Alcotest.test_case "blocks" `Quick xcsp_blocks;
           Alcotest.test_case "errors" `Quick xcsp_errors;
+          Alcotest.test_case "array size bomb" `Quick xcsp_array_size_bomb;
           Alcotest.test_case "roundtrip" `Quick roundtrip;
         ] );
     ]
