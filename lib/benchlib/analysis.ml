@@ -177,7 +177,8 @@ type ghd_record = {
   stats : Kit.Metrics.snapshot;
 }
 
-let ghd_comparison ?(budget = default_budget) ?(ks = [ 3; 4; 5; 6 ]) ?jobs records =
+let ghd_comparison ?(budget = default_budget) ?(ks = [ 3; 4; 5; 6 ]) ?jobs
+    ?(intra_jobs = 1) records =
   List.filter_map Fun.id
   @@ pool_map ?jobs
        (fun r ->
@@ -191,6 +192,13 @@ let ghd_comparison ?(budget = default_budget) ?(ks = [ 3; 4; 5; 6 ]) ?jobs recor
               | Ghd.Portfolio.Bal_sep_alg ->
                   let a, s =
                     timed (fun () -> Ghd.Bal_sep.solve ~deadline:(budget ()) h ~k:target_k)
+                  in
+                  (a.Ghd.Bal_sep.outcome, a.Ghd.Bal_sep.exact, s)
+              | Ghd.Portfolio.Par_bal_sep_alg ->
+                  let a, s =
+                    timed (fun () ->
+                        Ghd.Par_bal_sep.solve ~jobs:intra_jobs
+                          ~deadline:(budget ()) h ~k:target_k)
                   in
                   (a.Ghd.Bal_sep.outcome, a.Ghd.Bal_sep.exact, s)
               | Ghd.Portfolio.Local_bip_alg ->
@@ -212,11 +220,19 @@ let ghd_comparison ?(budget = default_budget) ?(ks = [ 3; 4; 5; 6 ]) ?jobs recor
             in
             { algorithm = alg; outcome = v; seconds }
           in
+          (* The intra-parallel member joins the comparison only when it
+             actually gets extra domains. Its steal-worker domains record
+             into their own metric stores, outside this local delta — the
+             ticks still reach the process-wide snapshot, but per-record
+             [stats] under-report the parallel member; campaigns that pin
+             per-record deltas bit-for-bit keep [intra_jobs = 1]. *)
+          let members =
+            [ Ghd.Portfolio.Bal_sep_alg; Ghd.Portfolio.Local_bip_alg;
+              Ghd.Portfolio.Global_bip_alg ]
+            @ (if intra_jobs > 1 then [ Ghd.Portfolio.Par_bal_sep_alg ] else [])
+          in
           let runs, stats =
-            Kit.Metrics.local_delta (fun () ->
-                List.map run
-                  [ Ghd.Portfolio.Bal_sep_alg; Ghd.Portfolio.Local_bip_alg;
-                    Ghd.Portfolio.Global_bip_alg ])
+            Kit.Metrics.local_delta (fun () -> List.map run members)
           in
           let decided =
             List.filter (fun x -> x.outcome <> `Timeout) runs

@@ -12,8 +12,21 @@ type context = {
   stats : Kit.Metrics.snapshot;
 }
 
+(* With intra-instance parallelism enabled, the ghd pass hands each
+   parallel member the domains the pool would otherwise leave idle: when
+   the record shard is narrower than the pool, the leftover width goes to
+   Par_bal_sep; when there are at least as many records as domains, every
+   domain is busy with its own instance and members stay sequential. *)
+let intra_width ~intra ?jobs n_records =
+  if not intra then 1
+  else
+    let pool =
+      match jobs with Some j -> j | None -> Kit.Pool.default_jobs ()
+    in
+    max 1 (pool / max 1 n_records)
+
 let prepare ?(seed = 2019) ?(scale = 1.0) ?(budget_seconds = 1.0) ?budget
-    ?(max_k = 8) ?jobs ?cache () =
+    ?(max_k = 8) ?jobs ?(intra = false) ?cache () =
   let budget =
     match budget with
     | Some b -> b
@@ -21,7 +34,8 @@ let prepare ?(seed = 2019) ?(scale = 1.0) ?(budget_seconds = 1.0) ?budget
   in
   let instances = Repository.build ~seed ~scale () in
   let records = Analysis.analyze ~budget ~max_k ?jobs ?cache instances in
-  let ghd = Analysis.ghd_comparison ~budget ?jobs records in
+  let intra_jobs = intra_width ~intra ?jobs (List.length records) in
+  let ghd = Analysis.ghd_comparison ~budget ?jobs ~intra_jobs records in
   let frac = Analysis.fractional ~budget ?jobs records in
   { instances; records; ghd; frac; stats = Kit.Metrics.snapshot () }
 
@@ -704,8 +718,8 @@ type campaign = {
 }
 
 let prepare_campaign ?(seed = 2019) ?(scale = 1.0) ?(budget_seconds = 1.0)
-    ?budget ?budget_for ?retries ?mem_mb ?(max_k = 8) ?jobs ?isolate ?wall
-    ?shard ?cache ?journal ?(resume = false) () =
+    ?budget ?budget_for ?retries ?mem_mb ?(max_k = 8) ?jobs ?(intra = false)
+    ?isolate ?wall ?shard ?cache ?journal ?(resume = false) () =
   let budget =
     match budget with
     | Some b -> b
@@ -815,7 +829,8 @@ let prepare_campaign ?(seed = 2019) ?(scale = 1.0) ?(budget_seconds = 1.0)
       let records =
         List.filter_map (fun t -> Kit.Outcome.get t.Analysis.result) tasks
       in
-      let ghd = Analysis.ghd_comparison ~budget ?jobs records in
+      let intra_jobs = intra_width ~intra ?jobs (List.length records) in
+      let ghd = Analysis.ghd_comparison ~budget ?jobs ~intra_jobs records in
       let frac = Analysis.fractional ~budget ?jobs records in
       Ok
         {

@@ -9,6 +9,12 @@ let m_balance_rejections = Metrics.counter "balsep.balance_rejections"
 let m_special_edges = Metrics.counter "balsep.special_edges"
 let m_subedge_phases = Metrics.counter "balsep.subedge_phases"
 
+(* One observation per expanded recursion node, at its depth. Balanced
+   separators halve the subproblem, so the histogram concentrates in the
+   logarithmic buckets — the empirical check of the "logarithmic
+   recursion depth" claim, and the payload of BENCH_intra.json. *)
+let m_depth = Metrics.histogram "balsep.depth" ~buckets:[| 1; 2; 4; 8; 16; 24; 32; 48 |]
+
 type answer = {
   outcome : Detk.outcome;
   exact : bool;
@@ -16,8 +22,15 @@ type answer = {
 
 (* Special edges carry a unique id so that BuildGHD can find "its" special
    leaf in a child decomposition even when two special edges happen to have
-   the same vertex set. *)
+   the same vertex set. The id is the recursion depth of the node that
+   created the edge: the specials visible to any subproblem were created
+   one per ancestor, at pairwise-distinct depths, so ids never collide
+   where it matters — and unlike a shared counter, the scheme is a pure
+   function of the subtree, identical however subproblems are scheduled
+   across domains. *)
 type special = { sid : int; verts : Bitset.t }
+
+type subproblem = { comp : Bitset.t; sp : special list }
 
 let special_label s = Printf.sprintf "__special_%d" s.sid
 
@@ -66,9 +79,11 @@ let reroot root ~pred =
 (* Function BuildGHD: make the node (bag, cover) and graft each child
    decomposition. The connecting special edge appears in each child either
    as a dedicated leaf with λ = {s} — re-root there, drop the leaf and
-   attach its neighbours — or swallowed by some larger bag B ⊇ s, in which
-   case we re-root at that node and attach it whole (it shares all of s
-   with our bag, so connectedness is preserved). *)
+   attach its neighbours — or swallowed by some larger bag B ⊇ s (also the
+   shape the Detk base case of Par_bal_sep produces, which covers special
+   edges without materialising leaves for them), in which case we re-root
+   at that node and attach it whole (it shares all of s with our bag, so
+   connectedness is preserved). *)
 let build_ghd bag cover ~special_lab ~special_verts children : Decomp.node =
   let is_special_leaf (u : Decomp.node) =
     match u.cover with
@@ -92,119 +107,167 @@ let build_ghd bag cover ~special_lab ~special_verts children : Decomp.node =
   in
   { bag; cover; children = grafted }
 
-let solve ?(deadline = Deadline.none) ?(memoize = true) ?(use_subedges = true)
-    ?expand_limit ?max_subedges h ~k =
-  if k < 1 then invalid_arg "Bal_sep.solve: k must be >= 1";
-  let nv = h.Hypergraph.n_vertices in
-  let edge_candidates = Array.of_list (Detk.candidates_of_edges h) in
-  (* The subedge pool is generated lazily, once, on first fallback. *)
-  let subedge_pool = ref None in
-  let exact = ref true in
-  let subedges () =
-    match !subedge_pool with
-    | Some p -> p
+(* Everything one (single-domain) search region needs. Par_bal_sep makes
+   one env per subtask: the failed-subproblem memo and the lazy subedge
+   pool are private to the task — shared mutable state there would make
+   counters depend on the steal schedule — while [exact] is a shared
+   atomic (monotone false-once-false, so the merged value is
+   schedule-independent). *)
+type env = {
+  h : Hypergraph.t;
+  k : int;
+  nv : int;
+  deadline : Deadline.t;
+  memoize : bool;
+  use_subedges : bool;
+  failed : (int list list, unit) Hashtbl.t;
+  edge_candidates : Detk.candidate array;
+  get_subedges : unit -> Detk.candidate array;
+}
+
+let make_env ?(deadline = Deadline.none) ?(memoize = true)
+    ?(use_subedges = true) ?expand_limit ?max_subedges ?edge_candidates
+    ?(exact = Atomic.make true) ?get_subedges h ~k =
+  if k < 1 then invalid_arg "Bal_sep.make_env: k must be >= 1";
+  let edge_candidates =
+    match edge_candidates with
+    | Some a -> a
+    | None -> Array.of_list (Detk.candidates_of_edges h)
+  in
+  (* The subedge pool is generated lazily, once per env, on first
+     fallback — unless the caller supplies a shared pool ([Par_bal_sep]
+     does: f(H,k) depends only on the instance and the width, so the
+     subtask envs can share one copy instead of each rebuilding it). *)
+  let get_subedges =
+    match get_subedges with
+    | Some f -> f
     | None ->
-        let { Subedges.candidates; complete } =
-          Subedges.f_global ~deadline ?expand_limit ?max_subedges h ~k
-        in
-        if not complete then exact := false;
-        let arr = Array.of_list candidates in
-        subedge_pool := Some arr;
-        arr
+        let subedge_pool = ref None in
+        fun () ->
+          (match !subedge_pool with
+          | Some p -> p
+          | None ->
+              let { Subedges.candidates; complete } =
+                Subedges.f_global ~deadline ?expand_limit ?max_subedges h ~k
+              in
+              if not complete then Atomic.set exact false;
+              let arr = Array.of_list candidates in
+              subedge_pool := Some arr;
+              arr)
   in
-  let next_sid = ref 0 in
-  let fresh_special verts =
-    Metrics.incr m_special_edges;
-    let s = { sid = !next_sid; verts } in
-    incr next_sid;
-    s
-  in
-  let failed : (int list list, unit) Hashtbl.t = Hashtbl.create 128 in
-  let memo_key h' sp =
-    let sets = Bitset.to_list h' :: List.map (fun s -> Bitset.to_list s.verts) sp in
-    List.sort compare sets
-  in
-  (* Try all separators of <= k candidates drawn from [pool]; [need_fresh]
-     demands at least one candidate with index >= fresh_from (used to avoid
-     re-trying pure full-edge combinations in the subedge phase). *)
-  let rec decompose h' sp : Decomp.node option =
-    Deadline.check deadline;
-    let key = memo_key h' sp in
-    if memoize && Hashtbl.mem failed key then None
-    else begin
-      let r = attempt h' sp in
-      if r = None && memoize then Hashtbl.replace failed key ();
-      r
-    end
-  and attempt h' sp =
-    let n_ord = Bitset.cardinal h' in
-    let total = n_ord + List.length sp in
-    if total = 0 then None
-    else if total = 1 then
-      Some
-        (match (Bitset.choose h', sp) with
-        | Some e, _ ->
+  {
+    h;
+    k;
+    nv = h.Hypergraph.n_vertices;
+    deadline;
+    memoize;
+    use_subedges;
+    failed = Hashtbl.create 128;
+    edge_candidates;
+    get_subedges;
+  }
+
+let env_deadline env = env.deadline
+let env_edge_candidates env = env.edge_candidates
+let env_subedges env = env.get_subedges ()
+let env_memoize env = env.memoize
+let env_use_subedges env = env.use_subedges
+
+let memo_key h' sp =
+  let sets = Bitset.to_list h' :: List.map (fun s -> Bitset.to_list s.verts) sp in
+  List.sort compare sets
+
+let fresh_special ~depth verts =
+  Metrics.incr m_special_edges;
+  { sid = depth; verts }
+
+(* Decompose one node of the recursion. All child subproblems — the
+   B(λ)-components of a balanced separator — go through [solve_children],
+   which receives them as one batch: the sequential solver recurses over
+   them in order with early abort, the parallel solver forks them as
+   work-stealing subtasks. *)
+let rec decompose_with env ~solve_children ~depth h' sp : Decomp.node option =
+  Deadline.check env.deadline;
+  Metrics.observe m_depth depth;
+  let key = memo_key h' sp in
+  if env.memoize && Hashtbl.mem env.failed key then None
+  else begin
+    let r = attempt env ~solve_children ~depth h' sp in
+    if r = None && env.memoize then Hashtbl.replace env.failed key ();
+    r
+  end
+
+and attempt env ~solve_children ~depth h' sp =
+  let h = env.h in
+  let k = env.k in
+  let n_ord = Bitset.cardinal h' in
+  let total = n_ord + List.length sp in
+  if total = 0 then None
+  else if total = 1 then
+    Some
+      (match (Bitset.choose h', sp) with
+      | Some e, _ ->
+          {
+            Decomp.bag = Hypergraph.edge h e;
+            cover =
+              [
+                {
+                  Decomp.label = Hypergraph.edge_name h e;
+                  vertices = Hypergraph.edge h e;
+                  source = Decomp.Original e;
+                };
+              ];
+            children = [];
+          }
+      | None, s :: _ -> special_leaf s
+      | None, [] -> assert false)
+  else if total = 2 then begin
+    let elts =
+      List.map
+        (fun e ->
+          ( Hypergraph.edge h e,
             {
-              Decomp.bag = Hypergraph.edge h e;
-              cover =
-                [
-                  {
-                    Decomp.label = Hypergraph.edge_name h e;
-                    vertices = Hypergraph.edge h e;
-                    source = Decomp.Original e;
-                  };
-                ];
-              children = [];
-            }
-        | None, s :: _ -> special_leaf s
-        | None, [] -> assert false)
-    else if total = 2 then begin
-      let elts =
-        List.map
-          (fun e ->
-            ( Hypergraph.edge h e,
-              {
-                Decomp.label = Hypergraph.edge_name h e;
-                vertices = Hypergraph.edge h e;
-                source = Decomp.Original e;
-              } ))
-          (Bitset.to_list h')
-        @ List.map (fun s -> (s.verts, special_cover_elt s)) sp
+              Decomp.label = Hypergraph.edge_name h e;
+              vertices = Hypergraph.edge h e;
+              source = Decomp.Original e;
+            } ))
+        (Bitset.to_list h')
+      @ List.map (fun s -> (s.verts, special_cover_elt s)) sp
+    in
+    match elts with
+    | [ (b1, c1); (b2, c2) ] ->
+        Some
+          {
+            Decomp.bag = b1;
+            cover = [ c1 ];
+            children = [ { Decomp.bag = b2; cover = [ c2 ]; children = [] } ];
+          }
+    | _ -> assert false
+  end
+  else begin
+    let sp_arr = Array.of_list (List.map (fun s -> s.verts) sp) in
+    let sp_idx = Array.of_list sp in
+    (* [vertices_of_edges] hands back a fresh accumulator we own. *)
+    let scope = Hypergraph.vertices_of_edges h h' in
+    Array.iter (fun s -> Bitset.union_into ~into:scope s) sp_arr;
+    let try_separator lambda =
+      Deadline.check env.deadline;
+      Metrics.incr m_separators;
+      (* Restrict the bag to the vertices of this extended subhypergraph:
+         separator edges may reach into sibling components, and those
+         foreign vertices must not enter bags here or connectedness of
+         the final assembly breaks. Covering and component computation
+         are unaffected. *)
+      let bag =
+        let acc = Bitset.empty env.nv in
+        List.iter
+          (fun (c : Detk.candidate) -> Bitset.union_into ~into:acc c.vertices)
+          lambda;
+        Bitset.inter_into ~into:acc scope;
+        acc
       in
-      match elts with
-      | [ (b1, c1); (b2, c2) ] ->
-          Some
-            {
-              Decomp.bag = b1;
-              cover = [ c1 ];
-              children = [ { Decomp.bag = b2; cover = [ c2 ]; children = [] } ];
-            }
-      | _ -> assert false
-    end
-    else begin
-      let sp_arr = Array.of_list (List.map (fun s -> s.verts) sp) in
-      let sp_idx = Array.of_list sp in
-      (* [vertices_of_edges] hands back a fresh accumulator we own. *)
-      let scope = Hypergraph.vertices_of_edges h h' in
-      Array.iter (fun s -> Bitset.union_into ~into:scope s) sp_arr;
-      let try_separator lambda =
-        Deadline.check deadline;
-        Metrics.incr m_separators;
-        (* Restrict the bag to the vertices of this extended subhypergraph:
-           separator edges may reach into sibling components, and those
-           foreign vertices must not enter bags here or connectedness of
-           the final assembly breaks. Covering and component computation
-           are unaffected. *)
-        let bag =
-          let acc = Bitset.empty nv in
-          List.iter
-            (fun (c : Detk.candidate) -> Bitset.union_into ~into:acc c.vertices)
-            lambda;
-          Bitset.inter_into ~into:acc scope;
-          acc
-        in
-        if Bitset.is_empty bag then None
-        else
+      if Bitset.is_empty bag then None
+      else
         let comps =
           Hg.Components.components_extended h ~within:h' ~special:sp_arr bag
         in
@@ -219,19 +282,14 @@ let solve ?(deadline = Deadline.none) ?(memoize = true) ?(use_subedges = true)
           None
         end
         else begin
-          let s = fresh_special bag in
-          let rec solve_children = function
-            | [] -> Some []
-            | (es, sps) :: rest -> (
-                let child_sp = s :: List.map (fun i -> sp_idx.(i)) sps in
-                match decompose es child_sp with
-                | None -> None
-                | Some d -> (
-                    match solve_children rest with
-                    | None -> None
-                    | Some ds -> Some (d :: ds)))
+          let s = fresh_special ~depth bag in
+          let subs =
+            List.map
+              (fun (es, sps) ->
+                { comp = es; sp = s :: List.map (fun i -> sp_idx.(i)) sps })
+              comps
           in
-          match solve_children comps with
+          match solve_children ~depth:(depth + 1) subs with
           | None -> None
           | Some children ->
               let cover =
@@ -248,61 +306,100 @@ let solve ?(deadline = Deadline.none) ?(memoize = true) ?(use_subedges = true)
                 (build_ghd bag cover ~special_lab:(special_label s)
                    ~special_verts:s.verts children)
         end
-      in
-      (* Enumerate combinations out of [pool]; in the subedge phase at
-         least one element must come from the subedge suffix. *)
-      let enumerate pool fresh_from =
-        let n = Array.length pool in
-        let rec go idx depth lambda has_fresh =
-          if depth > 0 && (has_fresh || fresh_from = 0) then
-            match try_separator (List.rev lambda) with
-            | Some _ as r -> r
-            | None -> extend idx depth lambda has_fresh
-          else extend idx depth lambda has_fresh
-        and extend idx depth lambda has_fresh =
-          if depth = k then None
-          else begin
-            let rec from i =
-              if i >= n then None
-              else if
+    in
+    (* Enumerate combinations out of [pool]; in the subedge phase at
+       least one element must come from the subedge suffix. The candidate
+       scan polls the deadline every 16 consultations: skipping
+       out-of-scope candidates and growing partial separators used to run
+       unpolled between nodes, which let a cancelled (or out-of-budget)
+       search linger mid-enumeration for an unbounded stretch on wide
+       instances. *)
+    let enumerate pool fresh_from =
+      let n = Array.length pool in
+      let consults = ref 0 in
+      let rec go idx depth_ lambda has_fresh =
+        if depth_ > 0 && (has_fresh || fresh_from = 0) then
+          match try_separator (List.rev lambda) with
+          | Some _ as r -> r
+          | None -> extend idx depth_ lambda has_fresh
+        else extend idx depth_ lambda has_fresh
+      and extend idx depth_ lambda has_fresh =
+        if depth_ = k then None
+        else begin
+          let rec from i =
+            if i >= n then None
+            else begin
+              incr consults;
+              if !consults land 15 = 0 then Deadline.check env.deadline;
+              if
                 (* Only candidates meeting the current scope help. *)
                 not (Bitset.intersects pool.(i).Detk.vertices scope)
               then from (i + 1)
               else
                 match
-                  go (i + 1) (depth + 1) (pool.(i) :: lambda)
+                  go (i + 1) (depth_ + 1)
+                    (pool.(i) :: lambda)
                     (has_fresh || i >= fresh_from)
                 with
                 | Some _ as r -> r
                 | None -> from (i + 1)
-            in
-            from idx
-          end
-        in
-        go 0 0 [] false
+            end
+          in
+          from idx
+        end
       in
-      match enumerate edge_candidates 0 with
-      | Some _ as r -> r
-      | None ->
-          if not use_subedges then None
-          else begin
-            Metrics.incr m_subedge_phases;
-            let subs = subedges () in
-            if Array.length subs = 0 then None
-            else
-              enumerate
-                (Array.append edge_candidates subs)
-                (Array.length edge_candidates)
-          end
-    end
+      go 0 0 [] false
+    in
+    match enumerate env.edge_candidates 0 with
+    | Some _ as r -> r
+    | None ->
+        if not env.use_subedges then None
+        else begin
+          Metrics.incr m_subedge_phases;
+          let subs = env.get_subedges () in
+          if Array.length subs = 0 then None
+          else
+            enumerate
+              (Array.append env.edge_candidates subs)
+              (Array.length env.edge_candidates)
+        end
+  end
+
+(* Plain sequential recursion: children solved in order, first failure
+   aborts the batch. *)
+let rec solve_extended env ~depth h' sp =
+  let solve_children ~depth subs =
+    let rec go = function
+      | [] -> Some []
+      | { comp; sp } :: rest -> (
+          match solve_extended env ~depth comp sp with
+          | None -> None
+          | Some d -> (
+              match go rest with None -> None | Some ds -> Some (d :: ds)))
+    in
+    go subs
+  in
+  decompose_with env ~solve_children ~depth h' sp
+
+let solve ?(deadline = Deadline.none) ?(memoize = true) ?(use_subedges = true)
+    ?expand_limit ?max_subedges h ~k =
+  if k < 1 then invalid_arg "Bal_sep.solve: k must be >= 1";
+  let exact = Atomic.make true in
+  let env =
+    make_env ~deadline ~memoize ~use_subedges ?expand_limit ?max_subedges
+      ~exact h ~k
   in
   let all = Hypergraph.all_edges h in
   if Bitset.is_empty all then
-    { outcome = Detk.Decomposition { bag = Bitset.empty nv; cover = []; children = [] };
-      exact = true }
+    {
+      outcome =
+        Detk.Decomposition
+          { bag = Bitset.empty h.Hypergraph.n_vertices; cover = []; children = [] };
+      exact = true;
+    }
   else
-    match decompose all [] with
+    match solve_extended env ~depth:0 all [] with
     | Some d ->
         { outcome = Detk.Decomposition (Global_bip.fix_covers h d); exact = true }
-    | None -> { outcome = Detk.No_decomposition; exact = !exact }
+    | None -> { outcome = Detk.No_decomposition; exact = Atomic.get exact }
     | exception Deadline.Timed_out -> { outcome = Detk.Timeout; exact = false }

@@ -1,0 +1,334 @@
+module Bitset = Kit.Bitset
+module Deadline = Kit.Deadline
+module Metrics = Kit.Metrics
+module Steal = Kit.Steal
+module Hypergraph = Hg.Hypergraph
+
+(* Same registration as Bal_sep's depth histogram: both recursions feed
+   one metric. The remaining counters are parallel-solver specific; all
+   of them are deterministic under HB_FUEL (the fork set, the base-case
+   set and the fallback set are pure functions of the instance and the
+   budget split, never of the steal schedule). *)
+let m_depth =
+  Metrics.histogram "balsep.depth" ~buckets:[| 1; 2; 4; 8; 16; 24; 32; 48 |]
+
+let m_subtasks = Metrics.counter "parbalsep.subtasks"
+let m_base_cases = Metrics.counter "parbalsep.base_cases"
+let m_base_fallbacks = Metrics.counter "parbalsep.base_fallbacks"
+
+type ctx = {
+  h : Hypergraph.t;
+  k : int;
+  sched : Steal.t;
+  cutoff : int;
+  fuel_mode : bool;
+  caller : Deadline.t;
+  exact : bool Atomic.t;
+  memoize : bool;
+  use_subedges : bool;
+  expand_limit : int option;
+  max_subedges : int option;
+  edge_candidates : Detk.candidate array;
+  get_subedges : unit -> Detk.candidate array;
+}
+
+type status = Solved | Timed | Aborted
+
+type tres = { node : Decomp.node option; status : status; leftover : int }
+
+(* Was this Timed_out a real budget expiry (caller cancelled, wall gone,
+   own fuel share drained) — or only a fork-group abort, which unwinds
+   the subtask but is no verdict about the instance? *)
+let hard_expired ctx dl =
+  Deadline.expired ctx.caller
+  ||
+  match Deadline.fuel_remaining dl with Some n -> n <= 0 | None -> false
+
+let weight (s : Bal_sep.subproblem) =
+  Bitset.cardinal s.comp + List.length s.sp
+
+let unique_name taken base =
+  if not (Hashtbl.mem taken base) then base
+  else begin
+    let rec go i =
+      let cand = base ^ "~" ^ string_of_int i in
+      if Hashtbl.mem taken cand then go (i + 1) else cand
+    in
+    go 0
+  end
+
+(* Base case below the cutoff: materialise the extended subhypergraph —
+   special edges become real edges that must be covered, but are never
+   cover candidates — and run the sequential DetKDecomp on it with the
+   scope-filtered full-edge pool. An HD is a GHD, so a yes is sound as
+   is: the special edges end up inside bags and BuildGHD grafts the tree
+   through its covers-the-special path. A no is NOT conclusive (hw can
+   exceed ghw), so it falls back to the sequential BalSep recursion on
+   the same subproblem, which shares this task's env (memo, subedge
+   pool, budget). The paper's empirical finding — hw = ghw on almost all
+   real instances — is what makes the fast path worth it. *)
+let detk_base ctx env ~deadline ~depth (s : Bal_sep.subproblem) =
+  Metrics.incr m_base_cases;
+  Metrics.observe m_depth depth;
+  let h = ctx.h in
+  let ord = Bitset.to_list s.comp in
+  let scope = Hypergraph.vertices_of_edges h s.comp in
+  List.iter
+    (fun (sp : Bal_sep.special) -> Bitset.union_into ~into:scope sp.verts)
+    s.sp;
+  let taken = Hashtbl.create 16 in
+  List.iter (fun e -> Hashtbl.replace taken (Hypergraph.edge_name h e) ()) ord;
+  let special_names =
+    List.map
+      (fun sp ->
+        let n = unique_name taken (Bal_sep.special_label sp) in
+        Hashtbl.replace taken n ();
+        n)
+      s.sp
+  in
+  let edge_names =
+    Array.of_list (List.map (Hypergraph.edge_name h) ord @ special_names)
+  in
+  let members =
+    Array.of_list
+      (List.map (fun e -> Bitset.to_list (Hypergraph.edge h e)) ord
+      @ List.map
+          (fun (sp : Bal_sep.special) -> Bitset.to_list sp.verts)
+          s.sp)
+  in
+  let hs =
+    Hypergraph.create ~vertex_names:h.Hypergraph.vertex_names ~edge_names
+      members
+  in
+  let candidates =
+    List.filter
+      (fun (c : Detk.candidate) -> Bitset.intersects c.vertices scope)
+      (Array.to_list ctx.edge_candidates)
+  in
+  match
+    Detk.solve_gen ~deadline ~memoize:(Bal_sep.env_memoize env) ~candidates hs
+      ~k:ctx.k
+  with
+  | Detk.Decomposition d -> Some d
+  | Detk.Timeout -> raise Deadline.Timed_out
+  | Detk.No_decomposition ->
+      Metrics.incr m_base_fallbacks;
+      Bal_sep.solve_extended env ~depth s.comp s.sp
+
+(* One work-stealing task: a subproblem plus its private fuel share and
+   its place in the cancellation tree. The env (failed-subproblem memo,
+   lazy subedge pool) is task-private — sharing it across domains would
+   make the explored sets, and so the counters, depend on the schedule. *)
+let rec solve_task ctx ~depth ~fuel ~flag (s : Bal_sep.subproblem) : tres =
+  let deadline =
+    if ctx.fuel_mode then Deadline.with_cancel flag (Deadline.of_fuel fuel)
+    else Deadline.with_cancel flag ctx.caller
+  in
+  let env =
+    Bal_sep.make_env ~deadline ~memoize:ctx.memoize
+      ~use_subedges:ctx.use_subedges ?expand_limit:ctx.expand_limit
+      ?max_subedges:ctx.max_subedges ~edge_candidates:ctx.edge_candidates
+      ~exact:ctx.exact ~get_subedges:ctx.get_subedges ctx.h ~k:ctx.k
+  in
+  match
+    Bal_sep.decompose_with env
+      ~solve_children:(fun ~depth subs -> par_children ctx env ~flag ~depth subs)
+      ~depth s.comp s.sp
+  with
+  | node ->
+      let leftover =
+        if ctx.fuel_mode then
+          match Deadline.fuel_remaining deadline with Some n -> n | None -> 0
+        else 0
+      in
+      { node; status = Solved; leftover }
+  | exception Deadline.Timed_out ->
+      let hard = if ctx.fuel_mode then hard_expired ctx deadline
+                 else Deadline.expired ctx.caller in
+      { node = None; status = (if hard then Timed else Aborted); leftover = 0 }
+
+(* Solve one accepted separator's components. Components above the
+   cutoff are forked onto the deques (heaviest share of the budget);
+   the rest run inline on this task's own budget via the Detk base case.
+
+   Fuel discipline (the HB_FUEL determinism rule): the budget split is a
+   pure function of the subtree — each forked child gets
+   floor(remaining / total_weight) * its weight, read and debited
+   before anything runs — and unused child fuel is credited back only
+   after every child has been joined. Nothing a sibling or the scheduler
+   does can change what any task is allowed to explore.
+
+   Cancellation discipline (wall-clock mode only): each group hangs a
+   fresh cancel flag off the parent chain; the first definitive child
+   failure pulls it, so siblings — and their whole subtrees, including
+   Detk base cases — abort at their next deadline poll instead of
+   completing doomed work. Under fuel there are no group flags: early
+   abort would make the explored set depend on timing. *)
+and par_children ctx env ~flag ~depth subs =
+  let parent_dl = Bal_sep.env_deadline env in
+  let wtot = List.fold_left (fun a s -> a + weight s) 0 subs in
+  let remaining =
+    match Deadline.fuel_remaining parent_dl with Some n -> n | None -> 0
+  in
+  let q = if ctx.fuel_mode && wtot > 0 then remaining / wtot else 0 in
+  let g =
+    if ctx.fuel_mode then flag else Deadline.new_cancel ~parent:flag ()
+  in
+  let spent = ref 0 in
+  let tagged =
+    List.map
+      (fun s ->
+        if weight s > ctx.cutoff then begin
+          Metrics.incr m_subtasks;
+          let share =
+            if ctx.fuel_mode then Stdlib.max 1 (q * weight s) else 0
+          in
+          spent := !spent + share;
+          `Forked
+            (Steal.fork ctx.sched (fun () ->
+                 let res = solve_task ctx ~depth ~fuel:share ~flag:g s in
+                 if
+                   (not ctx.fuel_mode)
+                   && res.status = Solved
+                   && res.node = None
+                 then Deadline.cancel g;
+                 res))
+        end
+        else `Inline s)
+      subs
+  in
+  if ctx.fuel_mode then Deadline.consume_fuel parent_dl !spent;
+  let failed = ref false and timed = ref false and aborted = ref false in
+  let reclaim = ref 0 in
+  let base_dl = Deadline.with_cancel g parent_dl in
+  let results =
+    List.map
+      (function
+        | `Forked p ->
+            let res = Steal.join ctx.sched p in
+            reclaim := !reclaim + res.leftover;
+            (match res.status with
+            | Timed -> timed := true
+            | Aborted -> aborted := true
+            | Solved ->
+                if res.node = None then begin
+                  failed := true;
+                  if not ctx.fuel_mode then Deadline.cancel g
+                end);
+            res.node
+        | `Inline s ->
+            if !failed || !timed || !aborted then None
+            else begin
+              match detk_base ctx env ~deadline:base_dl ~depth s with
+              | Some _ as n -> n
+              | None ->
+                  failed := true;
+                  if not ctx.fuel_mode then Deadline.cancel g;
+                  None
+              | exception Deadline.Timed_out ->
+                  if hard_expired ctx parent_dl then timed := true
+                  else aborted := true;
+                  None
+            end)
+      tagged
+  in
+  if ctx.fuel_mode then Deadline.refund_fuel parent_dl !reclaim;
+  if !timed then raise Deadline.Timed_out
+  else if !failed then None
+  else if !aborted then
+    (* No child failed, yet one was aborted: the cancellation came from
+       an ancestor group (or the caller) — unwind this task too. *)
+    raise Deadline.Timed_out
+  else Some (List.map Option.get results)
+
+let solve ?jobs ?(deadline = Deadline.none) ?(memoize = true)
+    ?(use_subedges = true) ?expand_limit ?max_subedges ?cutoff h ~k =
+  if k < 1 then invalid_arg "Par_bal_sep.solve: k must be >= 1";
+  let all = Hypergraph.all_edges h in
+  if Bitset.is_empty all then
+    {
+      Bal_sep.outcome =
+        Detk.Decomposition
+          {
+            bag = Bitset.empty h.Hypergraph.n_vertices;
+            cover = [];
+            children = [];
+          };
+      exact = true;
+    }
+  else begin
+    let fuel0 = Deadline.fuel_remaining deadline in
+    let cutoff =
+      match cutoff with
+      | Some c -> Stdlib.max 2 c
+      | None -> Stdlib.max 8 (2 * k)
+    in
+    let exact = Atomic.make true in
+    (* One f(H,k) pool for every subtask env. The pool is a pure function
+       of the instance and the width, so any domain may build it; it is
+       charged to wall-clock only (a cancellable no-fuel deadline), never
+       to the fuel budget — whichever task triggers the build is a
+       scheduling accident, and fuel accounting must not see it. *)
+    let shared_pool = Atomic.make None in
+    let pool_deadline =
+      Deadline.with_cancel (Deadline.cancel_token deadline) Deadline.none
+    in
+    let get_subedges () =
+      match Atomic.get shared_pool with
+      | Some p -> p
+      | None ->
+          let { Subedges.candidates; complete } =
+            Subedges.f_global ~deadline:pool_deadline ?expand_limit
+              ?max_subedges h ~k
+          in
+          if not complete then Atomic.set exact false;
+          let arr = Array.of_list candidates in
+          if Atomic.compare_and_set shared_pool None (Some arr) then arr
+          else Option.get (Atomic.get shared_pool)
+    in
+    Steal.run ?jobs (fun sched ->
+        let ctx =
+          {
+            h;
+            k;
+            sched;
+            cutoff;
+            fuel_mode = fuel0 <> None;
+            caller = deadline;
+            exact;
+            memoize;
+            use_subedges;
+            expand_limit;
+            max_subedges;
+            edge_candidates = Array.of_list (Detk.candidates_of_edges h);
+            get_subedges;
+          }
+        in
+        let fuel = match fuel0 with Some n -> n | None -> 0 in
+        let res =
+          solve_task ctx ~depth:0 ~fuel
+            ~flag:(Deadline.cancel_token deadline)
+            { comp = all; sp = [] }
+        in
+        (* Settle the caller's budget: everything handed to the task tree
+           minus what came back unused. Deterministic, so a fuel ladder
+           over k keeps bit-identical per-rung budgets at any HB_JOBS. *)
+        (match fuel0 with
+        | Some n -> Deadline.consume_fuel deadline (n - res.leftover)
+        | None -> ());
+        match res.status with
+        | Timed | Aborted -> { Bal_sep.outcome = Detk.Timeout; exact = false }
+        | Solved -> (
+            match res.node with
+            | Some d ->
+                {
+                  Bal_sep.outcome =
+                    Detk.Decomposition (Global_bip.fix_covers h d);
+                  exact = true;
+                }
+            | None ->
+                {
+                  Bal_sep.outcome = Detk.No_decomposition;
+                  exact = Atomic.get ctx.exact;
+                }))
+  end

@@ -1,0 +1,48 @@
+(** Intra-instance parallel BalSep: work-stealing recursive
+    decomposition.
+
+    The sequential BalSep recursion (§4.4) has a property the paper
+    leaves on the table: once a balanced separator is accepted, its
+    B(λ)-components are {e independent} — they share nothing but the
+    separator bag. This module turns each component into a subtask on a
+    work-stealing scheduler ({!Kit.Steal}); because every component
+    holds at most half of the parent's edges, the task tree has
+    logarithmic depth and the available parallelism grows geometrically
+    with it. Components at or below a size cutoff are not forked:
+    they are solved inline by the sequential DetKDecomp base case
+    ([Detk.solve_gen] on the materialised extended subhypergraph, with
+    a sequential-BalSep fallback when its HD-shaped "no" is not
+    conclusive for GHDs).
+
+    Determinism contract: under a fuel deadline ([HB_FUEL]) the answer
+    {e and all [Kit.Metrics] counters} are bit-identical for every
+    [jobs] value. The scheduler only decides {e where} work runs, never
+    {e what} runs: the fork set is a pure function of the instance, each
+    forked child receives a budget share computed from the subtree
+    weights alone, every forked task runs to completion (no
+    schedule-dependent aborts in fuel mode), and unused shares are
+    reclaimed only after all children are joined. Schedule-dependent
+    numbers (steals, inlined tasks) are deliberately kept out of
+    [Kit.Metrics] — read them from [Kit.Steal.totals]. Under wall-clock
+    deadlines the solver instead aborts doomed sibling groups eagerly
+    through chained cancel flags ({!Kit.Deadline.new_cancel}).
+
+    [solve ~jobs:1] spawns no domains at all, so it is safe in
+    processes that must remain fork-compatible (the daemon). *)
+
+val solve :
+  ?jobs:int ->
+  ?deadline:Kit.Deadline.t ->
+  ?memoize:bool ->
+  ?use_subedges:bool ->
+  ?expand_limit:int ->
+  ?max_subedges:int ->
+  ?cutoff:int ->
+  Hg.Hypergraph.t ->
+  k:int ->
+  Bal_sep.answer
+(** Same contract as {!Bal_sep.solve} — verdicts agree exactly with the
+    sequential solver whenever neither times out. [jobs] defaults to
+    [Kit.Pool.default_jobs ()]; [cutoff] (default [max 8 (2k)], floor 2)
+    is the component weight (ordinary + special edges) at or below which
+    a component is solved inline instead of forked. *)

@@ -1,7 +1,12 @@
-type algorithm = Bal_sep_alg | Local_bip_alg | Global_bip_alg
+type algorithm =
+  | Bal_sep_alg
+  | Par_bal_sep_alg
+  | Local_bip_alg
+  | Global_bip_alg
 
 let algorithm_name = function
   | Bal_sep_alg -> "BalSep"
+  | Par_bal_sep_alg -> "ParBalSep"
   | Local_bip_alg -> "LocalBIP"
   | Global_bip_alg -> "GlobalBIP"
 
@@ -14,11 +19,13 @@ type verdict =
    take to notice the winner's cancellation (Kit.Metrics; recorded only
    when enabled). *)
 let m_win_balsep = Kit.Metrics.counter "portfolio.wins.balsep"
+let m_win_parbalsep = Kit.Metrics.counter "portfolio.wins.parbalsep"
 let m_win_localbip = Kit.Metrics.counter "portfolio.wins.localbip"
 let m_win_globalbip = Kit.Metrics.counter "portfolio.wins.globalbip"
 let m_all_timeout = Kit.Metrics.counter "portfolio.all_timeout"
 let m_member_crash = Kit.Metrics.counter "portfolio.member_crash"
 let m_cancel_latency = Kit.Metrics.timer "portfolio.cancel_latency"
+let m_cancelled = Kit.Metrics.counter "portfolio.cancelled_members"
 
 let record_verdict v =
   (match v with
@@ -26,6 +33,7 @@ let record_verdict v =
       Kit.Metrics.incr
         (match alg with
         | Bal_sep_alg -> m_win_balsep
+        | Par_bal_sep_alg -> m_win_parbalsep
         | Local_bip_alg -> m_win_localbip
         | Global_bip_alg -> m_win_globalbip)
   | All_timeout -> Kit.Metrics.incr m_all_timeout);
@@ -33,9 +41,10 @@ let record_verdict v =
 
 let default_budget () = Kit.Deadline.none
 
-let solve_with alg ~deadline h ~k =
+let solve_with ?(intra_jobs = 1) alg ~deadline h ~k =
   match alg with
   | Bal_sep_alg -> Bal_sep.solve ~deadline h ~k
+  | Par_bal_sep_alg -> Par_bal_sep.solve ~jobs:intra_jobs ~deadline h ~k
   | Local_bip_alg ->
       let { Local_bip.outcome; exact } = Local_bip.solve ~deadline h ~k in
       { Bal_sep.outcome; exact }
@@ -46,6 +55,7 @@ let solve_with alg ~deadline h ~k =
 let fault_site alg =
   match alg with
   | Bal_sep_alg -> "portfolio.balsep"
+  | Par_bal_sep_alg -> "portfolio.parbalsep"
   | Local_bip_alg -> "portfolio.localbip"
   | Global_bip_alg -> "portfolio.globalbip"
 
@@ -54,11 +64,11 @@ let fault_site alg =
    portfolio.member_crash and simply contributes no verdict — the
    survivors still race to an answer, matching the paper's "first answer
    wins, losers are discarded" protocol under partial failure. *)
-let decide alg ~deadline h ~k =
+let decide ?intra_jobs alg ~deadline h ~k =
   match
     Kit.Guard.run (fun () ->
         Kit.Fault.hit (fault_site alg);
-        solve_with alg ~deadline h ~k)
+        solve_with ?intra_jobs alg ~deadline h ~k)
   with
   | Kit.Outcome.Ok { Bal_sep.outcome; exact } -> (
       match outcome with
@@ -72,18 +82,19 @@ let decide alg ~deadline h ~k =
       None
 
 let order = [ Bal_sep_alg; Local_bip_alg; Global_bip_alg ]
+let order_with_intra = Par_bal_sep_alg :: order
 
-let check ?(budget = default_budget) h ~k =
+let check ?(budget = default_budget) ?(members = order) ?intra_jobs h ~k =
   let rec first = function
     | [] -> All_timeout
     | alg :: rest -> (
-        match decide alg ~deadline:(budget ()) h ~k with
+        match decide ?intra_jobs alg ~deadline:(budget ()) h ~k with
         | Some v -> v
         | None -> first rest)
   in
-  record_verdict (first order)
+  record_verdict (first members)
 
-let race ?(budget = default_budget) h ~k =
+let race ?(budget = default_budget) ?(members = order) ?intra_jobs h ~k =
   let flag = Kit.Deadline.new_cancel () in
   (* Wall-clock instant the winner pulled the flag: written before the
      cancel itself, so any loser that observed a cancelled flag also sees
@@ -91,23 +102,27 @@ let race ?(budget = default_budget) h ~k =
   let cancel_at = Atomic.make neg_infinity in
   let run alg =
     let deadline = Kit.Deadline.with_cancel flag (budget ()) in
-    let v = decide alg ~deadline h ~k in
+    let v = decide ?intra_jobs alg ~deadline h ~k in
     (* First exact verdict wins: abort the siblings at their next
        Deadline.check. Losers surface as timeouts, exactly as if their
-       budget had run out. *)
+       budget had run out. A loser never records search metrics after its
+       flag is pulled — Deadline.check raises before any counter in the
+       solver cores ticks — so its only post-cancellation traces are the
+       two scheduler-side portfolio metrics below. *)
     if v <> None then begin
       Atomic.set cancel_at (Unix.gettimeofday ());
       Kit.Deadline.cancel flag
     end
-    else begin
+    else if Kit.Deadline.is_cancelled flag then begin
+      Kit.Metrics.incr m_cancelled;
       let t0 = Atomic.get cancel_at in
-      if Kit.Deadline.is_cancelled flag && t0 > neg_infinity then
+      if t0 > neg_infinity then
         Kit.Metrics.add_seconds m_cancel_latency (Unix.gettimeofday () -. t0)
     end;
     v
   in
   let results =
-    Kit.Pool.run_result ~jobs:(List.length order) run (Array.of_list order)
+    Kit.Pool.run_result ~jobs:(List.length members) run (Array.of_list members)
   in
   (* Reduce in the fixed algorithm order, not arrival order, so that ties
      between near-simultaneous finishers resolve deterministically. A
@@ -125,7 +140,8 @@ let race ?(budget = default_budget) h ~k =
   in
   record_verdict (pick 0)
 
-let race_isolated ?(budget = default_budget) ?mem_mb ?wall h ~k =
+let race_isolated ?(budget = default_budget) ?(members = order) ?mem_mb ?wall
+    h ~k =
   let wall =
     match wall with Some w -> w | None -> Kit.Proc.default_wall ()
   in
@@ -135,11 +151,15 @@ let race_isolated ?(budget = default_budget) ?mem_mb ?wall h ~k =
      a tight pivot loop cannot outlive the winner. Killed losers come
      back as [Timeout], exactly as if their budget had run out. *)
   let completions =
-    Kit.Proc.run ~jobs:(List.length order) ?mem_mb
+    (* Members run intra-sequentially here on purpose: the worker ships
+       its per-instance metrics delta back from the child, and domains
+       spawned inside the child would record outside that delta — an
+       intra-parallel member belongs in [race], not under isolation. *)
+    Kit.Proc.run ~jobs:(List.length members) ?mem_mb
       ~wall:(fun ~attempt:_ -> wall)
       ~halt_on:(function Kit.Outcome.Ok (Some _) -> true | _ -> false)
-      (fun ~attempt:_ alg -> decide alg ~deadline:(budget ()) h ~k)
-      (Array.of_list order)
+      (fun ~attempt:_ alg -> decide ~intra_jobs:1 alg ~deadline:(budget ()) h ~k)
+      (Array.of_list members)
   in
   (* Reduce in the fixed algorithm order (same tie-break as [race]). A
      member whose process died abnormally counts as a crashed member,

@@ -4,7 +4,11 @@
     BalSep first (best on "no" instances), then LocalBIP, then GlobalBIP —
     reporting which algorithm decided. *)
 
-type algorithm = Bal_sep_alg | Local_bip_alg | Global_bip_alg
+type algorithm =
+  | Bal_sep_alg
+  | Par_bal_sep_alg  (** {!Par_bal_sep}: intra-parallel BalSep *)
+  | Local_bip_alg
+  | Global_bip_alg
 
 val algorithm_name : algorithm -> string
 
@@ -13,36 +17,58 @@ type verdict =
   | No of algorithm
   | All_timeout
 
+val order : algorithm list
+(** The paper's three-member portfolio (the default [members]). *)
+
+val order_with_intra : algorithm list
+(** [order] with {!Par_bal_sep_alg} in front — the [HB_INTRA=1]
+    portfolio. The parallel member uses [intra_jobs] domains. *)
+
 val check :
   ?budget:(unit -> Kit.Deadline.t) ->
+  ?members:algorithm list ->
+  ?intra_jobs:int ->
   Hg.Hypergraph.t ->
   k:int ->
   verdict
 (** Check(GHD,k) with the portfolio. [budget] produces a fresh deadline per
     algorithm (default: none). Inexact "no" answers (truncated subedge
     sets) are treated as timeouts so that [No] is always trustworthy.
+    [members] (default {!order}) selects and orders the algorithms;
+    [intra_jobs] (default 1) is the domain count handed to
+    {!Par_bal_sep_alg} members.
 
     Containment: every member runs inside {!Kit.Guard.run}, so a member
     that crashes, overflows its stack or trips the [HB_MEM_MB] budget is
     recorded in the ["portfolio.member_crash"] metric and contributes no
     verdict — the remaining members still decide. The fault-injection
-    sites ["portfolio.balsep"], ["portfolio.localbip"] and
-    ["portfolio.globalbip"] let tests kill one member deliberately. *)
+    sites ["portfolio.balsep"], ["portfolio.parbalsep"],
+    ["portfolio.localbip"] and ["portfolio.globalbip"] let tests kill one
+    member deliberately. *)
 
 val race :
   ?budget:(unit -> Kit.Deadline.t) ->
+  ?members:algorithm list ->
+  ?intra_jobs:int ->
   Hg.Hypergraph.t ->
   k:int ->
   verdict
-(** Like {!check}, but the paper's actual protocol: all three algorithms
-    run concurrently on separate domains, and the first exact verdict
+(** Like {!check}, but the paper's actual protocol: all members run
+    concurrently on separate domains, and the first exact verdict
     cancels the others cooperatively. The yes/no/timeout classification
     agrees with {!check} (every exact answer is sound); the reported
     winning algorithm and the witness decomposition may differ, since they
-    depend on which algorithm finishes first. *)
+    depend on which algorithm finishes first.
+
+    Loser discipline: a member whose flag is pulled raises out of its
+    next [Deadline.check] {e before} any search metric ticks, so a
+    cancelled member contributes nothing to the solver counters; it
+    records exactly one ["portfolio.cancelled_members"] tick and one
+    ["portfolio.cancel_latency"] span, both portfolio-side. *)
 
 val race_isolated :
   ?budget:(unit -> Kit.Deadline.t) ->
+  ?members:algorithm list ->
   ?mem_mb:int ->
   ?wall:float ->
   Hg.Hypergraph.t ->
@@ -56,7 +82,11 @@ val race_isolated :
     bounds every member's wall-clock run; [mem_mb] (default [HB_MEM_MB])
     is each member's hard memory rlimit. Killed losers are classified as
     timeouts; a member whose process dies abnormally counts toward
-    ["portfolio.member_crash"] and contributes no verdict. *)
+    ["portfolio.member_crash"] and contributes no verdict. Members always
+    run intra-sequentially here (a {!Par_bal_sep_alg} member gets
+    [intra_jobs = 1]): the child ships its per-instance metrics delta to
+    the parent, and domains spawned inside the child would record outside
+    that delta. *)
 
 val ghw_improvement :
   ?budget:(unit -> Kit.Deadline.t) ->

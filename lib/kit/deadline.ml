@@ -1,6 +1,10 @@
 exception Timed_out
 
-type cancel = bool Atomic.t
+(* Cancel flags form a tree: cancelling a flag aborts every deadline
+   holding it or any descendant flag. [Ghd.Par_bal_sep] hangs one flag
+   per fork group off the chain, so a failed sibling, an ancestor group,
+   and an external portfolio cancellation all land at the same polls. *)
+type cancel = { flag : bool Atomic.t; parent : cancel option }
 
 type kind =
   | No_limit
@@ -16,27 +20,33 @@ let now () = Unix.gettimeofday ()
    a deadline value can be handed to several domains without races. *)
 let ticks_key = Domain.DLS.new_key (fun () -> ref 0)
 
-let none = { kind = No_limit; started = 0.0; cancel = Atomic.make false }
+let new_cancel ?parent () : cancel = { flag = Atomic.make false; parent }
+
+let fresh_cancel () = new_cancel ()
+
+let none = { kind = No_limit; started = 0.0; cancel = fresh_cancel () }
 
 let of_seconds s =
   let t0 = now () in
-  { kind = Wall (t0 +. s); started = t0; cancel = Atomic.make false }
+  { kind = Wall (t0 +. s); started = t0; cancel = fresh_cancel () }
 
 let of_fuel n =
-  { kind = Fuel (Atomic.make n); started = now (); cancel = Atomic.make false }
+  { kind = Fuel (Atomic.make n); started = now (); cancel = fresh_cancel () }
 
-let new_cancel () : cancel = Atomic.make false
+let cancel c = Atomic.set c.flag true
 
-let cancel c = Atomic.set c true
-
-let is_cancelled (c : cancel) = Atomic.get c
+let rec is_cancelled (c : cancel) =
+  Atomic.get c.flag
+  || (match c.parent with Some p -> is_cancelled p | None -> false)
 
 let with_cancel c t = { t with cancel = c }
 
-let cancelled t = Atomic.get t.cancel
+let cancel_token t = t.cancel
+
+let cancelled t = is_cancelled t.cancel
 
 let expired t =
-  Atomic.get t.cancel
+  is_cancelled t.cancel
   ||
   match t.kind with
   | No_limit -> false
@@ -47,7 +57,7 @@ let check t =
   (* Fault-injection site: "force a raise at the Nth deadline poll" lets
      tests crash a search at an arbitrary depth. Free when disarmed. *)
   if Fault.armed () then Fault.hit "deadline.poll";
-  if Atomic.get t.cancel then raise Timed_out;
+  if is_cancelled t.cancel then raise Timed_out;
   match t.kind with
   | No_limit -> ()
   | Fuel r ->
@@ -60,3 +70,20 @@ let check t =
       if !ticks land 1023 = 0 && now () >= d then raise Timed_out
 
 let elapsed t = if t.started = 0.0 then 0.0 else now () -. t.started
+
+let fuel_remaining t =
+  match t.kind with
+  | Fuel r -> Some (Stdlib.max 0 (Atomic.get r))
+  | No_limit | Wall _ -> None
+
+let consume_fuel t n =
+  if n > 0 then
+    match t.kind with
+    | Fuel r -> ignore (Atomic.fetch_and_add r (-n))
+    | No_limit | Wall _ -> ()
+
+let refund_fuel t n =
+  if n > 0 then
+    match t.kind with
+    | Fuel r -> ignore (Atomic.fetch_and_add r n)
+    | No_limit | Wall _ -> ()

@@ -1,0 +1,276 @@
+(* Work-stealing fork/join over domains. See steal.mli for the contract.
+
+   The deque is a fixed-capacity Chase–Lev: the owner pushes and pops at
+   [bottom], thieves CAS [top] upward. Slots are [Atomic.t] so the OCaml
+   memory model gives the publication order the algorithm needs (slot
+   write before the bottom bump; thieves read the slot before the top
+   CAS, and a successful CAS proves the read was not stale: a slot is
+   only recycled after [top] has moved past it, which would make the CAS
+   fail). Capacity overflow is not an error — the task just runs inline,
+   which is always a correct schedule. *)
+
+type thunk = unit -> unit
+
+module Deque = struct
+  type t = {
+    slots : thunk option Atomic.t array;
+    mask : int;
+    top : int Atomic.t; (* steal end; monotonically increasing *)
+    bottom : int Atomic.t; (* owner end; only the owner writes *)
+  }
+
+  let create cap =
+    assert (cap land (cap - 1) = 0);
+    {
+      slots = Array.init cap (fun _ -> Atomic.make None);
+      mask = cap - 1;
+      top = Atomic.make 0;
+      bottom = Atomic.make 0;
+    }
+
+  (* Owner only. False when full (size = capacity). *)
+  let push d x =
+    let b = Atomic.get d.bottom in
+    let t = Atomic.get d.top in
+    if b - t > d.mask then false
+    else begin
+      Atomic.set d.slots.(b land d.mask) (Some x);
+      Atomic.set d.bottom (b + 1);
+      true
+    end
+
+  (* Owner only. LIFO end. *)
+  let pop d =
+    let b = Atomic.get d.bottom - 1 in
+    Atomic.set d.bottom b;
+    let t = Atomic.get d.top in
+    if b < t then begin
+      (* Empty: restore the canonical empty state bottom = top. *)
+      Atomic.set d.bottom t;
+      None
+    end
+    else if b > t then Atomic.exchange d.slots.(b land d.mask) None
+    else begin
+      (* Single element: race thieves for it via the top CAS. *)
+      let won = Atomic.compare_and_set d.top t (t + 1) in
+      let r =
+        if won then Atomic.exchange d.slots.(b land d.mask) None else None
+      in
+      Atomic.set d.bottom (t + 1);
+      r
+    end
+
+  (* Any domain. FIFO end. *)
+  let steal d =
+    let t = Atomic.get d.top in
+    let b = Atomic.get d.bottom in
+    if t >= b then None
+    else begin
+      let x = Atomic.get d.slots.(t land d.mask) in
+      if Atomic.compare_and_set d.top t (t + 1) then begin
+        (* The slot is ours; clear it so the closure can be collected.
+           If the owner already wrapped around and reused the cell, the
+           CAS below fails harmlessly. *)
+        (match x with
+        | Some _ ->
+            ignore (Atomic.compare_and_set d.slots.(t land d.mask) x None)
+        | None -> ());
+        x
+      end
+      else None
+    end
+end
+
+type 'a state =
+  | Pending of (unit -> 'a)
+  | Running
+  | Done of 'a
+  | Raised of exn
+
+type 'a promise = { state : 'a state Atomic.t; forker : int }
+
+type worker = { deque : Deque.t; mutable victim : int }
+
+type stats = { forked : int; executed : int; stolen : int; inlined : int }
+
+type t = {
+  workers : worker array;
+  quit : bool Atomic.t;
+  forked : int Atomic.t;
+  executed : int Atomic.t;
+  stolen : int Atomic.t;
+  inlined : int Atomic.t;
+}
+
+(* Process-wide traffic, for `decompose --stats` and BENCH_intra.json.
+   Deliberately not Kit.Metrics: steal counts depend on scheduling and
+   would break the HB_FUEL bit-identity audit across HB_JOBS. *)
+let g_forked = Atomic.make 0
+let g_executed = Atomic.make 0
+let g_stolen = Atomic.make 0
+let g_inlined = Atomic.make 0
+
+let totals () =
+  {
+    forked = Atomic.get g_forked;
+    executed = Atomic.get g_executed;
+    stolen = Atomic.get g_stolen;
+    inlined = Atomic.get g_inlined;
+  }
+
+let reset_totals () =
+  Atomic.set g_forked 0;
+  Atomic.set g_executed 0;
+  Atomic.set g_stolen 0;
+  Atomic.set g_inlined 0
+
+let stats t =
+  {
+    forked = Atomic.get t.forked;
+    executed = Atomic.get t.executed;
+    stolen = Atomic.get t.stolen;
+    inlined = Atomic.get t.inlined;
+  }
+
+let jobs t = Array.length t.workers
+
+(* Which crew/worker the current domain belongs to, if any. Nested runs
+   save and restore around the inner crew, so this is the innermost. *)
+let current : (t * int) option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let my_worker t =
+  match !(Domain.DLS.get current) with
+  | Some (t', w) when t' == t -> Some w
+  | _ -> None
+
+let deque_capacity = 8192
+
+(* Execute a promise if it is still unclaimed. Exactly one caller wins
+   the CAS, so the closure runs at most once even while a claimed task is
+   still sitting in a deque somewhere (the stale entry no-ops). *)
+let run_promise t p =
+  match Atomic.get p.state with
+  | Pending f as st ->
+      if Atomic.compare_and_set p.state st Running then begin
+        (match my_worker t with
+        | Some w when w <> p.forker -> Atomic.incr t.stolen; Atomic.incr g_stolen
+        | _ -> ());
+        let r = try Done (f ()) with e -> Raised e in
+        Atomic.set p.state r;
+        Atomic.incr t.executed;
+        Atomic.incr g_executed
+      end
+  | Running | Done _ | Raised _ -> ()
+
+let fork t f =
+  Atomic.incr t.forked;
+  Atomic.incr g_forked;
+  match my_worker t with
+  | Some w ->
+      let p = { state = Atomic.make (Pending f); forker = w } in
+      if not (Deque.push t.workers.(w).deque (fun () -> run_promise t p))
+      then begin
+        Atomic.incr t.inlined;
+        Atomic.incr g_inlined;
+        run_promise t p
+      end;
+      p
+  | None ->
+      (* Foreign caller: run inline; fork/join still compose. *)
+      let p = { state = Atomic.make (Pending f); forker = -1 } in
+      Atomic.incr t.inlined;
+      Atomic.incr g_inlined;
+      run_promise t p;
+      p
+
+(* One unit of helping: own deque first (LIFO — the freshest, cache-hot
+   subtree), then sweep victims round-robin from the last successful one.
+   Returns false when there was nothing anywhere. *)
+let help t w =
+  let me = t.workers.(w) in
+  match Deque.pop me.deque with
+  | Some thunk ->
+      thunk ();
+      true
+  | None ->
+      let n = Array.length t.workers in
+      let rec sweep i =
+        if i >= n then false
+        else begin
+          let v = (me.victim + i) mod n in
+          if v = w then sweep (i + 1)
+          else
+            match Deque.steal t.workers.(v).deque with
+            | Some thunk ->
+                me.victim <- v;
+                thunk ();
+                true
+            | None -> sweep (i + 1)
+        end
+      in
+      sweep 0
+
+let rec join t p =
+  match Atomic.get p.state with
+  | Done v -> v
+  | Raised e -> raise e
+  | Pending _ ->
+      run_promise t p;
+      join t p
+  | Running -> (
+      (* Someone else is on it: help with other work, then re-check. *)
+      (match my_worker t with
+      | Some w -> if not (help t w) then Domain.cpu_relax ()
+      | None -> Domain.cpu_relax ());
+      join t p)
+
+let worker_main t w =
+  let slot = Domain.DLS.get current in
+  slot := Some (t, w);
+  let idle = ref 0 in
+  while not (Atomic.get t.quit) do
+    if help t w then idle := 0
+    else begin
+      incr idle;
+      if !idle < 64 then Domain.cpu_relax ()
+      else begin
+        (* Don't burn a core while the search is sequential. *)
+        idle := 0;
+        Unix.sleepf 0.0002
+      end
+    end
+  done
+
+let m_spawn_failure = Metrics.counter "pool.spawn_failures"
+
+let run ?jobs:(j = Pool.default_jobs ()) f =
+  let j = Stdlib.max 1 j in
+  let t =
+    {
+      workers =
+        Array.init j (fun _ -> { deque = Deque.create deque_capacity; victim = 0 });
+      quit = Atomic.make false;
+      forked = Atomic.make 0;
+      executed = Atomic.make 0;
+      stolen = Atomic.make 0;
+      inlined = Atomic.make 0;
+    }
+  in
+  (* Degrade on spawn failure exactly like Pool: the crew is whatever
+     actually spawned; the caller always works, so progress is assured. *)
+  let domains = ref [] in
+  (try
+     for w = 1 to j - 1 do
+       domains := Domain.spawn (fun () -> worker_main t w) :: !domains
+     done
+   with _ -> Metrics.incr m_spawn_failure);
+  let slot = Domain.DLS.get current in
+  let saved = !slot in
+  slot := Some (t, 0);
+  Fun.protect
+    ~finally:(fun () ->
+      slot := saved;
+      Atomic.set t.quit true;
+      List.iter Domain.join !domains)
+    (fun () -> f t)

@@ -1,0 +1,79 @@
+(** Work-stealing fork/join scheduler for intra-instance parallelism.
+
+    {!Pool} parallelises {e across} coarse independent tasks with a shared
+    next-index counter; this module parallelises {e inside} one recursive
+    search. A {!run} owns a fixed crew of domains, each with a private
+    Chase–Lev deque: {!fork} pushes a subtask onto the calling worker's
+    deque (bottom), the owner pops LIFO from the same end, and idle
+    workers steal FIFO from the top of a victim's deque — the classic
+    discipline that keeps the hot path allocation-light and steals rare.
+    A joining parent is never parked: {!join} first reclaims its own
+    unstarted children (claiming a pending task beats the deque copy — a
+    stale deque entry finds the task already claimed and is a no-op),
+    then steals from siblings, so the deepest subtree always has every
+    domain available to it.
+
+    Determinism contract: the scheduler never decides {e what} work runs,
+    only {e where}. Every forked task is executed exactly once, whatever
+    the steal interleaving, so a caller whose tasks are self-contained
+    (private memo tables, private fuel shares, per-domain {!Metrics}
+    stores) gets bit-identical counters at any [jobs] — the invariant
+    [Ghd.Par_bal_sep] pins under [HB_FUEL].
+
+    Cancellation is cooperative and belongs to the caller: tasks poll
+    their {!Deadline} (or any {!Deadline.cancel} flags threaded through
+    the task closures); the scheduler itself only guarantees that after
+    {!run} returns no worker domain survives.
+
+    Scheduler traffic counters (forks, executions, steals, inlined
+    overflows) are kept out of {!Metrics} on purpose: steal counts are
+    scheduling artifacts and would break the bit-identity audit across
+    [HB_JOBS]. Read them with {!stats} / {!totals} instead. *)
+
+type t
+(** A live crew of workers; valid only during the {!run} that made it. *)
+
+type 'a promise
+
+val run : ?jobs:int -> (t -> 'a) -> 'a
+(** [run ~jobs f] spawns [jobs - 1] worker domains (degrading silently if
+    the runtime refuses a spawn, like {!Pool}), applies [f] to the crew
+    on the calling domain, then shuts every worker down — also when [f]
+    raises. [jobs] defaults to {!Pool.default_jobs}[ ()]; [jobs <= 1]
+    spawns nothing and runs every task inline on the caller, which makes
+    [HB_JOBS=1] a zero-domain configuration safe even in processes that
+    must keep [Unix.fork] usable (see [Benchlib.Service]). Nested runs
+    are allowed: the inner run's crew is distinct and the outer worker
+    identity is restored when it finishes. *)
+
+val fork : t -> (unit -> 'a) -> 'a promise
+(** Submit a subtask. Called from inside the crew it pushes onto the
+    calling worker's deque; if the deque is full, or the caller is not a
+    member of [t], the task runs inline immediately (counted in
+    [inlined]). The closure runs at most once, on exactly one domain. *)
+
+val join : t -> 'a promise -> 'a
+(** Wait for a promise, helping: the caller executes its own pending
+    forks and steals from other workers while the result is not ready.
+    Re-raises the task's exception (e.g. {!Deadline.Timed_out}) in the
+    joining domain. Every forked promise must be joined (or the task must
+    be side-effect-free), and only by a member of the same crew. *)
+
+val jobs : t -> int
+(** Crew size (including the caller), after spawn degradation. *)
+
+type stats = {
+  forked : int;      (** tasks submitted via {!fork} *)
+  executed : int;    (** tasks run to completion (= forked, after joins) *)
+  stolen : int;      (** executions on a different worker than the forker *)
+  inlined : int;     (** forks run inline (deque overflow or foreign caller) *)
+}
+
+val stats : t -> stats
+(** Traffic of this crew so far. Exact once every promise is joined. *)
+
+val totals : unit -> stats
+(** Process-wide sums over all finished and live runs since start-up (or
+    {!reset_totals}); what [hyperbench decompose --stats] prints. *)
+
+val reset_totals : unit -> unit

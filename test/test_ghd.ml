@@ -208,6 +208,66 @@ let race_timeout () =
   | Ghd.Portfolio.All_timeout -> ()
   | _ -> Alcotest.fail "expected all-timeout with tiny fuel"
 
+(* --- race loser discipline ------------------------------------------------ *)
+
+let with_metrics f =
+  Kit.Metrics.reset ();
+  Kit.Metrics.enabled := true;
+  Fun.protect
+    ~finally:(fun () ->
+      Kit.Metrics.enabled := false;
+      Kit.Metrics.reset ())
+    f
+
+let solver_metric n =
+  List.exists
+    (fun p ->
+      String.length n >= String.length p && String.sub n 0 (String.length p) = p)
+    [ "balsep."; "detk."; "parbalsep."; "localbip."; "globalbip."; "subedges." ]
+
+(* A member whose cancel flag is already up contributes nothing to the
+   solver counters: Deadline.check raises before any search metric ticks.
+   Pinned for all four members, including the intra-parallel one. *)
+let cancelled_member_never_ticks () =
+  let c = Kit.Deadline.new_cancel () in
+  Kit.Deadline.cancel c;
+  let budget () = Kit.Deadline.with_cancel c Kit.Deadline.none in
+  with_metrics (fun () ->
+      (match
+         Ghd.Portfolio.check ~budget ~members:Ghd.Portfolio.order_with_intra
+           ~intra_jobs:4 fano ~k:2
+       with
+      | Ghd.Portfolio.All_timeout -> ()
+      | _ -> Alcotest.fail "expected all-timeout under a cancelled flag");
+      let snap = Kit.Metrics.snapshot () in
+      List.iter
+        (fun (n, v) ->
+          if solver_metric n && v <> 0 then
+            Alcotest.failf "cancelled member ticked %s = %d" n v)
+        snap.Kit.Metrics.counters;
+      List.iter
+        (fun (n, (_, counts)) ->
+          if solver_metric n && Array.fold_left ( + ) 0 counts > 0 then
+            Alcotest.failf "cancelled member observed histogram %s" n)
+        snap.Kit.Metrics.histograms)
+
+(* The only post-cancellation traces a loser leaves are portfolio-side:
+   exactly one cancelled_members tick paired with one cancel_latency
+   span. Which members get cancelled (rather than finishing first) is
+   schedule-dependent, so the test pins the pairing and the bound, not
+   the count. *)
+let race_cancel_accounting () =
+  with_metrics (fun () ->
+      ignore (Ghd.Portfolio.race wide_overlap ~k:2);
+      ignore (Ghd.Portfolio.race fano ~k:2);
+      let snap = Kit.Metrics.snapshot () in
+      let cancelled = Kit.Metrics.get snap "portfolio.cancelled_members" in
+      let spans, _ = Kit.Metrics.get_timer snap "portfolio.cancel_latency" in
+      Alcotest.(check int) "one latency span per cancelled member" cancelled
+        spans;
+      Alcotest.(check bool) "at most members-1 cancelled per race" true
+        (cancelled <= 2 * (List.length Ghd.Portfolio.order - 1)))
+
 let portfolio_improvement () =
   (* hw(fano) = 3 and ghw(fano) = 3: no improvement possible. *)
   (match Ghd.Portfolio.ghw_improvement fano ~hw:3 with
@@ -327,6 +387,10 @@ let () =
           Alcotest.test_case "race = check" `Quick race_agrees_with_check;
           Alcotest.test_case "race yes valid" `Quick race_yes_is_valid;
           Alcotest.test_case "race timeout" `Quick race_timeout;
+          Alcotest.test_case "cancelled member never ticks" `Quick
+            cancelled_member_never_ticks;
+          Alcotest.test_case "race cancel accounting" `Quick
+            race_cancel_accounting;
           Alcotest.test_case "improvement" `Quick portfolio_improvement;
         ] );
       ( "properties",

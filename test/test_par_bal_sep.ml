@@ -1,0 +1,288 @@
+(* Differential tests for the work-stealing BalSep (Ghd.Par_bal_sep):
+   - verdicts agree exactly with sequential Ghd.Bal_sep at HB_JOBS 1/2/4
+     over a seeded instance corpus, and every witness validates;
+   - under a fuel deadline the verdict AND every Kit.Metrics counter are
+     bit-identical at any jobs value (the determinism contract);
+   - the parent's fuel charge is settled identically at any jobs value;
+   - a cancelled or exhausted budget surfaces as Timeout, exact = false;
+   - the separator-candidate enumeration loop polls the deadline (the
+     regression guard for the mid-enumeration cancellation fix). *)
+
+module Bitset = Kit.Bitset
+module H = Hg.Hypergraph
+module Deadline = Kit.Deadline
+module Metrics = Kit.Metrics
+
+let all_jobs = [ 1; 2; 4 ]
+
+(* Seeded corpus. Edge sizes 2..4 over up to 16 vertices: big enough that
+   accepted separators leave components above a forced cutoff of 2, so
+   the parallel solver actually forks; small enough that 300 instances
+   at three jobs values stay fast. *)
+let corpus =
+  let st = Random.State.make [| 0x9b5; 17; 2026 |] in
+  List.init 300 (fun i ->
+      let n_verts = 4 + Random.State.int st 9 in
+      let n_edges = 4 + Random.State.int st 6 in
+      let edge () =
+        let a = 2 + Random.State.int st 2 in
+        List.init a (fun _ -> Random.State.int st n_verts)
+        |> List.sort_uniq compare
+      in
+      let edges =
+        List.init n_edges (fun _ -> edge ())
+        |> List.filter (fun e -> List.length e >= 2)
+      in
+      let edges = if edges = [] then [ [ 0; 1 ] ] else edges in
+      (Printf.sprintf "seed%03d" i, H.of_int_edges edges))
+
+let verdict = function
+  | Detk.Decomposition _ -> "yes"
+  | Detk.No_decomposition -> "no"
+  | Detk.Timeout -> "timeout"
+
+let validate name h k = function
+  | Detk.Decomposition d ->
+      (match Decomp.check_ghd h d with
+      | [] -> ()
+      | v :: _ ->
+          Alcotest.failf "%s: invalid GHD: %a" name (Decomp.pp_violation h) v);
+      if Decomp.width d > k then
+        Alcotest.failf "%s: width %d > k=%d" name (Decomp.width d) k
+  | Detk.No_decomposition | Detk.Timeout -> ()
+
+(* The ISSUE's headline property: par and seq agree exactly, and both
+   also agree with the HD-side checker's GHD validator on every yes. *)
+let differential_corpus () =
+  List.iter
+    (fun (name, h) ->
+      List.iter
+        (fun k ->
+          let seq = (Ghd.Bal_sep.solve h ~k).Ghd.Bal_sep.outcome in
+          List.iter
+            (fun jobs ->
+              let par =
+                (Ghd.Par_bal_sep.solve ~jobs ~cutoff:2 h ~k).Ghd.Bal_sep.outcome
+              in
+              if verdict par <> verdict seq then
+                Alcotest.failf "%s k=%d jobs=%d: par=%s seq=%s" name k jobs
+                  (verdict par) (verdict seq);
+              validate (Printf.sprintf "%s k=%d jobs=%d" name k jobs) h k par)
+            all_jobs)
+        [ 1; 2 ])
+    corpus
+
+let known_instances () =
+  let triangle = H.of_int_edges [ [ 0; 1 ]; [ 1; 2 ]; [ 2; 0 ] ] in
+  let fano =
+    H.of_int_edges
+      [
+        [ 0; 1; 2 ]; [ 0; 3; 4 ]; [ 0; 5; 6 ]; [ 1; 3; 5 ];
+        [ 1; 4; 6 ]; [ 2; 3; 6 ]; [ 2; 4; 5 ];
+      ]
+  in
+  let cycle n = H.of_int_edges (List.init n (fun i -> [ i; (i + 1) mod n ])) in
+  List.iter
+    (fun jobs ->
+      List.iter
+        (fun (name, h, k, want) ->
+          let a = Ghd.Par_bal_sep.solve ~jobs ~cutoff:2 h ~k in
+          let got = verdict a.Ghd.Bal_sep.outcome in
+          if got <> want then
+            Alcotest.failf "%s k=%d jobs=%d: got %s want %s" name k jobs got
+              want;
+          validate name h k a.Ghd.Bal_sep.outcome;
+          if got <> "timeout" && not a.Ghd.Bal_sep.exact then
+            Alcotest.failf "%s: decided but inexact" name)
+        [
+          ("triangle", triangle, 2, "yes");
+          ("triangle", triangle, 1, "no");
+          ("fano", fano, 3, "yes");
+          ("fano", fano, 2, "no");
+          ("C8", cycle 8, 2, "yes");
+          ("C8", cycle 8, 1, "no");
+          ("C16", cycle 16, 2, "yes");
+        ])
+    all_jobs
+
+(* Counter bit-identity: with HB_FUEL-style budgets the whole metrics
+   snapshot — counters AND histogram cells, including balsep.depth — must
+   match cell for cell at every jobs value, whether the budget suffices
+   (same verdict reached the same way) or expires mid-search. *)
+let relevant snap =
+  let keep name =
+    List.exists
+      (fun p -> String.length name >= String.length p
+                && String.sub name 0 (String.length p) = p)
+      [ "balsep."; "detk."; "parbalsep." ]
+  in
+  ( List.filter (fun (n, _) -> keep n) snap.Metrics.counters,
+    List.filter (fun (n, _) -> keep n) snap.Metrics.histograms )
+
+let with_metrics f =
+  Metrics.reset ();
+  Metrics.enabled := true;
+  Fun.protect
+    ~finally:(fun () ->
+      Metrics.enabled := false;
+      Metrics.reset ())
+    f
+
+let fuel_bit_identity () =
+  let hard =
+    List.filteri (fun i _ -> i mod 12 = 0) corpus (* every 12th: 25 instances *)
+  in
+  List.iter
+    (fun (name, h) ->
+      List.iter
+        (fun fuel ->
+          let runs =
+            List.map
+              (fun jobs ->
+                with_metrics (fun () ->
+                    let d = Deadline.of_fuel fuel in
+                    let a = Ghd.Par_bal_sep.solve ~jobs ~deadline:d ~cutoff:2 h ~k:2 in
+                    let charge =
+                      fuel - Option.value ~default:0 (Deadline.fuel_remaining d)
+                    in
+                    (jobs, verdict a.Ghd.Bal_sep.outcome, charge,
+                     relevant (Metrics.snapshot ()))))
+              all_jobs
+          in
+          match runs with
+          | [] -> assert false
+          | (_, v0, c0, m0) :: rest ->
+              List.iter
+                (fun (jobs, v, c, m) ->
+                  if v <> v0 then
+                    Alcotest.failf "%s fuel=%d: verdict %s at jobs=%d, %s at jobs=1"
+                      name fuel v jobs v0;
+                  if c <> c0 then
+                    Alcotest.failf
+                      "%s fuel=%d: fuel charge %d at jobs=%d, %d at jobs=1"
+                      name fuel c jobs c0;
+                  if m <> m0 then
+                    Alcotest.failf
+                      "%s fuel=%d: metrics diverge between jobs=1 and jobs=%d"
+                      name fuel jobs)
+                rest)
+        [ 200; 5_000 ])
+    hard
+
+let timeout_propagates () =
+  let fano =
+    H.of_int_edges
+      [
+        [ 0; 1; 2 ]; [ 0; 3; 4 ]; [ 0; 5; 6 ]; [ 1; 3; 5 ];
+        [ 1; 4; 6 ]; [ 2; 3; 6 ]; [ 2; 4; 5 ];
+      ]
+  in
+  List.iter
+    (fun jobs ->
+      let a =
+        Ghd.Par_bal_sep.solve ~jobs ~deadline:(Deadline.of_fuel 5) fano ~k:2
+      in
+      (match a.Ghd.Bal_sep.outcome with
+      | Detk.Timeout -> ()
+      | o -> Alcotest.failf "jobs=%d: expected timeout, got %s" jobs (verdict o));
+      Alcotest.(check bool) "inexact" false a.Ghd.Bal_sep.exact)
+    all_jobs
+
+(* External cancellation (the portfolio race path) must reach the whole
+   task tree: a pre-cancelled flag yields Timeout without any search. *)
+let cancel_reaches_tasks () =
+  let h =
+    H.of_int_edges (List.init 24 (fun i -> [ i; (i + 1) mod 24; (i + 7) mod 24 ]))
+  in
+  List.iter
+    (fun jobs ->
+      let c = Deadline.new_cancel () in
+      Deadline.cancel c;
+      let d = Deadline.with_cancel c (Deadline.of_fuel 1_000_000) in
+      with_metrics (fun () ->
+          match (Ghd.Par_bal_sep.solve ~jobs ~deadline:d h ~k:2).Ghd.Bal_sep.outcome with
+          | Detk.Timeout ->
+              let snap = Metrics.snapshot () in
+              Alcotest.(check int)
+                (Printf.sprintf "no separators tried at jobs=%d" jobs)
+                0
+                (Metrics.get snap "balsep.separators_tried")
+          | o -> Alcotest.failf "jobs=%d: expected timeout, got %s" jobs (verdict o)))
+    all_jobs
+
+(* Satellite regression: Deadline polls fire INSIDE the separator-candidate
+   enumeration loop, not just at node expansions and separator trials.
+   With [use_subedges:false] those three are the only poll sites, and
+   node expansions and separator trials each pair 1:1 with a metric
+   (the balsep.depth histogram and balsep.separators_tried), so
+   [consumed - nodes - separators] counts exactly the in-loop polls —
+   which the pre-fix code never made. *)
+let enumeration_polls_deadline () =
+  let fano =
+    H.of_int_edges
+      [
+        [ 0; 1; 2 ]; [ 0; 3; 4 ]; [ 0; 5; 6 ]; [ 1; 3; 5 ];
+        [ 1; 4; 6 ]; [ 2; 3; 6 ]; [ 2; 4; 5 ];
+      ]
+  in
+  with_metrics (fun () ->
+      let budget = 2_000_000 in
+      let d = Deadline.of_fuel budget in
+      (match
+         (Ghd.Bal_sep.solve ~deadline:d ~use_subedges:false fano ~k:2)
+           .Ghd.Bal_sep.outcome
+       with
+      | Detk.Timeout -> Alcotest.fail "unexpected timeout"
+      | Detk.No_decomposition | Detk.Decomposition _ -> ());
+      let consumed =
+        budget - Option.value ~default:0 (Deadline.fuel_remaining d)
+      in
+      let snap = Metrics.snapshot () in
+      let nodes =
+        match Metrics.get_histogram snap "balsep.depth" with
+        | Some (_, counts) -> Array.fold_left ( + ) 0 counts
+        | None -> Alcotest.fail "balsep.depth histogram missing"
+      in
+      let separators = Metrics.get snap "balsep.separators_tried" in
+      let in_loop = consumed - nodes - separators in
+      Alcotest.(check bool)
+        (Printf.sprintf
+           "in-loop polls fired (consumed %d, nodes %d, separators %d)"
+           consumed nodes separators)
+        true (in_loop > 0))
+
+(* And the fix has teeth: a budget too small for even one node's candidate
+   enumeration still times the search out (the old once-per-node poll
+   would sail past it inside the loop). *)
+let enumeration_respects_tight_fuel () =
+  let wide =
+    H.of_int_edges (List.init 20 (fun i -> [ i; (i + 1) mod 20; (i + 9) mod 20 ]))
+  in
+  match
+    (Ghd.Bal_sep.solve ~deadline:(Deadline.of_fuel 40) wide ~k:2).Ghd.Bal_sep.outcome
+  with
+  | Detk.Timeout -> ()
+  | o -> Alcotest.failf "expected timeout on tight fuel, got %s" (verdict o)
+
+let () =
+  Alcotest.run "par_bal_sep"
+    [
+      ( "differential",
+        [
+          Alcotest.test_case "known instances" `Quick known_instances;
+          Alcotest.test_case "seeded corpus" `Quick differential_corpus;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "fuel bit-identity" `Quick fuel_bit_identity;
+          Alcotest.test_case "timeout propagates" `Quick timeout_propagates;
+          Alcotest.test_case "cancel reaches tasks" `Quick cancel_reaches_tasks;
+        ] );
+      ( "deadline polling",
+        [
+          Alcotest.test_case "polls inside enumeration" `Quick
+            enumeration_polls_deadline;
+          Alcotest.test_case "tight fuel times out" `Quick
+            enumeration_respects_tight_fuel;
+        ] );
+    ]
